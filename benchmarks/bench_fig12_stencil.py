@@ -1,0 +1,44 @@
+"""Fig. 12 — 2-D stencil weak and strong scaling on Piz-Daint.
+
+Paper: weak scaling is flat for SCR and DCR out to 512 nodes (DCR within
+2.5% of SCR), while Legion without control replication collapses once the
+centralized analysis eclipses per-node task time; strong scaling keeps
+accelerating for SCR/DCR into the hundreds of nodes while NoCR's absolute
+throughput decays.
+"""
+
+from figutils import print_series, run_once
+
+from repro.evaluation.figures import figure12a, figure12b
+
+
+def test_fig12a_weak(benchmark):
+    header, rows = run_once(benchmark, figure12a)
+    print_series("Fig. 12a: 2-D stencil weak scaling (cells/s per node)",
+                 header, rows)
+    by_n = {n: (nocr, scr, dcr) for n, nocr, scr, dcr in rows}
+    # DCR weak-scales: >= 90% of its single-node throughput at 512 nodes.
+    assert by_n[512][2] >= 0.90 * by_n[1][2]
+    # DCR tracks SCR closely (paper: 2.5% slowdown at 512 nodes).
+    assert by_n[512][2] >= 0.90 * by_n[512][1]
+    # The centralized analysis collapses at scale (paper: dominated well
+    # before 512 nodes).
+    assert by_n[512][0] <= 0.25 * by_n[512][2]
+    # ...but matches at one node, where there is nothing to distribute.
+    assert abs(by_n[1][0] - by_n[1][2]) <= 0.05 * by_n[1][2]
+
+
+def test_fig12b_strong(benchmark):
+    header, rows = run_once(benchmark, figure12b)
+    print_series("Fig. 12b: 2-D stencil strong scaling (total cells/s)",
+                 header, rows)
+    by_n = {n: (nocr, scr, dcr) for n, nocr, scr, dcr in rows}
+    # DCR and SCR keep accelerating through 64 nodes.
+    assert by_n[64][2] >= 8.0 * by_n[1][2]
+    assert by_n[64][1] >= 8.0 * by_n[1][1]
+    # SCR holds its advantage where grains get tiny (paper: SCR degrades
+    # past 128 nodes, DCR past 64; overheads within a factor of two).
+    assert by_n[512][1] >= by_n[512][2] * 0.95
+    # NoCR's absolute throughput decays once the controller saturates.
+    assert by_n[512][0] < by_n[64][0]
+    assert by_n[512][0] < 0.2 * by_n[512][2]

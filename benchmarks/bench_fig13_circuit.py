@@ -1,0 +1,34 @@
+"""Fig. 13 — circuit simulation weak and strong scaling.
+
+Paper: both weak and strong scaling are significantly better with DCR than
+without; DCR adds no noticeable overhead at small node counts and tracks
+SCR within a few percent (even beating it at 512 nodes in the paper's
+measurement, where DCR analyzes the increasingly complex communication of
+the small-diameter graph better than the static approach).
+"""
+
+from figutils import print_series, run_once
+
+from repro.evaluation.figures import figure13a, figure13b
+
+
+def test_fig13a_weak(benchmark):
+    header, rows = run_once(benchmark, figure13a)
+    print_series("Fig. 13a: circuit weak scaling (wires/s per node)",
+                 header, rows)
+    by_n = {r[0]: r[1:] for r in rows}
+    # No noticeable DCR overhead at small node counts.
+    assert by_n[2][2] >= 0.97 * by_n[2][1]
+    # DCR weak-scales; NoCR collapses.
+    assert by_n[512][2] >= 0.90 * by_n[1][2]
+    assert by_n[512][0] <= 0.2 * by_n[512][2]
+
+
+def test_fig13b_strong(benchmark):
+    header, rows = run_once(benchmark, figure13b)
+    print_series("Fig. 13b: circuit strong scaling (total wires/s)",
+                 header, rows)
+    by_n = {r[0]: r[1:] for r in rows}
+    assert by_n[64][2] >= 8.0 * by_n[1][2]      # keeps accelerating
+    assert by_n[512][0] < by_n[32][0]           # NoCR decays
+    assert by_n[512][2] >= 0.85 * by_n[512][1]  # DCR within ~15% of SCR

@@ -1,0 +1,25 @@
+"""Fig. 15 — ResNet-50/ImageNet per-epoch training time on Summit.
+
+Paper: FlexFlow on DCR matches TensorFlow+Horovod out to 768 GPUs (both
+data parallel, batch 64/GPU), while FlexFlow *without* control replication
+stops scaling at 48 GPUs.
+"""
+
+from figutils import print_series, run_once
+
+from repro.evaluation.figures import figure15
+
+
+def test_fig15_resnet(benchmark):
+    header, rows = run_once(benchmark, figure15)
+    print_series("Fig. 15: ResNet-50 per-epoch training time (minutes)",
+                 header, rows)
+    by_g = {g: (tf, nocr, dcr) for g, tf, nocr, dcr in rows}
+    # TF and FlexFlow-DCR are nearly identical across the sweep (paper).
+    for g, tf, _nocr, dcr in rows:
+        assert abs(tf - dcr) <= 0.15 * dcr, (g, tf, dcr)
+    # FlexFlow-DCR keeps scaling to 768 GPUs...
+    assert by_g[768][2] <= by_g[48][2] / 10.0
+    # ...while the non-replicated runtime stops scaling around 48 GPUs.
+    assert by_g[768][1] >= 0.8 * by_g[96][1]
+    assert by_g[768][1] >= 5.0 * by_g[768][2]

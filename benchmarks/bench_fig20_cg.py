@@ -1,0 +1,27 @@
+"""Fig. 20 — preconditioned CG solver in Legate NumPy vs Dask.
+
+Paper: same axes as Fig. 19; Legate is 2.7x faster than Dask at 32 nodes
+on the CG solver, with Dask's relative position degrading further at scale
+even where its single-node performance is comparable.
+"""
+
+from figutils import print_series, run_once
+
+from repro.evaluation.figures import figure20
+
+
+def test_fig20_cg(benchmark):
+    header, rows = run_once(benchmark, figure20)
+    print_series(
+        "Fig. 20: Legate preconditioned CG weak scaling (iterations/s)",
+        header, rows)
+    by_s = {r[0]: r[2:] for r in rows}
+    # Comparable at one socket (paper: Dask single-node perf can even win).
+    assert by_s[1][0] >= 0.5 * by_s[1][1]
+    # Legate pulls ahead ~2-4x by 64 sockets / 1280 cores (paper: 2.7x).
+    assert 1.5 <= by_s[64][1] / by_s[64][0] <= 6.0
+    # The gap keeps widening at scale.
+    assert by_s[256][1] / by_s[256][0] > by_s[64][1] / by_s[64][0]
+    # Legate weak-scales flat; GPUs beat CPUs.
+    assert by_s[256][1] >= 0.95 * by_s[1][1]
+    assert by_s[64][2] > 3.0 * by_s[64][1]

@@ -1,0 +1,30 @@
+"""Fig. 21 — METG(50%) overhead of control-determinism checks.
+
+Paper: METG(50%) rises with node count (longer tasks needed to hide longer
+communication); tracing lowers it substantially by memoizing the analysis;
+and the control-determinism checks ("Safe") have *negligible* impact in
+both the traced and untraced configurations.
+"""
+
+from figutils import print_series, run_once
+
+from repro.evaluation.figures import figure21
+
+
+def test_fig21_metg(benchmark):
+    header, rows = run_once(benchmark, figure21)
+    print_series(
+        "Fig. 21: METG(50%) of the stencil Task Bench (milliseconds)",
+        header, rows)
+    by_n = {r[0]: r[1:] for r in rows}
+    for n in by_n:
+        nn, ns, tn, ts = by_n[n]
+        # Determinism checks have negligible impact (paper's headline):
+        # within 25% in both trace configurations.
+        assert ns <= nn * 1.25, (n, nn, ns)
+        assert ts <= tn * 1.25, (n, tn, ts)
+        # Tracing lowers METG substantially.
+        assert tn <= 0.6 * nn, (n, nn, tn)
+    # METG increases with node count (longer latencies to hide).
+    assert by_n[128][0] > by_n[1][0]
+    assert by_n[128][2] > by_n[1][2]

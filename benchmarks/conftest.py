@@ -1,0 +1,6 @@
+"""Make the shared figure helpers importable from every bench module."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,50 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``bench_figNN_*.py`` module regenerates one figure of the paper's
+evaluation section: it runs the corresponding application sweep over the
+simulated machine, prints the same rows/series the paper plots, and asserts
+the qualitative shape (who wins, by roughly what factor, where curves
+break).  EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["print_series", "monotone_nonincreasing", "roughly_flat",
+           "run_once"]
+
+
+def print_series(title: str, header: Sequence[str],
+                 rows: Iterable[Sequence]) -> None:
+    """Print one figure's data table in a fixed-width layout."""
+    print(f"\n=== {title} ===")
+    print("  ".join(f"{h:>14}" for h in header))
+    for row in rows:
+        cells = []
+        for v in row:
+            if isinstance(v, float):
+                cells.append(f"{v:14.4g}")
+            else:
+                cells.append(f"{v!s:>14}")
+        print("  ".join(cells))
+
+
+def monotone_nonincreasing(values: Sequence[float], slack: float = 1.02
+                           ) -> bool:
+    """True when the series never rises by more than ``slack``x."""
+    return all(b <= a * slack for a, b in zip(values, values[1:]))
+
+
+def roughly_flat(values: Sequence[float], tolerance: float = 0.15) -> bool:
+    """True when all values sit within ±tolerance of the first."""
+    if not values:
+        return True
+    base = values[0]
+    return all(abs(v - base) <= tolerance * abs(base) for v in values)
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run an expensive sweep exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Legate NumPy example: logistic regression as a deferred-array program.
+
+The solver below is written like plain NumPy, but every array operation is
+a (group) task launch analyzed by dynamic control replication, so the same
+unmodified program runs replicated across shards (paper §5.4).  The script
+trains on a synthetic problem, verifies against a NumPy reference, and
+shows the analysis statistics DCR produced.
+
+Run:  python examples/legate_logreg.py
+"""
+
+import numpy as np
+
+from repro.legate import (LegateContext, make_problem,
+                          reference_logistic_regression)
+from repro.runtime import Runtime
+
+
+def train(ctx, x_data, y_data, iterations=15, lr=0.8):
+    """Batch gradient descent, written against the deferred-array API."""
+    lg = LegateContext(ctx, num_tiles=4)
+    n, f = x_data.shape
+    x = lg.from_values(x_data, "X")
+    y = lg.from_values(y_data, "y")
+    w = lg.zeros(f, "w")
+    losses = []
+    for _ in range(iterations):
+        p = x.matvec(w).sigmoid()
+        r = p - y
+        # Monitoring the loss reads a future — fine under DCR, since every
+        # shard reads the same interned future value.
+        losses.append(r.dot(r) / n)
+        w.axpy(-lr / n, x.rmatvec(r))
+    return w.to_numpy(), losses
+
+
+if __name__ == "__main__":
+    x, y = make_problem(n=64, f=8, seed=3)
+
+    runtime = Runtime(num_shards=4)
+    weights, losses = runtime.execute(train, x, y)
+
+    reference = reference_logistic_regression(x, y, 15, 0.8)
+    assert np.allclose(weights, reference)
+
+    print("trained weights:", np.round(weights, 4))
+    print("mean-squared residual per iteration:")
+    for i, loss in enumerate(losses):
+        print(f"  iter {i:2d}: {loss:.4f}")
+
+    accuracy = ((1 / (1 + np.exp(-(x @ weights))) > 0.5) == y).mean()
+    print(f"\ntraining accuracy: {accuracy:.0%}")
+    print(f"point tasks analyzed under DCR: "
+          f"{len(runtime.task_graph().tasks)}")
+    print(f"cross-shard fences: {len(runtime.coarse_result().fences)} "
+          f"(elided {runtime.coarse_result().fences_elided})")
+    print("matches the NumPy reference exactly — the distributed run is "
+          "indistinguishable from sequential execution.")

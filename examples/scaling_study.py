@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Scaling study: regenerate the Fig. 12a comparison on a simulated machine.
+
+Runs the 2-D stencil benchmark under the three execution approaches of the
+paper's Fig. 1 — centralized lazy evaluation (Legion without control
+replication), static control replication, and dynamic control replication —
+across 1 to 512 simulated Piz-Daint nodes, and prints the weak-scaling
+table the paper plots.
+
+Run:  python examples/scaling_study.py [--strong]
+"""
+
+import argparse
+
+from repro.apps import stencil
+from repro.models import DCRModel, LegionNoCRModel, SCRModel
+from repro.sim.machine import PIZ_DAINT
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--strong", action="store_true",
+                        help="strong scaling (fixed total problem size)")
+    parser.add_argument("--nodes", type=int, nargs="*",
+                        default=[1, 2, 4, 8, 16, 32, 64, 128, 256, 512])
+    args = parser.parse_args()
+
+    weak = not args.strong
+    mode = "weak" if weak else "strong"
+    unit = "cells/s per node" if weak else "total cells/s"
+    print(f"2-D stencil {mode} scaling ({unit}), simulated Piz-Daint\n")
+    print(f"{'nodes':>6} {'no-CR':>14} {'static-CR':>14} "
+          f"{'dynamic-CR':>14}  note")
+
+    for nodes in args.nodes:
+        machine = PIZ_DAINT.with_nodes(nodes)
+        build = lambda: stencil.build_program(machine, weak=weak)
+        nocr = LegionNoCRModel(machine).run(build())
+        scr = SCRModel(machine).run(build())
+        dcr = DCRModel(machine).run(build())
+        pick = (lambda r: r.throughput_per_node) if weak \
+            else (lambda r: r.throughput)
+        note = ""
+        if pick(nocr) < 0.5 * pick(dcr):
+            note = "<- centralized analysis saturated"
+        print(f"{nodes:6d} {pick(nocr):14.4g} {pick(scr):14.4g} "
+              f"{pick(dcr):14.4g}  {note}")
+
+    print("\nThe centralized controller's clock advances with *total* task "
+          "count, so its per-node throughput collapses once analysis cost "
+          "eclipses per-node task time; both control-replication schemes "
+          "stay flat (paper §5.1).")
+
+
+if __name__ == "__main__":
+    main()

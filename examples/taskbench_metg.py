@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Task Bench / METG(50%): measure the runtime's overhead directly.
+
+Regenerates the paper's Fig. 21 (tracing x determinism-check cross) plus
+the pattern extension: the minimum task granularity at which DCR still
+achieves 50% efficiency, per Task Bench dependence pattern.
+
+Run:  python examples/taskbench_metg.py [--nodes 1 4 16 64]
+"""
+
+import argparse
+
+from repro.apps import taskbench
+from repro.sim.machine import MachineSpec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, nargs="*",
+                        default=[1, 4, 16, 64])
+    args = parser.parse_args()
+
+    print("Fig. 21 — METG(50%) in microseconds "
+          "(stencil pattern, 4 parallel copies)\n")
+    print(f"{'nodes':>6} {'notrace/nosafe':>15} {'notrace/safe':>14} "
+          f"{'trace/nosafe':>14} {'trace/safe':>12}")
+    for n in args.nodes:
+        m = MachineSpec("cluster", nodes=n, cpus_per_node=1,
+                        gpus_per_node=0)
+        row = [taskbench.metg(m, tracing=tr, safe=safe) * 1e6
+               for tr in (False, True) for safe in (False, True)]
+        print(f"{n:6d} {row[0]:15.2f} {row[1]:14.2f} "
+              f"{row[2]:14.2f} {row[3]:12.2f}")
+    print("\nThe Safe columns sit on top of the No-Safe ones — the "
+          "control-determinism check is hashing plus an asynchronous "
+          "all-reduce, off the critical path (paper §5.5).")
+
+    print("\nExtension — METG(50%) by dependence pattern (traced, µs):\n")
+    print(f"{'nodes':>6}", "".join(f"{p:>12}" for p in taskbench.PATTERNS))
+    for n in args.nodes:
+        m = MachineSpec("cluster", nodes=n, cpus_per_node=1,
+                        gpus_per_node=0)
+        row = [taskbench.metg(m, tracing=True, safe=True, pattern=p) * 1e6
+               for p in taskbench.PATTERNS]
+        print(f"{n:6d}", "".join(f"{v:12.2f}" for v in row))
+    print("\nDependence-free patterns bottom out at the trace-replay cost; "
+          "every communicating pattern pays the cross-shard fence.")
+
+
+if __name__ == "__main__":
+    main()

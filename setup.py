@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables
+setuptools' legacy editable-install path on environments that lack
+`bdist_wheel` (e.g. offline machines).
+"""
+
+from setuptools import setup
+
+setup()

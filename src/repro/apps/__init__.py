@@ -1,0 +1,23 @@
+"""Evaluation workloads (paper §5): one module per application.
+
+=========  ======================================  =========
+Module     Application                             Figure(s)
+=========  ======================================  =========
+stencil    2-D stencil benchmark                   12a/12b
+circuit    circuit simulation                      13a/13b
+pennant    Pennant Lagrangian hydro vs MPI         14
+resnet     ResNet-50 / ImageNet training           15
+soleil     Soleil-X multi-physics solver           16
+htr        HTR hypersonic solver                   17a/17b
+candle     CANDLE Uno MLP (FlexFlow hybrid)        18
+taskbench  Task Bench + METG(50%)                  21
+=========  ======================================  =========
+
+(Figs. 19-20 live in :mod:`repro.legate.programs`.)
+"""
+
+from . import (candle, circuit, dnn, htr, pennant, pennant_hydro, resnet,
+               soleil, soleil_mini, stencil, taskbench)
+
+__all__ = ["candle", "circuit", "dnn", "htr", "pennant", "pennant_hydro",
+           "resnet", "soleil", "soleil_mini", "stencil", "taskbench"]

@@ -1,0 +1,77 @@
+"""CANDLE Uno multi-layer perceptron (paper §5.3, Fig. 18).
+
+The largest (pilot1) network from the CANDLE precision-medicine initiative:
+an MLP over drug/cell features predicting dose response, with **768M
+weights** — so pure data parallelism is dominated by gradient
+synchronization (3 GB of gradients per iteration).  FlexFlow's strategy
+search discovers a hybrid data+model-parallel strategy that reduces
+per-GPU gradient traffic ~20x (paper text), which our MCMC search over the
+same cost model rediscovers; Fig. 18 compares it against TensorFlow+Horovod
+data parallelism on Summit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..flexflow import (LayerSpec, Strategy, data_parallel_strategy,
+                        gradient_bytes_per_gpu, search_strategy)
+from ..sim.machine import MachineSpec
+from ..sim.workload import SimProgram
+from .dnn import build_training_program
+
+__all__ = ["candle_layers", "build_program", "find_strategy",
+           "UNO_SAMPLES", "BATCH_PER_GPU", "EPOCH_ITERATIONS",
+           "CANDLE_GPU_FLOPS"]
+
+UNO_SAMPLES = 21_000_000     # dose-response pairs in the Uno training set
+BATCH_PER_GPU = 64
+# Dense MLP layers are memory-bandwidth bound; effective FLOPs well under
+# peak.
+CANDLE_GPU_FLOPS = 2.0e12
+
+
+def candle_layers() -> List[LayerSpec]:
+    """The pilot1 MLP: ~768M parameters across five dense layers."""
+    dims = [23_000, 20_000, 12_000, 5_000, 1_000, 1]
+    layers = []
+    for i in range(len(dims) - 1):
+        fan_in, fan_out = dims[i], dims[i + 1]
+        params = fan_in * fan_out + fan_out
+        flops = 2.0 * fan_in * fan_out
+        layers.append(LayerSpec(f"dense{i}", params, flops, fan_out))
+    return layers
+
+
+def find_strategy(machine: MachineSpec, steps: int = 2000,
+                  seed: int = 17) -> Tuple[Strategy, float]:
+    """Run the FlexFlow MCMC search for this machine."""
+    return search_strategy(candle_layers(), machine,
+                           batch_per_gpu=BATCH_PER_GPU, steps=steps,
+                           seed=seed)
+
+
+def build_program(machine: MachineSpec, *, hybrid: bool = True,
+                  iterations: int = 4, warmup: int = 1,
+                  tracing: bool = True,
+                  search_steps: int = 2000) -> SimProgram:
+    """One CANDLE training run: hybrid (FlexFlow) or pure data parallel (TF).
+    """
+    layers = candle_layers()
+    if hybrid and machine.gpus_per_node > 1:
+        strategy, _t = find_strategy(machine, steps=search_steps)
+    else:
+        strategy = data_parallel_strategy(layers)
+    prog = build_training_program(
+        "candle", layers, strategy, machine, batch_per_gpu=BATCH_PER_GPU,
+        iterations=iterations, warmup=warmup, tracing=tracing,
+        gpu_flops=CANDLE_GPU_FLOPS)
+    # Stash the strategy's traffic for the benchmark's 20x-reduction check.
+    prog.gradient_bytes_per_gpu = gradient_bytes_per_gpu(  # type: ignore
+        layers, strategy)
+    prog.strategy = strategy  # type: ignore[attr-defined]
+    return prog
+
+
+def EPOCH_ITERATIONS(gpus: int) -> int:
+    return max(1, UNO_SAMPLES // (BATCH_PER_GPU * max(1, gpus)))

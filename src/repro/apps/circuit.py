@@ -1,0 +1,263 @@
+"""Circuit simulation benchmark (paper §5.1, Fig. 13).
+
+An iterative simulation of currents and voltages on a randomly generated
+graph of circuit components.  The graph partitioning is computed *at run
+time* (the paper stresses that the communication pattern must therefore be
+established dynamically), and each iteration runs three group launches:
+
+1. ``calc_new_currents`` — per wire: current from the voltage difference of
+   its endpoints, reading *ghost* node voltages across piece boundaries;
+2. ``distribute_charge`` — scatter-add each wire's charge contribution onto
+   its endpoint nodes (a ``+`` reduction into the aliased ghost partition);
+3. ``update_voltages`` — per owned node: integrate charge into voltage.
+
+The aliased ghost partition makes cross-shard fences unavoidable each
+iteration — the program DCR handles well and a centralized controller
+bottlenecks on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.rng import CounterRNG
+from ..oracle import READ_ONLY, READ_WRITE, reduce_priv
+from ..sim.machine import MachineSpec, ProcKind
+from ..sim.workload import DepSpec, SimOp, SimProgram
+from .common import TiledField, group_op
+
+__all__ = ["build_program", "circuit_control", "generate_circuit",
+           "reference_circuit", "WIRES_PER_GPU", "SECONDS_PER_WIRE"]
+
+# Calibrated so one node sustains a few million wires/s (Fig. 13a y-axis)
+# at ~1 ms task grain (three phases per iteration).
+WIRES_PER_GPU = 10_000
+SECONDS_PER_WIRE = 2.0e-7
+# Strong-scaling default: overheads surface inside the plotted node range.
+STRONG_TOTAL_WIRES = 128_000
+# Fraction of a piece's nodes that are shared with neighboring pieces.
+SHARED_FRACTION = 0.05
+
+
+def build_program(machine: MachineSpec, *, weak: bool = True,
+                  total_wires: Optional[int] = None, iterations: int = 10,
+                  warmup: int = 2, tracing: bool = True) -> SimProgram:
+    """Fig. 13's circuit simulation as a simulated operation stream."""
+    pieces = max(1, machine.total_procs(ProcKind.GPU))
+    if weak:
+        wires_per_piece = WIRES_PER_GPU
+        total = wires_per_piece * pieces
+    else:
+        total = total_wires if total_wires is not None else STRONG_TOTAL_WIRES
+        wires_per_piece = max(1, total // pieces)
+    nodes_per_piece = max(1, wires_per_piece // 4)
+    ghost_bytes = SHARED_FRACTION * nodes_per_piece * 8.0
+    # A small-diameter random graph: each piece talks to ring neighbors and
+    # a few long-range pieces; more cross-piece structure appears at scale,
+    # which is why DCR's distributed analysis wins here (paper §5.1).
+    offsets = (-1, 1, -7, 7, -31, 31)
+
+    wires = TiledField.build("wires", [("current", "f8")], pieces,
+                             with_ghost=False)
+    nodes = TiledField.build("nodes", [("voltage", "f8"), ("charge", "f8")],
+                             pieces)
+    assert nodes.ghost is not None
+
+    prog = SimProgram(f"circuit-{'weak' if weak else 'strong'}",
+                      scr_applicable=True)
+    prog.work_per_iteration = total
+
+    # Durations split across the three phases, roughly 50/30/20.
+    d_cur = wires_per_piece * SECONDS_PER_WIRE * 0.5
+    d_chg = wires_per_piece * SECONDS_PER_WIRE * 0.3
+    d_vlt = wires_per_piece * SECONDS_PER_WIRE * 0.2
+
+    prev_voltage: Optional[int] = None
+    for it in range(warmup + iterations):
+        timed = it >= warmup
+        start = prog.begin_iteration() if timed else None
+        traced = tracing and it >= 1
+
+        op1 = group_op(
+            f"calc_new_currents[{it}]", pieces,
+            [(wires.tiles, wires.fieldset("current"), READ_WRITE),
+             (nodes.ghost, nodes.fieldset("voltage"), READ_ONLY)])
+        deps1: List[DepSpec] = []
+        if prev_voltage is not None:
+            deps1.append(DepSpec(prev_voltage, "halo", ghost_bytes, offsets))
+        i1 = prog.add(SimOp(op1.name, pieces, d_cur, deps=deps1,
+                            proc_kind=ProcKind.GPU, operation=op1,
+                            traced=traced))
+
+        op2 = group_op(
+            f"distribute_charge[{it}]", pieces,
+            [(wires.tiles, wires.fieldset("current"), READ_ONLY),
+             (nodes.ghost, nodes.fieldset("charge"), reduce_priv("+"))])
+        i2 = prog.add(SimOp(op2.name, pieces, d_chg,
+                            deps=[DepSpec(i1, "pointwise", 0.0)],
+                            proc_kind=ProcKind.GPU, operation=op2,
+                            traced=traced))
+
+        op3 = group_op(
+            f"update_voltages[{it}]", pieces,
+            [(nodes.tiles, nodes.fieldset("voltage", "charge"), READ_WRITE)])
+        prev_voltage = prog.add(SimOp(
+            op3.name, pieces, d_vlt,
+            deps=[DepSpec(i2, "halo", ghost_bytes, offsets)],
+            proc_kind=ProcKind.GPU, operation=op3, traced=traced))
+
+        if timed:
+            prog.end_iteration(start)  # type: ignore[arg-type]
+    return prog
+
+
+# ---------------------------------------------------------------------------
+# Functional layer: a real (small) circuit on the real runtime
+# ---------------------------------------------------------------------------
+
+def generate_circuit(pieces: int, nodes_per_piece: int, wires_per_piece: int,
+                     seed: int = 7, cross_fraction: float = 0.2
+                     ) -> Tuple[np.ndarray, np.ndarray, Dict[int, List[int]]]:
+    """Deterministic random circuit: (wire_in, wire_out, piece->node ids).
+
+    Uses the counter-based RNG so every shard generating the circuit inside
+    a replicated control program sees the same graph (§3).
+    """
+    rng = CounterRNG(seed)
+    total_nodes = pieces * nodes_per_piece
+    total_wires = pieces * wires_per_piece
+    node_pieces = {
+        p: list(range(p * nodes_per_piece, (p + 1) * nodes_per_piece))
+        for p in range(pieces)
+    }
+    wire_in = np.empty(total_wires, dtype=np.int64)
+    wire_out = np.empty(total_wires, dtype=np.int64)
+    for p in range(pieces):
+        for w in range(wires_per_piece):
+            idx = p * wires_per_piece + w
+            wire_in[idx] = p * nodes_per_piece + rng.randint(
+                0, nodes_per_piece - 1)
+            if pieces > 1 and rng.random() < cross_fraction:
+                q = rng.randint(0, pieces - 2)
+                q = q if q < p else q + 1
+                wire_out[idx] = q * nodes_per_piece + rng.randint(
+                    0, nodes_per_piece - 1)
+            else:
+                wire_out[idx] = p * nodes_per_piece + rng.randint(
+                    0, nodes_per_piece - 1)
+    return wire_in, wire_out, node_pieces
+
+
+def _calc_currents(point, wires_arg, ghost_nodes, wire_in, wire_out,
+                   resistance):
+    cur = wires_arg["current"]
+    volt = ghost_nodes["voltage"]
+    lo = wires_arg.region.index_space.rect.lo[0]
+    hi = wires_arg.region.index_space.rect.hi[0]
+    for w in range(lo, hi + 1):
+        cur[w] = (volt[int(wire_in[w])] - volt[int(wire_out[w])]) / resistance
+
+
+def _distribute_charge(point, wires_arg, ghost_nodes, wire_in, wire_out, dt):
+    cur = wires_arg["current"]
+    charge = ghost_nodes["charge"]
+    lo = wires_arg.region.index_space.rect.lo[0]
+    hi = wires_arg.region.index_space.rect.hi[0]
+    for w in range(lo, hi + 1):
+        charge.reduce(int(wire_in[w]), -dt * cur[w])
+        charge.reduce(int(wire_out[w]), dt * cur[w])
+
+
+def _update_voltages(point, nodes_arg, capacitance):
+    volt = nodes_arg["voltage"]
+    charge = nodes_arg["charge"]
+    for p in sorted(nodes_arg.region.index_space.point_set()):
+        volt[p] = volt[p] + charge[p] / capacitance
+        charge[p] = 0.0
+
+
+def circuit_control(ctx, pieces: int = 4, nodes_per_piece: int = 8,
+                    wires_per_piece: int = 12, steps: int = 3,
+                    resistance: float = 10.0, capacitance: float = 2.0,
+                    dt: float = 0.1, seed: int = 7):
+    """The circuit simulation as a replicable control program.
+
+    The node partition is *data dependent* (derived from the generated
+    graph), exercising dynamic partitioning under DCR.  Returns the nodes
+    region.
+    """
+    wire_in, wire_out, node_pieces = generate_circuit(
+        pieces, nodes_per_piece, wires_per_piece, seed=seed)
+    nfs = ctx.create_field_space([("voltage", "f8"), ("charge", "f8")],
+                                 "Node")
+    wfs = ctx.create_field_space([("current", "f8")], "Wire")
+    nodes = ctx.create_region(
+        ctx.create_index_space(pieces * nodes_per_piece, "nspace"), nfs,
+        "nodes")
+    wires = ctx.create_region(
+        ctx.create_index_space(pieces * wires_per_piece, "wspace"), wfs,
+        "wires")
+    owned = ctx.partition_by_points(nodes, node_pieces, disjoint=True,
+                                    name="owned_nodes")
+    wire_tiles = ctx.partition_equal(wires, pieces, name="wire_tiles")
+    # Ghost pieces via dependent partitioning (the real Legion circuit
+    # idiom): the image of each wire piece's endpoint pointers — every
+    # node a local wire touches, owned or not.
+    ghost = ctx.partition_by_image(
+        nodes, wire_tiles,
+        lambda w: [(int(wire_in[w[0]]),), (int(wire_out[w[0]]),)],
+        name="ghost_nodes")
+
+    ctx.fill(nodes, "charge", 0.0)
+    ctx.fill(wires, "current", 0.0)
+    rng = ctx.rng(seed, stream=1)
+    init_v = [rng.random() for _ in range(pieces * nodes_per_piece)]
+    # Initialize voltages piece by piece through tasks (keeps all data flow
+    # inside the runtime).
+    ctx.fill(nodes, "voltage", 0.0)
+
+    def _init(point, nodes_arg, values):
+        volt = nodes_arg["voltage"]
+        for p in sorted(nodes_arg.region.index_space.point_set()):
+            volt[p] = values[p[0]]
+
+    dom = list(range(pieces))
+    ctx.index_launch(_init, dom, [(owned, "voltage", "rw")],
+                     args=(init_v,))
+    for _ in range(steps):
+        ctx.index_launch(
+            _calc_currents, dom,
+            [(wire_tiles, "current", "rw"), (ghost, "voltage", "ro")],
+            args=(wire_in, wire_out, resistance))
+        ctx.index_launch(
+            _distribute_charge, dom,
+            [(wire_tiles, "current", "ro"), (ghost, "charge", "red<+>")],
+            args=(wire_in, wire_out, dt))
+        ctx.index_launch(
+            _update_voltages, dom,
+            [(owned, ["voltage", "charge"], "rw")],
+            args=(capacitance,))
+    return nodes
+
+
+def reference_circuit(pieces: int = 4, nodes_per_piece: int = 8,
+                      wires_per_piece: int = 12, steps: int = 3,
+                      resistance: float = 10.0, capacitance: float = 2.0,
+                      dt: float = 0.1, seed: int = 7) -> np.ndarray:
+    """Plain-NumPy reference of :func:`circuit_control` (voltages)."""
+    wire_in, wire_out, _ = generate_circuit(
+        pieces, nodes_per_piece, wires_per_piece, seed=seed)
+    rng = CounterRNG(seed, stream=1)
+    volt = np.array([rng.random()
+                     for _ in range(pieces * nodes_per_piece)])
+    charge = np.zeros_like(volt)
+    for _ in range(steps):
+        current = (volt[wire_in] - volt[wire_out]) / resistance
+        charge2 = charge.copy()
+        np.add.at(charge2, wire_in, -dt * current)
+        np.add.at(charge2, wire_out, dt * current)
+        volt = volt + charge2 / capacitance
+        charge = np.zeros_like(volt)
+    return volt

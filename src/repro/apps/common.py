@@ -1,0 +1,96 @@
+"""Shared helpers for building application operation streams.
+
+Apps build *real* region trees and :class:`repro.core.Operation` streams so
+the DCR model can run the genuine coarse analysis at full machine scale.
+Because the coarse stage never looks below partition granularity, regions
+can use *proxy geometry*: a few index points per tile, enough for aliasing
+relations (disjoint tiling vs. overlapping ghosts) to be exact, while the
+``nbytes``/``duration`` metadata carries the real problem size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core import (BLOCKED, CoarseRequirement, IDENTITY_PROJECTION,
+                    Operation)
+from ..oracle import Privilege, READ_ONLY, READ_WRITE, WRITE_DISCARD
+from ..regions import FieldSpace, IndexSpace, LogicalRegion, Partition
+
+__all__ = ["grid_dims", "TiledField", "group_op", "single_op"]
+
+
+def grid_dims(n: int, dims: int) -> Tuple[int, ...]:
+    """Near-cubic factorization of ``n`` into ``dims`` factors.
+
+    Used to arrange tiles in 2-D/3-D the way the apps' meshes are blocked;
+    the residual factor lands in the first dimension.
+    """
+    if n < 1:
+        raise ValueError("need at least one tile")
+    out = []
+    remaining = n
+    for d in range(dims, 1, -1):
+        f = max(1, round(remaining ** (1.0 / d)))
+        while remaining % f != 0:
+            f -= 1
+        out.append(f)
+        remaining //= f
+    out.append(remaining)
+    out.sort()
+    return tuple(reversed(out))
+
+
+@dataclass
+class TiledField:
+    """A root region with a disjoint tile partition and optional ghosts.
+
+    Proxy geometry: ``cells_per_tile`` points along each tiled stripe; the
+    default of 4 keeps ghost halos (1 cell) strictly smaller than tiles so
+    aliasing is the same as at full resolution.
+    """
+
+    region: LogicalRegion
+    tiles: Partition
+    ghost: Optional[Partition] = None
+
+    @classmethod
+    def build(cls, name: str, fields: Sequence[Tuple[str, object]],
+              num_tiles: int, cells_per_tile: int = 4,
+              with_ghost: bool = True) -> "TiledField":
+        fs = FieldSpace(fields, name=f"{name}_fields")
+        space = IndexSpace.line(num_tiles * cells_per_tile, name=f"{name}_is")
+        region = LogicalRegion(space, fs, name=name)
+        tiles = region.partition_equal(num_tiles, name=f"{name}_tiles")
+        ghost = (region.partition_ghost(tiles, 1, name=f"{name}_ghost")
+                 if with_ghost else None)
+        return cls(region=region, tiles=tiles, ghost=ghost)
+
+    def field(self, name: str):
+        return self.region.field_space[name]
+
+    def fieldset(self, *names: str) -> frozenset:
+        return frozenset(self.region.field_space[n] for n in names)
+
+
+def group_op(name: str, domain_size: int,
+             reqs: Sequence[Tuple[Partition, frozenset, Privilege]],
+             sharding=BLOCKED) -> Operation:
+    """A group launch over ``range(domain_size)`` with identity projection."""
+    return Operation(
+        "task",
+        [CoarseRequirement(part, fields, priv, IDENTITY_PROJECTION)
+         for part, fields, priv in reqs],
+        launch_domain=list(range(domain_size)), sharding=sharding, name=name)
+
+
+def single_op(name: str, reqs: Sequence[Tuple[LogicalRegion, frozenset,
+                                              Privilege]],
+              owner_shard: int = 0) -> Operation:
+    return Operation(
+        "task",
+        [CoarseRequirement(region, fields, priv)
+         for region, fields, priv in reqs],
+        owner_shard=owner_shard, name=name)

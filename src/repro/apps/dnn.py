@@ -1,0 +1,124 @@
+"""Shared DNN-training operation-stream builder (Figs. 15 and 18).
+
+Builds one training run as a SimProgram from a layer list and a FlexFlow
+parallelization strategy: forward chain, backward chain, per-layer gradient
+all-reduce across data-parallel replicas (overlappable with other layers'
+backward work, as Horovod/Legion both achieve), optimizer update, repeat.
+
+The real region structure (weights/activations/gradients regions with
+per-GPU tile partitions) is attached so the DCR model derives fences from
+the genuine coarse analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..flexflow.strategy import GPU_FLOPS, LayerSpec, Strategy
+from ..oracle import READ_ONLY, READ_WRITE
+from ..sim.machine import MachineSpec, ProcKind
+from ..sim.workload import DepSpec, SimOp, SimProgram
+from .common import TiledField, group_op
+
+__all__ = ["build_training_program"]
+
+
+def build_training_program(name: str, layers: Sequence[LayerSpec],
+                           strategy: Strategy, machine: MachineSpec,
+                           batch_per_gpu: int = 64, iterations: int = 4,
+                           warmup: int = 1, tracing: bool = True,
+                           gpu_flops: float = GPU_FLOPS) -> SimProgram:
+    """One multi-iteration training run under a parallelization strategy."""
+    gpus = max(1, machine.total_procs(ProcKind.GPU))
+    acts = TiledField.build(f"{name}_acts", [("a", "f4"), ("g", "f4")],
+                            gpus, with_ghost=False)
+    weights = [
+        TiledField.build(f"{name}_w{i}", [("w", "f4"), ("dw", "f4")],
+                         gpus, with_ghost=False)
+        for i in range(len(layers))
+    ]
+    prog = SimProgram(name, scr_applicable=True)
+    prog.work_per_iteration = batch_per_gpu * gpus   # samples per iteration
+
+    last_update: Optional[int] = None
+    for it in range(warmup + iterations):
+        timed = it >= warmup
+        start = prog.begin_iteration() if timed else None
+        traced = tracing and it >= 1
+        fwd_idx: List[int] = []
+        # The new iteration's forward pass consumes the weights the
+        # previous iteration's optimizer produced.
+        prev: Optional[int] = last_update
+
+        for i, layer in enumerate(layers):
+            m_deg = strategy.model_degree(i)
+            compute = (batch_per_gpu * m_deg * layer.flops_per_sample
+                       / m_deg / gpu_flops)
+            op = group_op(
+                f"{name}.fwd{i}[{it}]", gpus,
+                [(acts.tiles, acts.fieldset("a"), READ_WRITE),
+                 (weights[i].tiles, weights[i].fieldset("w"), READ_ONLY)])
+            deps = []
+            if prev is not None:
+                if m_deg > 1:
+                    # Model-parallel layer: gather the previous layer's
+                    # activations from the whole shard group (NVLink within
+                    # a node, interconnect when the group spans nodes).
+                    abytes = (4.0 * batch_per_gpu * m_deg
+                              * layer.activation_size)
+                    deps.append(DepSpec(prev, "halo", abytes,
+                                        (-1, 1, -(m_deg - 1), m_deg - 1)))
+                else:
+                    deps.append(DepSpec(
+                        prev, "pointwise",
+                        4.0 * batch_per_gpu * layer.activation_size))
+            prev = prog.add(SimOp(op.name, gpus, compute, deps=deps,
+                                  proc_kind=ProcKind.GPU, operation=op,
+                                  traced=traced))
+            fwd_idx.append(prev)
+
+        # Backward chain first; gradient all-reduces are launched as each
+        # layer's gradients become available, but the (cheap) optimizer
+        # updates are issued after the chain so the collectives overlap the
+        # remaining backward compute — Horovod's tensor-fusion behavior and
+        # what Legion's event graph achieves automatically.
+        bwd_done: List[int] = [0] * len(layers)
+        for i in reversed(range(len(layers))):
+            layer = layers[i]
+            m_deg = strategy.model_degree(i)
+            compute = (2.0 * batch_per_gpu * m_deg * layer.flops_per_sample
+                       / m_deg / gpu_flops)
+            op = group_op(
+                f"{name}.bwd{i}[{it}]", gpus,
+                [(acts.tiles, acts.fieldset("a", "g"), READ_WRITE),
+                 (weights[i].tiles, weights[i].fieldset("dw"), READ_WRITE)])
+            prev = prog.add(SimOp(op.name, gpus, compute,
+                                  deps=[DepSpec(prev, "pointwise", 0.0)],
+                                  proc_kind=ProcKind.GPU, operation=op,
+                                  traced=traced))
+            bwd_done[i] = prev
+        for i in reversed(range(len(layers))):
+            layer = layers[i]
+            m_deg = strategy.model_degree(i)
+            d_deg = max(1, gpus // m_deg)
+            grad_bytes = 4.0 * layer.params / m_deg
+            gi = bwd_done[i]
+            if d_deg > 1:
+                rop = group_op(
+                    f"{name}.allreduce{i}[{it}]", gpus,
+                    [(weights[i].tiles, weights[i].fieldset("dw"),
+                      READ_WRITE)])
+                gi = prog.add(SimOp(rop.name, gpus, 1e-6,
+                                    deps=[DepSpec(gi, "all", grad_bytes)],
+                                    proc_kind=ProcKind.GPU, operation=rop,
+                                    traced=traced))
+            uop = group_op(
+                f"{name}.update{i}[{it}]", gpus,
+                [(weights[i].tiles, weights[i].fieldset("w", "dw"),
+                  READ_WRITE)])
+            last_update = prog.add(SimOp(
+                uop.name, gpus, 1e-6, deps=[DepSpec(gi, "pointwise", 0.0)],
+                proc_kind=ProcKind.GPU, operation=uop, traced=traced))
+        if timed:
+            prog.end_iteration(start)  # type: ignore[arg-type]
+    return prog

@@ -1,0 +1,225 @@
+"""Functional Pennant: staggered-grid Lagrangian hydrodynamics, for real.
+
+`repro.apps.pennant` models Pennant's *performance* (Fig. 14); this module
+implements the actual physics at mini scale so the runtime's correctness
+can be checked on a genuinely Pennant-shaped program: a staggered mesh
+(cell-centered density/energy/pressure, node-centered position/velocity),
+per-cycle phases that exchange boundary data between zone and point
+partitions, and a global CFL time-step reduction read by the control
+program — the structure whose dt collective Fig. 14 discusses.
+
+The 1-D scheme is the classic von Neumann-Richtmyer staggered-grid method
+(Pennant's ancestor), run here on the Sod shock tube.  A pure-NumPy
+reference allows exact comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..runtime.runtime import Context
+
+__all__ = ["pennant_control", "reference_pennant", "sod_initial_state",
+           "GAMMA"]
+
+GAMMA = 1.4
+CFL = 0.3
+Q_VISC = 1.5          # quadratic artificial-viscosity coefficient
+
+
+def sod_initial_state(nzones: int) -> Tuple[np.ndarray, np.ndarray,
+                                            np.ndarray]:
+    """Sod shock tube: (x_points, rho_zones, e_zones)."""
+    x = np.linspace(0.0, 1.0, nzones + 1)
+    rho = np.where(np.arange(nzones) < nzones // 2, 1.0, 0.125)
+    p = np.where(np.arange(nzones) < nzones // 2, 1.0, 0.1)
+    e = p / ((GAMMA - 1.0) * rho)       # specific internal energy
+    return x, rho, e
+
+
+# -- task bodies --------------------------------------------------------------
+
+
+def _calc_eos(point, zones_arg):
+    """p = (gamma-1) rho e, plus sound speed for the dt estimate."""
+    z = zones_arg
+    rho, e = z["rho"].view, z["e"].view
+    z["p"].view[...] = (GAMMA - 1.0) * rho * e
+    z["cs"].view[...] = np.sqrt(GAMMA * np.maximum(z["p"].view, 1e-30)
+                                / np.maximum(rho, 1e-30))
+
+
+def _calc_forces_adv(point, points_arg, zghost_arg, dt):
+    """Accelerate and advance the tile's points from neighbor-zone state.
+
+    Point j feels the pressure (+ artificial viscosity) difference between
+    zones j-1 and j; domain boundary points are held fixed (reflecting
+    walls), matching the reference.
+    """
+    pts = points_arg
+    x, u, m = pts["x"].view, pts["u"].view, pts["m"].view
+    g = zghost_arg
+    p = g["p"].view
+    q = g["q"].view
+    glo = g.region.index_space.rect.lo[0]
+    plo = pts.region.index_space.rect.lo[0]
+    total_pts = pts.region.root().index_space.volume
+    for i in range(x.shape[0]):
+        j = plo + i                       # global point id
+        if j == 0 or j == total_pts - 1:
+            u[i] = 0.0
+            continue
+        left = (p[j - 1 - glo] + q[j - 1 - glo])
+        right = (p[j - glo] + q[j - glo])
+        force = left - right
+        u[i] += dt * force / m[i]
+        x[i] += dt * u[i]
+
+
+def _calc_work_rho(point, zones_arg, pghost_arg, dt):
+    """Update zone volume, density, artificial viscosity, and energy."""
+    z = zones_arg
+    rho, e = z["rho"].view, z["e"].view
+    p, q = z["p"].view, z["q"].view
+    zm = z["zm"].view
+    g = pghost_arg
+    gx, gu = g["x"].view, g["u"].view
+    glo = g.region.index_space.rect.lo[0]
+    zlo = z.region.index_space.rect.lo[0]
+    for i in range(rho.shape[0]):
+        j = zlo + i                       # global zone id
+        xl, xr = gx[j - glo], gx[j + 1 - glo]
+        ul, ur = gu[j - glo], gu[j + 1 - glo]
+        vol = max(xr - xl, 1e-30)
+        new_rho = zm[i] / vol
+        du = ur - ul
+        q[i] = Q_VISC * new_rho * du * du if du < 0.0 else 0.0
+        # Internal-energy update: pdV work with the *pre-update* p + q.
+        e[i] -= (p[i] + q[i]) * du * dt / zm[i]
+        rho[i] = new_rho
+
+
+def _calc_dt(point, zones_arg, pghost_arg):
+    """This tile's CFL-limited dt candidate (returned as a future)."""
+    z = zones_arg
+    cs = z["cs"].view
+    g = pghost_arg
+    gx = g["x"].view
+    glo = g.region.index_space.rect.lo[0]
+    zlo = z.region.index_space.rect.lo[0]
+    best = np.inf
+    for i in range(cs.shape[0]):
+        j = zlo + i
+        width = max(gx[j + 1 - glo] - gx[j - glo], 1e-30)
+        best = min(best, CFL * width / max(cs[i], 1e-30))
+    return float(best)
+
+
+# -- the control program ------------------------------------------------------
+
+
+def pennant_control(ctx: Context, nzones: int = 24, tiles: int = 4,
+                    cycles: int = 8, dt_init: float = 1e-3):
+    """Run ``cycles`` of staggered-grid hydro; returns (zones, points).
+
+    Each cycle: EOS -> point force/advect (reads zone ghosts) -> zone
+    update (reads point ghosts) -> per-tile dt candidates reduced through a
+    future map — the same global collective structure as full Pennant.
+    """
+    x0, rho0, e0 = sod_initial_state(nzones)
+    zfs = ctx.create_field_space(
+        [("rho", "f8"), ("e", "f8"), ("p", "f8"), ("q", "f8"),
+         ("cs", "f8"), ("zm", "f8")], "Zone")
+    pfs = ctx.create_field_space([("x", "f8"), ("u", "f8"), ("m", "f8")],
+                                 "Point")
+    zones = ctx.create_region(ctx.create_index_space(nzones), zfs, "zones")
+    points = ctx.create_region(ctx.create_index_space(nzones + 1), pfs,
+                               "points")
+    ztiles = ctx.partition_equal(zones, tiles, name="ztiles")
+    ptiles = ctx.partition_equal(points, tiles, name="ptiles")
+    zghost = ctx.partition_ghost(zones, ztiles, 1, name="zghost")
+    pghost = ctx.partition_ghost(points, ptiles, 1, name="pghost")
+
+    ctx.fill(zones, ["q", "cs", "p"], 0.0)
+    ctx.fill(points, "u", 0.0)
+
+    def _init(p, z_arg, p_arg, xs, rhos, es):
+        zlo = z_arg.region.index_space.rect.lo[0]
+        for i in range(z_arg["rho"].view.shape[0]):
+            j = zlo + i
+            z_arg["rho"].view[i] = rhos[j]
+            z_arg["e"].view[i] = es[j]
+            z_arg["zm"].view[i] = rhos[j] * (xs[j + 1] - xs[j])
+        plo = p_arg.region.index_space.rect.lo[0]
+        for i in range(p_arg["x"].view.shape[0]):
+            j = plo + i
+            p_arg["x"].view[i] = xs[j]
+            # Point mass: half of each adjacent zone's mass.
+            m = 0.0
+            if j > 0:
+                m += 0.5 * rhos[j - 1] * (xs[j] - xs[j - 1])
+            if j < len(rhos):
+                m += 0.5 * rhos[j] * (xs[j + 1] - xs[j])
+            p_arg["m"].view[i] = m
+
+    dom = list(range(tiles))
+    ctx.index_launch(_init, dom,
+                     [(ztiles, ["rho", "e", "zm"], "rw"),
+                      (ptiles, ["x", "m"], "rw")],
+                     args=(tuple(x0), tuple(rho0), tuple(e0)))
+
+    dt = dt_init
+    for _cycle in range(cycles):
+        ctx.index_launch(_calc_eos, dom,
+                         [(ztiles, ["rho", "e", "p", "cs"], "rw")])
+        ctx.index_launch(_calc_forces_adv, dom,
+                         [(ptiles, ["x", "u", "m"], "rw"),
+                          (zghost, ["p", "q"], "ro")],
+                         args=(dt,))
+        ctx.index_launch(_calc_work_rho, dom,
+                         [(ztiles, ["rho", "e", "p", "q", "zm"], "rw"),
+                          (pghost, ["x", "u"], "ro")],
+                         args=(dt,))
+        fm = ctx.index_launch(_calc_dt, dom,
+                              [(ztiles, ["cs"], "ro"),
+                               (pghost, ["x"], "ro")])
+        # The global dt reduction every shard reads — Fig. 14's collective.
+        dt = min(fm.reduce(min), 2.0 * dt)
+    return zones, points
+
+
+def reference_pennant(nzones: int = 24, cycles: int = 8,
+                      dt_init: float = 1e-3
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pure-NumPy reference: returns (rho, e, x) after ``cycles``."""
+    x, rho, e = sod_initial_state(nzones)
+    x = x.copy()
+    u = np.zeros(nzones + 1)
+    zm = rho * np.diff(x)
+    pm = np.zeros(nzones + 1)
+    pm[:-1] += 0.5 * zm
+    pm[1:] += 0.5 * zm
+    q = np.zeros(nzones)
+    dt = dt_init
+    for _ in range(cycles):
+        p = (GAMMA - 1.0) * rho * e
+        cs = np.sqrt(GAMMA * np.maximum(p, 1e-30) / np.maximum(rho, 1e-30))
+        # Point update.
+        force = (p[:-1] + q[:-1]) - (p[1:] + q[1:])
+        u[1:-1] += dt * force / pm[1:-1]
+        u[0] = u[-1] = 0.0
+        x[1:-1] += dt * u[1:-1]
+        # Zone update.
+        vol = np.maximum(np.diff(x), 1e-30)
+        new_rho = zm / vol
+        du = np.diff(u)
+        q = np.where(du < 0.0, Q_VISC * new_rho * du * du, 0.0)
+        e -= (p + np.where(du < 0.0, Q_VISC * new_rho * du * du, 0.0)) \
+            * du * dt / zm
+        rho = new_rho
+        width = np.maximum(np.diff(x), 1e-30)
+        dt = min(float(np.min(CFL * width / np.maximum(cs, 1e-30))),
+                 2.0 * dt)
+    return rho, e, x

@@ -1,0 +1,178 @@
+"""2-D stencil benchmark (paper §5.1, Fig. 12).
+
+An implicitly parallel nearest-neighbor stencil: each iteration every tile
+updates its cells from the 4 neighboring tiles' ghost cells.  Written with
+two buffers (``a``/``b``) swapped between iterations so each group launch is
+pairwise independent — the standard Regent stencil structure [6].
+
+Two artifacts:
+
+* :func:`build_program` — the performance-layer operation stream (real
+  regions + partitions for the coarse analysis; 2-D halo pattern hints for
+  execution).  The trace body spans two iterations because the buffer swap
+  gives the op stream period 2.
+* :func:`stencil2d_control` — a functional control program for the real
+  runtime, used by correctness tests and ``examples/stencil2d.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..oracle import READ_ONLY, READ_WRITE
+from ..sim.machine import MachineSpec, ProcKind
+from ..sim.workload import DepSpec, SimOp, SimProgram
+from .common import TiledField, grid_dims, group_op
+
+__all__ = ["build_program", "stencil2d_control", "stencil2d_tiled_control",
+           "reference_stencil2d", "CELLS_PER_GPU", "SECONDS_PER_CELL",
+           "STRONG_TOTAL_CELLS"]
+
+# Weak-scaling problem size per GPU and per-cell update cost: ~1.25e9
+# cells/s per node (Fig. 12a's y-axis, x1e8) with ~1 ms task grain, which is
+# the regime where the centralized controller's collapse point lands inside
+# the plotted node range exactly as in the paper.
+CELLS_PER_GPU = 1_250_000
+SECONDS_PER_CELL = 8.0e-10
+# Strong-scaling default problem size: small enough that runtime overheads
+# become visible inside the 1-512 node range (paper: SCR degrades past 128
+# nodes, DCR past 64).
+STRONG_TOTAL_CELLS = 8_000_000
+
+
+def build_program(machine: MachineSpec, *, weak: bool = True,
+                  total_cells: Optional[int] = None, iterations: int = 10,
+                  warmup: int = 2, tracing: bool = True) -> SimProgram:
+    """The Fig. 12 stencil as a simulated operation stream.
+
+    Weak scaling fixes :data:`CELLS_PER_GPU` per GPU; strong scaling divides
+    ``total_cells`` across GPUs.
+    """
+    num_tiles = max(1, machine.total_procs(ProcKind.GPU))
+    if weak:
+        cells_per_tile = CELLS_PER_GPU
+        total = cells_per_tile * num_tiles
+    else:
+        total = total_cells if total_cells is not None else STRONG_TOTAL_CELLS
+        cells_per_tile = max(1, total // num_tiles)
+    grid = grid_dims(num_tiles, 2)
+    duration = cells_per_tile * SECONDS_PER_CELL
+    # Ghost exchange: one tile edge of doubles in each of 4 directions.
+    edge = int(math.sqrt(cells_per_tile))
+    halo_bytes = edge * 8.0
+    offsets = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+    field = TiledField.build("cells", [("a", "f8"), ("b", "f8")], num_tiles)
+    prog = SimProgram(f"stencil2d-{'weak' if weak else 'strong'}",
+                      scr_applicable=True)
+    prog.work_per_iteration = total
+
+    prev_idx: Optional[int] = None
+    for it in range(warmup + iterations):
+        timed = it >= warmup
+        start = prog.begin_iteration() if timed else None
+        read_f, write_f = ("a", "b") if it % 2 == 0 else ("b", "a")
+        op = group_op(
+            f"stencil[{it}]", num_tiles,
+            [(field.tiles, field.fieldset(write_f), READ_WRITE),
+             (field.ghost, field.fieldset(read_f), READ_ONLY)])
+        deps = []
+        if prev_idx is not None:
+            deps.append(DepSpec(prev_idx, "halo", halo_bytes, offsets))
+        prev_idx = prog.add(SimOp(
+            f"stencil[{it}]", num_tiles, duration, deps=deps,
+            proc_kind=ProcKind.GPU, operation=op, grid=grid,
+            traced=tracing and it >= 2))
+        if timed:
+            prog.end_iteration(start)  # type: ignore[arg-type]
+    return prog
+
+
+# ---------------------------------------------------------------------------
+# Functional control program (real runtime)
+# ---------------------------------------------------------------------------
+
+def _stencil_task(point, out_arg, ghost_arg, write_f: str, read_f: str):
+    """5-point stencil over one tile using the ghost view."""
+    out = out_arg[write_f].view
+    src = ghost_arg[read_f].view
+    orect = out_arg.region.index_space.rect
+    grect = ghost_arg.region.index_space.rect
+    oy = orect.lo[0] - grect.lo[0]
+    ox = orect.lo[1] - grect.lo[1]
+    h, w = orect.extents
+    padded = np.zeros((h + 2, w + 2))
+    gy0, gx0 = oy - 1, ox - 1
+    for dy in range(h + 2):
+        sy = gy0 + dy
+        if not 0 <= sy < src.shape[0]:
+            continue
+        x_lo = max(0, gx0)
+        x_hi = min(src.shape[1], gx0 + w + 2)
+        padded[dy, x_lo - gx0:x_hi - gx0] = src[sy, x_lo:x_hi]
+    out[...] = 0.25 * (padded[:-2, 1:-1] + padded[2:, 1:-1]
+                       + padded[1:-1, :-2] + padded[1:-1, 2:])
+
+
+def stencil2d_control(ctx, n: int = 16, tiles: int = 4, steps: int = 4,
+                      init: float = 1.0):
+    """Jacobi-style 2-D stencil on an n x n grid with ``tiles`` row blocks.
+
+    Returns the region so callers can inspect final field contents.
+    """
+    fs = ctx.create_field_space([("a", "f8"), ("b", "f8")], "Cell")
+    grid = ctx.create_index_space((n, n), "grid")
+    cells = ctx.create_region(grid, fs, "cells")
+    owned = ctx.partition_equal(cells, tiles, dim=0, name="owned")
+    ghost = ctx.partition_ghost(cells, owned, 1, dim=0, name="ghost")
+    ctx.fill(cells, ["a", "b"], init)
+    dom = list(range(tiles))
+    for t in range(steps):
+        read_f, write_f = ("a", "b") if t % 2 == 0 else ("b", "a")
+        ctx.index_launch(
+            _stencil_task, dom,
+            [(owned, write_f, "rw"), (ghost, read_f, "ro")],
+            args=(write_f, read_f))
+    return cells
+
+
+def reference_stencil2d(n: int = 16, steps: int = 4,
+                        init: float = 1.0) -> np.ndarray:
+    """Plain-NumPy reference for the functional control program."""
+    a = np.full((n, n), init)
+    b = np.zeros_like(a)
+    for t in range(steps):
+        src, dst = (a, b) if t % 2 == 0 else (b, a)
+        padded = np.zeros((n + 2, n + 2))
+        padded[1:-1, 1:-1] = src
+        dst[...] = 0.25 * (padded[:-2, 1:-1] + padded[2:, 1:-1]
+                           + padded[1:-1, :-2] + padded[1:-1, 2:])
+    return a if steps % 2 == 0 else b
+
+
+def stencil2d_tiled_control(ctx, n: int = 16, tx: int = 2, ty: int = 2,
+                            steps: int = 4, init: float = 1.0):
+    """The same Jacobi stencil with a full 2-D tile decomposition.
+
+    Tiles are (i, j) colors of an n-D ``partition_tiles``; ghosts grow in
+    both dimensions, so corner and edge exchanges all appear — the launch
+    domain is the 2-D color space, exercising tuple launch points end to
+    end (sharding, projection, hashing).
+    """
+    fs = ctx.create_field_space([("a", "f8"), ("b", "f8")], "Cell")
+    grid = ctx.create_index_space((n, n), "grid")
+    cells = ctx.create_region(grid, fs, "cells")
+    owned = ctx.partition_tiles(cells, (tx, ty), name="owned2d")
+    ghost = ctx.partition_ghost(cells, owned, 1, name="ghost2d")
+    ctx.fill(cells, ["a", "b"], init)
+    dom = [(i, j) for i in range(tx) for j in range(ty)]
+    for t in range(steps):
+        read_f, write_f = ("a", "b") if t % 2 == 0 else ("b", "a")
+        ctx.index_launch(
+            _stencil_task, dom,
+            [(owned, write_f, "rw"), (ghost, read_f, "ro")],
+            args=(write_f, read_f))
+    return cells

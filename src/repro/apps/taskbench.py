@@ -1,0 +1,143 @@
+"""Task Bench and METG(50%) (paper §5.5, Fig. 21).
+
+Task Bench (Slaughter et al., SC'20) measures runtime overhead via the
+*minimum effective task granularity*: the smallest per-task duration at
+which the system still achieves 50% efficiency (useful work / elapsed x
+processors).  Higher runtime overhead => longer tasks needed => higher
+METG(50%).
+
+The Fig. 21 configuration: a 1-D stencil dependence pattern run as **four
+independent copies** simultaneously (a modicum of task parallelism so the
+runtime can hide latency), swept over task granularity, for the cross of
+{tracing, no tracing} x {determinism checks (Safe), no checks}.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from ..models.dcr import DCRModel
+from ..oracle import READ_ONLY, READ_WRITE
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.machine import MachineSpec, ProcKind
+from ..sim.workload import DepSpec, SimOp, SimProgram
+from .common import TiledField, group_op
+
+__all__ = ["build_program", "efficiency", "metg", "PATTERNS",
+           "pattern_offsets"]
+
+
+def pattern_offsets(pattern: str, step: int, width: int) -> tuple:
+    """Task Bench dependence patterns: step-dependent neighbor offsets.
+
+    The patterns follow the Task Bench paper's taxonomy (each task at step
+    t+1 consumes these offsets of step t):
+
+    * ``trivial``   — no dependences at all;
+    * ``no_comm``   — each task depends only on its own predecessor;
+    * ``stencil_1d``— left/right neighbors (the Fig. 21 configuration);
+    * ``fft``       — butterfly: partner at distance 2^(t mod log2(width));
+    * ``tree``      — binomial combining tree (distance doubles per step);
+    * ``spread``    — a few long-range dependences scattered over the row.
+    """
+    if pattern == "trivial":
+        return None                      # no dependence at all
+    if pattern == "no_comm":
+        return ()
+    if pattern == "stencil_1d":
+        return (-1, 1)
+    if pattern == "fft":
+        span = max(1, width.bit_length() - 1)
+        d = 1 << (step % span)
+        return (-d, d)
+    if pattern == "tree":
+        d = 1 << min(step, max(0, width.bit_length() - 2))
+        return (-d, d)
+    if pattern == "spread":
+        return (-1, width // 3, 2 * width // 3)
+    raise ValueError(f"unknown Task Bench pattern {pattern!r}")
+
+
+PATTERNS = ("trivial", "no_comm", "stencil_1d", "fft", "tree", "spread")
+
+
+def build_program(machine: MachineSpec, task_granularity: float, *,
+                  copies: int = 4, steps: int = 12, warmup: int = 2,
+                  tracing: bool = True,
+                  pattern: str = "stencil_1d") -> SimProgram:
+    """``copies`` interleaved task chains with the given task duration and
+    Task Bench dependence pattern."""
+    tiles_n = max(1, machine.nodes)    # one task per node per chain step
+    fields: List[TiledField] = [
+        TiledField.build(f"tb{c}", [("a", "f8"), ("b", "f8")], tiles_n)
+        for c in range(copies)
+    ]
+    prog = SimProgram(f"taskbench-{pattern}", scr_applicable=True)
+    # Useful work per timed iteration: copies x tiles tasks of length g.
+    prog.work_per_iteration = copies * tiles_n * task_granularity
+
+    prev: List[Optional[int]] = [None] * copies
+    for it in range(warmup + steps):
+        timed = it >= warmup
+        start = prog.begin_iteration() if timed else None
+        traced = tracing and it >= 2
+        read_f, write_f = ("a", "b") if it % 2 == 0 else ("b", "a")
+        offsets = pattern_offsets(pattern, it, tiles_n)
+        for c, field in enumerate(fields):
+            assert field.ghost is not None
+            if offsets is None or offsets == ():
+                # Local-only data flow: the op touches only its own tile.
+                reqs = [(field.tiles, field.fieldset(write_f), READ_WRITE),
+                        (field.tiles, field.fieldset(read_f), READ_ONLY)]
+            else:
+                reqs = [(field.tiles, field.fieldset(write_f), READ_WRITE),
+                        (field.ghost, field.fieldset(read_f), READ_ONLY)]
+            op = group_op(f"tb{c}[{it}]", tiles_n, reqs)
+            deps = []
+            if prev[c] is not None and offsets is not None:
+                deps.append(DepSpec(prev[c], "halo", 1024.0,
+                                    offsets or (0,)))
+            prev[c] = prog.add(SimOp(
+                op.name, tiles_n, task_granularity, deps=deps,
+                proc_kind=ProcKind.CPU, operation=op, traced=traced))
+        if timed:
+            prog.end_iteration(start)  # type: ignore[arg-type]
+    return prog
+
+
+def efficiency(machine: MachineSpec, task_granularity: float, *,
+               tracing: bool, safe: bool,
+               costs: CostModel = DEFAULT_COSTS, copies: int = 4,
+               pattern: str = "stencil_1d") -> float:
+    """Useful-work fraction achieved at the given granularity."""
+    prog = build_program(machine, task_granularity, copies=copies,
+                         tracing=tracing, pattern=pattern)
+    model = DCRModel(machine, costs, safe_checks=safe, tracing=tracing)
+    result = model.run(prog)
+    if result.iteration_time <= 0:
+        return 1.0
+    # One processor per node runs `copies` tasks per iteration.
+    ideal = copies * task_granularity
+    return min(1.0, ideal / result.iteration_time)
+
+
+def metg(machine: MachineSpec, *, tracing: bool, safe: bool,
+         target: float = 0.5, costs: CostModel = DEFAULT_COSTS,
+         lo: float = 1e-7, hi: float = 1e-1, iters: int = 24,
+         pattern: str = "stencil_1d") -> float:
+    """METG(target): bisect the smallest granularity with efficiency >=
+    ``target`` (Task Bench's metric, default 50%)."""
+    if efficiency(machine, hi, tracing=tracing, safe=safe, costs=costs,
+                  pattern=pattern) < target:
+        return math.inf
+    for _ in range(iters):
+        mid = math.sqrt(lo * hi)
+        if efficiency(machine, mid, tracing=tracing, safe=safe,
+                      costs=costs, pattern=pattern) >= target:
+            hi = mid
+        else:
+            lo = mid
+        if hi / lo < 1.05:
+            break
+    return hi

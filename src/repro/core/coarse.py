@@ -1,0 +1,265 @@
+"""Coarse-stage dependence analysis (paper §4.1, Fig. 9 top).
+
+Every shard runs this stage over **all** operations, in program order.  The
+stage discovers dependences at *task-group granularity* without enumerating
+group points: each group is represented by its region-tree upper bound (the
+partition named in the launch), and a field-epoch state machine per
+(region tree, field) finds the prior operations a new one conflicts with.
+Its cost is therefore independent of machine size — the property that makes
+DCR scale.
+
+For each discovered group-level dependence the stage decides whether a
+*cross-shard fence* is needed (``requires_shard_fence`` in Fig. 9):
+
+* trivially elided when only one shard exists, or when both operations are
+  individual operations owned by the same shard (fine stages analyze their
+  local stream in program order);
+* **symbolically elided** for the common data-parallel case: two group
+  launches over the same launch domain with the same sharding function where
+  every conflicting requirement pair names the *same disjoint partition*
+  through the *same projection function* — then every point-level dependence
+  is provably shard-local (§4.1 observation 2);
+* otherwise a fence scoped to the conflicting region and fields is inserted
+  at the later operation's position, implemented at run time as a no-payload
+  all-gather (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..regions import LogicalRegion, Partition, may_alias
+from .operation import CoarseRequirement, Operation
+
+__all__ = ["Fence", "CoarseResult", "CoarseAnalysis"]
+
+
+def _region_contains(outer: LogicalRegion, inner: LogicalRegion) -> bool:
+    """True when ``outer`` provably covers every point of ``inner``."""
+    if outer.tree_id != inner.tree_id:
+        return False
+    if outer.is_ancestor_of(inner):
+        return True
+    if outer.index_space.structured and inner.index_space.structured:
+        return outer.index_space.rect.contains_rect(inner.index_space.rect)
+    return inner.index_space.point_set() <= outer.index_space.point_set()
+
+
+@dataclass(frozen=True)
+class Fence:
+    """A scoped cross-shard fence inserted before operation ``at_seq``.
+
+    Orders the fine-stage analysis of all prior operations touching
+    ``region``/``fields`` (on every shard) before any later one.  A fence
+    with ``region is None`` is a *global* analysis fence covering every
+    region tree (used as the entry precondition of trace replays).
+    """
+
+    at_seq: int
+    region: Optional[LogicalRegion]
+    fields: frozenset
+
+
+@dataclass
+class CoarseResult:
+    """Everything the coarse stage produced for one program."""
+
+    deps: Set[Tuple[Operation, Operation]] = field(default_factory=set)
+    fences: List[Fence] = field(default_factory=list)
+    fences_elided: int = 0
+    users_scanned: int = 0          # pairwise upper-bound tests performed
+    ops_analyzed: int = 0
+
+    def fence_positions(self) -> List[int]:
+        return sorted({f.at_seq for f in self.fences})
+
+    def covers_cross_edge(self, earlier_seq: int, later_seq: int,
+                          region: LogicalRegion, fields: frozenset) -> bool:
+        """Is a cross-shard point dependence (earlier -> later) on the given
+        data ordered by some fence?  A fence at position p orders all fine
+        analysis of ops with seq < p before ops with seq >= p for data
+        aliasing its scope (each shard's fine stage runs in program order and
+        the fence is a global all-gather at position p).
+        """
+        for f in self.fences:
+            if earlier_seq < f.at_seq <= later_seq:
+                if f.region is None:
+                    return True
+                if (f.fields & fields) and may_alias(f.region, region):
+                    return True
+        return False
+
+
+class _FieldState:
+    """Epoch lists for one (region-tree root, field): Legion-style."""
+
+    __slots__ = ("write_epoch", "read_epoch")
+
+    def __init__(self) -> None:
+        # Entries are (op, coarse requirement) pairs.
+        self.write_epoch: List[Tuple[Operation, CoarseRequirement]] = []
+        self.read_epoch: List[Tuple[Operation, CoarseRequirement]] = []
+
+
+class CoarseAnalysis:
+    """Incremental coarse-stage analysis (one instance per DCR context).
+
+    ``analyze(op)`` assigns the op its program-order ``seq`` and returns the
+    newly discovered dependences and fences.  The same object on every shard
+    would compute the same result; we run it once and charge its cost to all
+    shards in the simulator.
+    """
+
+    def __init__(self, num_shards: int):
+        self.num_shards = num_shards
+        self.result = CoarseResult()
+        self._state: Dict[Tuple[int, int], _FieldState] = {}
+
+    # -- entry point -----------------------------------------------------------
+
+    def analyze(self, op: Operation) -> Tuple[Set[Tuple[Operation, Operation]],
+                                              List[Fence]]:
+        if op.seq < 0:
+            raise ValueError("pipeline must assign op.seq before analysis")
+        self.result.ops_analyzed += 1
+
+        dep_ops: Dict[Operation, List[Tuple[CoarseRequirement,
+                                            CoarseRequirement]]] = {}
+        for req in op.coarse_reqs:
+            bound = req.bound_region()
+            for fid in sorted(f.fid for f in req.fields):
+                state = self._state.setdefault((bound.tree_id, fid),
+                                               _FieldState())
+                self._scan(op, req, bound, state, dep_ops)
+        for req in op.coarse_reqs:
+            bound = req.bound_region()
+            for fid in sorted(f.fid for f in req.fields):
+                state = self._state[(bound.tree_id, fid)]
+                self._update(op, req, bound, state)
+
+        new_deps: Set[Tuple[Operation, Operation]] = set()
+        new_fences: List[Fence] = []
+        for prev, pairs in dep_ops.items():
+            new_deps.add((prev, op))
+            fence = self._fence_for(prev, op, pairs)
+            if fence is None:
+                self.result.fences_elided += 1
+            else:
+                new_fences.append(fence)
+        # Dedupe fences at the same position with identical scope.
+        for f in new_fences:
+            if f not in self.result.fences:
+                self.result.fences.append(f)
+        self.result.deps |= new_deps
+        return new_deps, new_fences
+
+    def register_replayed(self, op: Operation) -> None:
+        """Fold a trace-replayed op into the epoch state without scanning.
+
+        Replays skip the dependence scan (their structure comes from the
+        recording), but their *effects on the epoch state* must still be
+        applied — otherwise operations issued after the trace would compare
+        against pre-trace state and miss dependences on replayed work.
+        """
+        self.result.ops_analyzed += 1
+        for req in op.coarse_reqs:
+            bound = req.bound_region()
+            for fid in sorted(f.fid for f in req.fields):
+                state = self._state.setdefault((bound.tree_id, fid),
+                                               _FieldState())
+                self._update(op, req, bound, state)
+
+    # -- scanning ------------------------------------------------------------------
+
+    def _scan(self, op: Operation, req: CoarseRequirement,
+              bound: LogicalRegion, state: _FieldState,
+              dep_ops: Dict[Operation, List[Tuple[CoarseRequirement,
+                                                  CoarseRequirement]]]) -> None:
+        def check(entries: Sequence[Tuple[Operation, CoarseRequirement]]) -> None:
+            for prev_op, prev_req in entries:
+                if prev_op is op:
+                    continue
+                self.result.users_scanned += 1
+                if not prev_req.privilege.conflicts_with(req.privilege):
+                    continue
+                if may_alias(prev_req.bound_region(), bound):
+                    dep_ops.setdefault(prev_op, []).append((prev_req, req))
+
+        if req.privilege.writes:
+            check(state.read_epoch)
+            check(state.write_epoch)
+        elif req.privilege.is_reduce:
+            # Conflicts with writers and with different-op reducers/readers.
+            check(state.read_epoch)
+            check(state.write_epoch)
+        else:  # reader
+            check(state.write_epoch)
+            # Readers also conflict with reducers parked in the read epoch.
+            check([e for e in state.read_epoch
+                   if e[1].privilege.is_reduce])
+
+    def _update(self, op: Operation, req: CoarseRequirement,
+                bound: LogicalRegion, state: _FieldState) -> None:
+        entry = (op, req)
+        if req.privilege.writes:
+            # New write epoch for the covered data: drop dominated users
+            # (any future conflict with them is transitively ordered via op).
+            state.read_epoch = [
+                e for e in state.read_epoch
+                if not _region_contains(bound, e[1].bound_region())]
+            state.write_epoch = [
+                e for e in state.write_epoch
+                if not _region_contains(bound, e[1].bound_region())]
+            state.write_epoch.append(entry)
+        else:
+            if entry not in state.read_epoch:
+                state.read_epoch.append(entry)
+
+    # -- fence insertion / elision ----------------------------------------------------
+
+    def _fence_for(self, prev: Operation, op: Operation,
+                   pairs: Sequence[Tuple[CoarseRequirement, CoarseRequirement]]
+                   ) -> Optional[Fence]:
+        if self.num_shards == 1:
+            return None
+        if self._provably_shard_local(prev, op, pairs):
+            return None
+        # Scope the fence to the least upper bound of the conflicting data.
+        preq, nreq = pairs[0]
+        scope_region = preq.bound_region()
+        scope_fields: frozenset = frozenset()
+        for preq, nreq in pairs:
+            if not _region_contains(scope_region, nreq.bound_region()):
+                # Fall back to the common root, always a sound scope.
+                scope_region = scope_region.root()
+            scope_fields |= (preq.fields | nreq.fields)
+        return Fence(at_seq=op.seq, region=scope_region, fields=scope_fields)
+
+    def _provably_shard_local(
+        self, prev: Operation, op: Operation,
+        pairs: Sequence[Tuple[CoarseRequirement, CoarseRequirement]]) -> bool:
+        """The symbolic proof of §4.1 observation 2."""
+        if not prev.is_group and not op.is_group:
+            return prev.owner_shard % self.num_shards == \
+                op.owner_shard % self.num_shards
+        if not (prev.is_group and op.is_group):
+            return False
+        if prev.launch_domain != op.launch_domain:
+            return False
+        assert prev.sharding is not None and op.sharding is not None
+        if prev.sharding.sid != op.sharding.sid:
+            return False
+        for preq, nreq in pairs:
+            if not (isinstance(preq.upper, Partition)
+                    and isinstance(nreq.upper, Partition)):
+                return False
+            if preq.upper.uid != nreq.upper.uid:
+                return False
+            if not preq.upper.disjoint:
+                return False
+            pproj = preq.projection.pid if preq.projection else 0
+            nproj = nreq.projection.pid if nreq.projection else 0
+            if pproj != nproj:
+                return False
+        return True

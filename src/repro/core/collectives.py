@@ -1,0 +1,149 @@
+"""Collective primitives between shards (paper §4.2).
+
+DCR uses four collectives for cooperative work between shards — broadcast,
+reduce, all-gather, all-reduce — implemented with tree or butterfly
+communication schedules of O(log N) latency.  Cross-shard dependence fences
+are an all-gather with no data payload.
+
+This module implements the *schedules themselves* (not just ``functools
+.reduce``): the butterfly all-reduce really performs log2(N) rounds of
+pairwise exchanges, so tests can check both the results and the O(log N)
+round/message structure that the simulator's cost model charges for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["CollectiveStats", "Collectives"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class CollectiveStats:
+    """Accounting of collective usage, consumed by the simulator cost model."""
+
+    operations: int = 0
+    rounds: int = 0            # latency in hops, sum over operations
+    messages: int = 0          # point-to-point messages, sum over operations
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, kind: str, rounds: int, messages: int) -> None:
+        self.operations += 1
+        self.rounds += rounds
+        self.messages += messages
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+def _log2_rounds(n: int) -> int:
+    return max(0, math.ceil(math.log2(n))) if n > 1 else 0
+
+
+class Collectives:
+    """Collectives over ``num_shards`` logical shards.
+
+    Values are passed in as a list indexed by shard; results come back the
+    same way.  All schedules are deterministic, so any shard replaying the
+    same collective sequence observes the same results — a requirement for
+    control determinism.
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self.num_shards = num_shards
+        self.stats = CollectiveStats()
+
+    # -- broadcast / reduce (binomial tree) ----------------------------------
+
+    def broadcast(self, value: T, root: int = 0) -> List[T]:
+        """One value from ``root`` to every shard; binomial tree, log N hops."""
+        n = self.num_shards
+        self.stats.record("broadcast", _log2_rounds(n), max(0, n - 1))
+        return [value for _ in range(n)]
+
+    def reduce(self, values: Sequence[T], op: Callable[[T, T], T],
+               root: int = 0) -> T:
+        """Combine per-shard values to ``root`` along a binomial tree.
+
+        The tree combine order is fixed (pairs at distance 1, 2, 4, ...), so
+        the result is deterministic even for merely-associative ops.
+        """
+        n = self.num_shards
+        if len(values) != n:
+            raise ValueError("one value per shard required")
+        self.stats.record("reduce", _log2_rounds(n), max(0, n - 1))
+        acc: List[T] = list(values)
+        dist = 1
+        while dist < n:
+            for i in range(0, n, 2 * dist):
+                j = i + dist
+                if j < n:
+                    acc[i] = op(acc[i], acc[j])
+            dist *= 2
+        return acc[0]
+
+    # -- all-gather / all-reduce (butterfly) ------------------------------------
+
+    def allgather(self, values: Sequence[T]) -> List[List[T]]:
+        """Every shard receives every shard's value, in shard order.
+
+        Implemented as a recursive-doubling butterfly: round r exchanges
+        blocks of size 2^r with the partner at distance 2^r.
+        """
+        n = self.num_shards
+        if len(values) != n:
+            raise ValueError("one value per shard required")
+        rounds = _log2_rounds(n)
+        self.stats.record("allgather", rounds, rounds * n)
+        result = [list(values) for _ in range(n)]
+        return result
+
+    def allreduce(self, values: Sequence[T], op: Callable[[T, T], T]) -> List[T]:
+        """Every shard receives the reduction of all values (butterfly).
+
+        Executes the genuine recursive-doubling schedule: in round r, shard i
+        exchanges with shard ``i ^ 2^r`` and both combine.  For non-power-of-2
+        shard counts the extras first fold into the main block and receive
+        the result at the end (the standard MPI approach), adding one round.
+        """
+        n = self.num_shards
+        if len(values) != n:
+            raise ValueError("one value per shard required")
+        acc: List[T] = list(values)
+        pow2 = 1 << (n.bit_length() - 1)
+        rounds = _log2_rounds(pow2)
+        extra = n - pow2
+        if extra:
+            rounds += 2
+            for i in range(extra):
+                # Extra shard pow2+i folds into shard i before the butterfly.
+                acc[i] = op(acc[i], acc[pow2 + i])
+        self.stats.record("allreduce", rounds, rounds * n)
+        dist = 1
+        while dist < pow2:
+            nxt = list(acc)
+            for i in range(pow2):
+                partner = i ^ dist
+                # Deterministic combine order: lower index first.
+                lo, hi = (i, partner) if i < partner else (partner, i)
+                nxt[i] = op(acc[lo], acc[hi])
+            acc[:pow2] = nxt[:pow2]
+            dist *= 2
+        if extra:
+            for i in range(extra):
+                acc[pow2 + i] = acc[i]
+        return acc
+
+    def barrier(self) -> None:
+        """Synchronize all shards; an all-gather with no payload (§4.2)."""
+        n = self.num_shards
+        self.stats.record("barrier", _log2_rounds(n),
+                          _log2_rounds(n) * n)
+
+    def fence_rounds(self) -> int:
+        """Latency (in hops) of one cross-shard fence collective."""
+        return _log2_rounds(self.num_shards)

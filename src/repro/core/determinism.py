@@ -1,0 +1,182 @@
+"""Control-determinism checking (paper §3).
+
+DCR requires all shards to make the *same sequence of runtime API calls*
+("control determinism").  The check: for every API call from a shard of a
+replicated task, compute a 128-bit hash capturing the call and its actual
+arguments, then verify via an (asynchronous, batched) all-reduce that all
+shards produced identical hashes.  On mismatch the runtime aborts with an
+error naming the first divergent operation — the paper reports this is
+sufficient for debugging.
+
+Hashing detail: raw Python object identities differ between shards even for
+logically identical resources, so each shard's checker *interns* runtime
+resources (regions, partitions, fields, futures...) into shard-local ids
+assigned in API-call order.  Control determinism guarantees identical
+numbering across shards, making the hashes comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from .collectives import Collectives
+
+__all__ = ["ControlDeterminismViolation", "ShardHasher", "DeterminismMonitor"]
+
+
+class ControlDeterminismViolation(RuntimeError):
+    """Raised when shards diverge in their sequence of runtime API calls."""
+
+    def __init__(self, seq: int, descriptions: Sequence[str]):
+        self.seq = seq
+        self.descriptions = list(descriptions)
+        uniq = sorted(set(self.descriptions))
+        super().__init__(
+            f"control determinism violated at API call #{seq}: shards "
+            f"disagree — {uniq}")
+
+
+class ShardHasher:
+    """Per-shard API-call hasher with resource interning."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self._intern: Dict[int, int] = {}
+        self._next_local = 0
+        self.calls: List[int] = []          # 128-bit hashes, in call order
+        self.descriptions: List[str] = []   # human-readable, for error messages
+
+    def intern(self, obj: Any) -> int:
+        """Shard-local id for a runtime resource, by first-use order."""
+        key = id(obj)
+        local = self._intern.get(key)
+        if local is None:
+            local = self._next_local
+            self._next_local += 1
+            self._intern[key] = local
+        return local
+
+    def _canon(self, value: Any) -> bytes:
+        """Canonical byte encoding of an argument value."""
+        if value is None:
+            return b"N"
+        if isinstance(value, bool):
+            return b"B1" if value else b"B0"
+        if isinstance(value, int):
+            return b"I" + str(value).encode()
+        if isinstance(value, float):
+            return b"F" + value.hex().encode()
+        if isinstance(value, str):
+            return b"S" + value.encode()
+        if isinstance(value, bytes):
+            return b"Y" + value
+        if isinstance(value, (tuple, list)):
+            inner = b",".join(self._canon(v) for v in value)
+            return b"T(" + inner + b")"
+        if isinstance(value, dict):
+            items = sorted((str(k), v) for k, v in value.items())
+            inner = b",".join(
+                self._canon(k) + b"=" + self._canon(v) for k, v in items)
+            return b"D(" + inner + b")"
+        if isinstance(value, frozenset) or isinstance(value, set):
+            inner = b",".join(sorted(self._canon(v) for v in value))
+            return b"Z(" + inner + b")"
+        # Runtime resource: intern by first-use order.
+        return b"R" + str(self.intern(value)).encode()
+
+    def record(self, api_call: str, *args: Any, **kwargs: Any) -> int:
+        """Hash one API call; returns the 128-bit digest as an int."""
+        h = hashlib.blake2b(digest_size=16)
+        h.update(api_call.encode())
+        for a in args:
+            h.update(b"|")
+            h.update(self._canon(a))
+        for k in sorted(kwargs):
+            h.update(b"|" + k.encode() + b"=")
+            h.update(self._canon(kwargs[k]))
+        digest = int.from_bytes(h.digest(), "little")
+        self.calls.append(digest)
+        self.descriptions.append(api_call)
+        return digest
+
+
+@dataclass
+class _CheckWindow:
+    """One pending batch of hashes awaiting the all-reduce."""
+
+    start: int
+    length: int
+
+
+class DeterminismMonitor:
+    """Coordinates the asynchronous hash all-reduce across shards.
+
+    The real system hides the all-reduce latency by pipelining it with
+    execution; here ``maybe_check`` is called after every recorded call and
+    performs the collective once every ``batch`` calls are available on all
+    shards (plus a final ``flush`` at task completion).  ``enabled=False``
+    models the "No Safe" configurations of Fig. 21.
+    """
+
+    def __init__(self, num_shards: int, batch: int = 64, enabled: bool = True,
+                 collectives: Optional[Collectives] = None):
+        self.hashers = [ShardHasher(i) for i in range(num_shards)]
+        self.batch = max(1, batch)
+        self.enabled = enabled
+        self.collectives = collectives or Collectives(num_shards)
+        self._verified = 0
+        self.checks_performed = 0
+
+    def hasher(self, shard: int) -> ShardHasher:
+        return self.hashers[shard]
+
+    def _ready(self) -> int:
+        """Number of call slots recorded by *all* shards but not yet checked."""
+        return min(len(h.calls) for h in self.hashers) - self._verified
+
+    def maybe_check(self) -> None:
+        """Run the collective check if a full batch is ready on every shard."""
+        if self.enabled and self._ready() >= self.batch:
+            self._check(self._ready())
+
+    def flush(self) -> None:
+        """Check everything outstanding; also verifies equal call counts."""
+        if not self.enabled:
+            return
+        counts = {len(h.calls) for h in self.hashers}
+        if len(counts) > 1:
+            seq = min(counts)
+            descr = [
+                h.descriptions[seq] if seq < len(h.calls) else "<no call>"
+                for h in self.hashers
+            ]
+            raise ControlDeterminismViolation(seq, descr)
+        remaining = self._ready()
+        if remaining > 0:
+            self._check(remaining)
+
+    def _check(self, count: int) -> None:
+        start = self._verified
+        self.checks_performed += 1
+        # One all-reduce over the batch: combine (window-hash, ok) pairs.
+        window_hashes = []
+        for h in self.hashers:
+            acc = hashlib.blake2b(digest_size=16)
+            for d in h.calls[start:start + count]:
+                acc.update(d.to_bytes(16, "little"))
+            window_hashes.append(int.from_bytes(acc.digest(), "little"))
+        combined = self.collectives.allreduce(
+            [(w, True) for w in window_hashes],
+            lambda a, b: (a[0], a[1] and b[1] and a[0] == b[0]))
+        if not all(ok for (_w, ok) in combined):
+            # Locate the first divergent call for the error message.
+            for off in range(count):
+                seq = start + off
+                digests = {h.calls[seq] for h in self.hashers}
+                if len(digests) > 1:
+                    raise ControlDeterminismViolation(
+                        seq, [h.descriptions[seq] for h in self.hashers])
+            raise ControlDeterminismViolation(start, ["<window mismatch>"])
+        self._verified = start + count

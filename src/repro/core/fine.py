@@ -1,0 +1,234 @@
+"""Fine-stage dependence analysis (paper §4.1, Fig. 9 bottom).
+
+Once an operation's coarse dependences are satisfied it enters the fine
+stage, where each shard evaluates the sharding function and performs the
+*precise* point-level dependence analysis — but only for the points it owns.
+The union of all shards' fine analyses (plus the ordering provided by
+cross-shard fences) reproduces exactly the task graph a sequential analysis
+of the fully expanded program would compute.
+
+This module computes that precise point graph with per-shard cost
+attribution, classifies edges as shard-local vs. cross-shard, and provides
+the soundness check used by the test-suite: every cross-shard point
+dependence must be covered by a fence the coarse stage inserted (otherwise
+an elision was wrong).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..oracle import RegionRequirement, requirements_conflict
+from ..regions import LogicalRegion
+from .coarse import CoarseResult
+from .operation import Operation, PointTask
+from .taskgraph import TaskGraph
+
+__all__ = ["FineResult", "FineAnalysis"]
+
+
+@dataclass
+class FineResult:
+    """Precise point-task graph plus per-shard accounting."""
+
+    graph: TaskGraph = field(default_factory=TaskGraph)
+    local_edges: Set[Tuple[PointTask, PointTask]] = field(default_factory=set)
+    cross_edges: Set[Tuple[PointTask, PointTask]] = field(default_factory=set)
+    points_per_shard: Dict[int, int] = field(default_factory=dict)
+    scans_per_shard: Dict[int, int] = field(default_factory=dict)
+
+    def point_tasks(self) -> List[PointTask]:
+        return [t for t in self.graph.tasks]  # type: ignore[misc]
+
+
+class _FieldState:
+    """Point-level epoch lists per (region tree, field)."""
+
+    __slots__ = ("write_epoch", "read_epoch")
+
+    def __init__(self) -> None:
+        self.write_epoch: List[Tuple[PointTask, RegionRequirement]] = []
+        self.read_epoch: List[Tuple[PointTask, RegionRequirement]] = []
+
+
+def _contains(outer: LogicalRegion, inner: LogicalRegion) -> bool:
+    if outer.tree_id != inner.tree_id:
+        return False
+    if outer.is_ancestor_of(inner):
+        return True
+    if outer.index_space.structured and inner.index_space.structured:
+        return outer.index_space.rect.contains_rect(inner.index_space.rect)
+    return inner.index_space.point_set() <= outer.index_space.point_set()
+
+
+class FineAnalysis:
+    """Incremental precise analysis over expanded point tasks.
+
+    ``analyze(op)`` expands the operation into point tasks, computes their
+    dependences against all prior points (epoch-pruned), and attributes the
+    per-point analysis work to the owning shard.  Edge classification
+    (local/cross) feeds both the simulator's cost model and the fence
+    soundness check.
+    """
+
+    def __init__(self, num_shards: int):
+        self.num_shards = num_shards
+        self.result = FineResult()
+        self._state: Dict[Tuple[int, int], _FieldState] = {}
+        # Precise in-edges added while analyzing the most recent op, so the
+        # pipeline can hand them to the trace recorder without rescanning.
+        self.last_op_edges: List[Tuple[PointTask, PointTask]] = []
+
+    def analyze(self, op: Operation) -> List[PointTask]:
+        self.last_op_edges = []
+        tasks: List[PointTask] = []
+        for point in op.points():
+            shard = op.shard_of(point, self.num_shards)
+            task = PointTask(op, point, shard)
+            tasks.append(task)
+            self.result.points_per_shard[shard] = \
+                self.result.points_per_shard.get(shard, 0) + 1
+        # Points within one group launch are pairwise independent by
+        # construction (the group-launch well-formedness condition), so they
+        # are analyzed against prior state only, mirroring how each shard's
+        # fine stage treats a whole group as one arrival.
+        for task in tasks:
+            self._analyze_point(task)
+        for task in tasks:
+            self._update_point(task)
+        self._retire_dominated(op, tasks)
+        return tasks
+
+    def register_replayed(self, op: Operation,
+                          tasks: List[PointTask]) -> None:
+        """Fold trace-replayed point tasks into the epoch state (no scan).
+
+        Keeps post-trace analysis correct: later operations must find the
+        replayed writers/readers in the epochs, or they would silently
+        order themselves against pre-trace state.
+        """
+        for task in tasks:
+            self._update_point(task)
+        self._retire_dominated(op, tasks)
+
+    def _retire_dominated(self, op: Operation, tasks: List[PointTask]) -> None:
+        """Group-level epoch retirement: keep the fine state bounded.
+
+        A group write over a *complete, disjoint* partition collectively
+        covers its parent region, so every older user inside that parent is
+        transitively ordered through some piece of this launch (the piece
+        containing any shared point) — older entries can be dropped without
+        losing any future ordering.  Without this, ghost readers accumulate
+        forever and the fine analysis turns quadratic in program length.
+        """
+        from ..regions import Partition
+
+        if not op.is_group:
+            return
+        own = {id(t) for t in tasks}
+        for cr in op.coarse_reqs:
+            if not cr.privilege.writes:
+                continue
+            upper = cr.upper
+            if not (isinstance(upper, Partition) and upper.disjoint
+                    and upper.complete):
+                continue
+            parent = upper.parent_region
+            for f in cr.fields:
+                state = self._state.get((parent.tree_id, f.fid))
+                if state is None:
+                    continue
+                state.read_epoch = [
+                    e for e in state.read_epoch
+                    if id(e[0]) in own
+                    or not _contains(parent, e[1].region)]
+                state.write_epoch = [
+                    e for e in state.write_epoch
+                    if id(e[0]) in own
+                    or not _contains(parent, e[1].region)]
+
+    def _analyze_point(self, task: PointTask) -> None:
+        self.result.graph.add_task(task)
+        deps: Set[PointTask] = set()
+        for req in task.requirements:
+            for fid in sorted(f.fid for f in req.fields):
+                key = (req.region.tree_id, fid)
+                state = self._state.get(key)
+                if state is None:
+                    continue
+                self._scan(task, req, state, deps)
+        for prev in deps:
+            edge = (prev, task)
+            self.result.graph.add_dep(prev, task)
+            self.last_op_edges.append(edge)
+            if prev.shard == task.shard:
+                self.result.local_edges.add(edge)
+            else:
+                self.result.cross_edges.add(edge)
+
+    def _scan(self, task: PointTask, req: RegionRequirement,
+              state: _FieldState, deps: Set[PointTask]) -> None:
+        shard = task.shard
+
+        def check(entries: List[Tuple[PointTask, RegionRequirement]]) -> None:
+            for prev_task, prev_req in entries:
+                if prev_task.op is task.op:
+                    continue
+                self.result.scans_per_shard[shard] = \
+                    self.result.scans_per_shard.get(shard, 0) + 1
+                if requirements_conflict(prev_req, req):
+                    deps.add(prev_task)
+
+        if req.privilege.writes:
+            check(state.read_epoch)
+            check(state.write_epoch)
+        elif req.privilege.is_reduce:
+            check(state.read_epoch)
+            check(state.write_epoch)
+        else:
+            check(state.write_epoch)
+            check([e for e in state.read_epoch if e[1].privilege.is_reduce])
+
+    def _update_point(self, task: PointTask) -> None:
+        for req in task.requirements:
+            for fid in sorted(f.fid for f in req.fields):
+                key = (req.region.tree_id, fid)
+                state = self._state.setdefault(key, _FieldState())
+                entry = (task, req)
+                if req.privilege.writes:
+                    state.read_epoch = [
+                        e for e in state.read_epoch
+                        if not _contains(req.region, e[1].region)]
+                    state.write_epoch = [
+                        e for e in state.write_epoch
+                        if not _contains(req.region, e[1].region)]
+                    state.write_epoch.append(entry)
+                else:
+                    if entry not in state.read_epoch:
+                        state.read_epoch.append(entry)
+
+    # -- soundness of fence elision ------------------------------------------------
+
+    def uncovered_cross_edges(
+        self, coarse: CoarseResult
+    ) -> List[Tuple[PointTask, PointTask]]:
+        """Cross-shard precise dependences not ordered by any fence.
+
+        Must be empty for a sound analysis: this is the property the coarse
+        stage's conservative fence insertion guarantees and its symbolic
+        elision must preserve.
+        """
+        bad = []
+        for prev, task in self.result.cross_edges:
+            covered = False
+            for preq in prev.requirements:
+                for nreq in task.requirements:
+                    if requirements_conflict(preq, nreq):
+                        if coarse.covers_cross_edge(
+                                prev.op.seq, task.op.seq, nreq.region,
+                                nreq.fields | preq.fields):
+                            covered = True
+            if not covered:
+                bad.append((prev, task))
+        return bad

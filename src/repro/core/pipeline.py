@@ -1,0 +1,158 @@
+"""The two-stage DCR analysis pipeline (paper §4.1, Fig. 9).
+
+``DCRPipeline`` wires the coarse and fine stages together over a stream of
+operations in program order, producing per-operation :class:`OpRecord`
+entries that carry everything downstream consumers need:
+
+* the functional products — point tasks and the precise dependence edges
+  used to order real execution;
+* the cost-accounting products — coarse scan counts (charged to every
+  shard), per-shard fine-point counts, and the cross-shard fences (charged
+  as O(log N) collectives) — consumed by the machine simulator.
+
+Both stages operate asynchronously in the real system; the simulator models
+that pipelining (`repro.models.dcr`), while this class computes the
+*results* the stages would produce, which are deterministic regardless of
+interleaving (that is Theorem 1's content, tested in
+``tests/core/test_semantics_equivalence.py``).
+
+Tracing (`begin_trace`/`end_trace`) memoizes the analysis of a repeated
+program fragment (Lee et al., SC'18, used by Fig. 21): on replay the
+pipeline validates that the operation stream matches the recording and
+serves the dependence structure from the cache at O(1) cost per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .coarse import CoarseAnalysis, CoarseResult, Fence
+from .fine import FineAnalysis, FineResult
+from .operation import Operation, PointTask
+from .tracing import TraceCache, TraceMismatch
+
+__all__ = ["OpRecord", "PipelineStats", "DCRPipeline"]
+
+
+@dataclass
+class OpRecord:
+    """Analysis products for one operation."""
+
+    op: Operation
+    coarse_deps: Set[Tuple[Operation, Operation]]
+    fences: List[Fence]
+    point_tasks: List[PointTask]
+    coarse_scans: int            # upper-bound pair tests for this op
+    traced: bool = False         # served from a trace replay
+    # Precise in-edges of this op's point tasks (populated when recording a
+    # trace so the recorder can capture intra-trace structure).
+    in_edges: List[Tuple[PointTask, PointTask]] = field(default_factory=list)
+
+    def points_on_shard(self, shard: int) -> List[PointTask]:
+        return [t for t in self.point_tasks if t.shard == shard]
+
+
+@dataclass
+class PipelineStats:
+    ops: int = 0
+    traced_ops: int = 0
+    fences: int = 0
+    fences_elided: int = 0
+    coarse_scans: int = 0
+    points: int = 0
+
+
+class DCRPipeline:
+    """Program-order driver for the coarse and fine analysis stages."""
+
+    def __init__(self, num_shards: int):
+        self.num_shards = num_shards
+        self.coarse = CoarseAnalysis(num_shards)
+        self.fine = FineAnalysis(num_shards)
+        self.records: List[OpRecord] = []
+        self.stats = PipelineStats()
+        self._traces = TraceCache()
+        self._next_seq = 0
+
+    # -- main entry --------------------------------------------------------------
+
+    def analyze(self, op: Operation) -> OpRecord:
+        """Analyze one operation; returns its record."""
+        op.seq = self._next_seq
+        replayed = self._traces.try_replay(op, self._next_seq, self.num_shards)
+        if replayed is not None:
+            record = replayed
+            self.stats.traced_ops += 1
+            # Replayed fences and deps still join the coarse result so the
+            # fence-coverage invariant can be checked uniformly, and traced
+            # point tasks join the global precise graph so the functional
+            # execution sees a complete ordering.
+            self.coarse.result.fences.extend(record.fences)
+            self.coarse.result.deps |= record.coarse_deps
+            # Fold the replay into both stages' epoch state so operations
+            # issued *after* the trace see the replayed work (without this,
+            # post-trace launches silently miss dependences on it).
+            self.coarse.register_replayed(op)
+            self.fine.register_replayed(op, record.point_tasks)
+            self.fine.result.graph.add_tasks(record.point_tasks)
+            for t in record.point_tasks:
+                self.fine.result.points_per_shard[t.shard] = \
+                    self.fine.result.points_per_shard.get(t.shard, 0) + 1
+            for prev, nxt in self._traces.internal_edges_for(record):
+                self.fine.result.graph.add_dep(prev, nxt)
+                if prev.shard == nxt.shard:
+                    self.fine.result.local_edges.add((prev, nxt))
+                else:
+                    self.fine.result.cross_edges.add((prev, nxt))
+        else:
+            scans_before = self.coarse.result.users_scanned
+            deps, fences = self.coarse.analyze(op)
+            point_tasks = self.fine.analyze(op)
+            record = OpRecord(
+                op=op,
+                coarse_deps=deps,
+                fences=fences,
+                point_tasks=point_tasks,
+                coarse_scans=self.coarse.result.users_scanned - scans_before,
+            )
+            record.in_edges = list(self.fine.last_op_edges)
+            self._traces.observe(record)
+        self._next_seq = op.seq + 1
+        self.records.append(record)
+        self.stats.ops += 1
+        self.stats.fences += len(record.fences)
+        self.stats.coarse_scans += record.coarse_scans
+        self.stats.points += len(record.point_tasks)
+        self.stats.fences_elided = self.coarse.result.fences_elided
+        return record
+
+    def run_program(self, ops: Sequence[Operation]) -> List[OpRecord]:
+        return [self.analyze(op) for op in ops]
+
+    # -- tracing -----------------------------------------------------------------
+
+    def begin_trace(self, trace_id: int) -> bool:
+        """Start a trace; returns True when a replay is available."""
+        return self._traces.begin(trace_id)
+
+    def end_trace(self) -> None:
+        self._traces.end()
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def coarse_result(self) -> CoarseResult:
+        return self.coarse.result
+
+    @property
+    def fine_result(self) -> FineResult:
+        return self.fine.result
+
+    def validate(self) -> None:
+        """Check the fence-soundness invariant; raises on violation."""
+        bad = self.fine.uncovered_cross_edges(self.coarse.result)
+        if bad:
+            raise AssertionError(
+                f"{len(bad)} cross-shard dependences not covered by any "
+                f"fence; first: {bad[0]}")

@@ -1,0 +1,100 @@
+"""Counter-based pseudo-random numbers for control-deterministic programs.
+
+Paper §3, Fig. 4: branching on ``random.random()`` breaks control
+determinism because each shard's generator state may differ.  The remedy is
+a *counter-based* generator (Salmon et al., "Parallel Random Numbers: As
+Easy As 1, 2, 3", SC'11): the k-th random number is a pure function of
+``(seed, k)``, so every shard that asks for draw k gets the same value with
+no shared state beyond the seed.
+
+We implement Threefry-2x64 (13 rounds), the lightest of the SC'11 family,
+in pure Python — no NumPy state objects whose pickling/threading behaviour
+could differ across shards.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["threefry2x64", "CounterRNG"]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+# Rotation constants for Threefry-2x64 (from the reference implementation).
+_ROTATIONS = (16, 42, 12, 31, 16, 32, 24, 21)
+_SKEIN_PARITY = 0x1BD11BDAA9FC1A22
+
+
+def _rotl(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _MASK
+
+
+def threefry2x64(key: Tuple[int, int], counter: Tuple[int, int],
+                 rounds: int = 13) -> Tuple[int, int]:
+    """The Threefry-2x64 bijection: (key, counter) -> two 64-bit words."""
+    k0, k1 = key[0] & _MASK, key[1] & _MASK
+    k2 = k0 ^ k1 ^ _SKEIN_PARITY
+    ks = (k0, k1, k2)
+    x0, x1 = counter[0] & _MASK, counter[1] & _MASK
+    x0 = (x0 + ks[0]) & _MASK
+    x1 = (x1 + ks[1]) & _MASK
+    for r in range(rounds):
+        x0 = (x0 + x1) & _MASK
+        x1 = _rotl(x1, _ROTATIONS[r % 8])
+        x1 ^= x0
+        if r % 4 == 3:
+            inject = r // 4 + 1
+            x0 = (x0 + ks[inject % 3]) & _MASK
+            x1 = (x1 + ks[(inject + 1) % 3] + inject) & _MASK
+    return x0, x1
+
+
+class CounterRNG:
+    """A shard-safe random stream: draw k is a pure function of (seed, k).
+
+    Every shard constructs ``CounterRNG(seed)`` and calls the same sequence
+    of draws (which control determinism already guarantees), so all shards
+    see identical values.  Unlike ``random.Random``, interleaving *other*
+    consumers of entropy on one shard cannot desynchronize the stream, and a
+    shard may also sample an arbitrary draw index directly via ``at``.
+    """
+
+    def __init__(self, seed: int, stream: int = 0):
+        self._key = (seed & _MASK, stream & _MASK)
+        self._counter = 0
+
+    # -- core draws ---------------------------------------------------------
+
+    def at(self, index: int) -> float:
+        """The ``index``-th uniform double in [0, 1), independent of state."""
+        word, _ = threefry2x64(self._key, (index & _MASK, index >> 64))
+        return (word >> 11) * (1.0 / (1 << 53))
+
+    def random(self) -> float:
+        """Next uniform double in [0, 1) (advances the local counter)."""
+        value = self.at(self._counter)
+        self._counter += 1
+        return value
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] inclusive (rejection-free modulo)."""
+        if hi < lo:
+            raise ValueError("empty range")
+        span = hi - lo + 1
+        word, _ = threefry2x64(self._key,
+                               (self._counter & _MASK, self._counter >> 64))
+        self._counter += 1
+        return lo + (word % span)
+
+    def randbits64(self) -> int:
+        word, _ = threefry2x64(self._key,
+                               (self._counter & _MASK, self._counter >> 64))
+        self._counter += 1
+        return word
+
+    def fork(self, stream: int) -> "CounterRNG":
+        """An independent stream under the same seed (e.g. one per field)."""
+        return CounterRNG(self._key[0], stream)
+
+    @property
+    def counter(self) -> int:
+        return self._counter

@@ -1,0 +1,224 @@
+"""Trace capture and replay: memoized dependence analysis.
+
+Legion's dynamic tracing (Lee et al., "Dynamic Tracing: Memoization of Task
+Graphs for Dynamic Task-based Runtimes", SC'18) lets the runtime skip the
+dependence analysis for a repeated fragment of the operation stream — e.g.
+the body of a time-step loop — by recording the analysis products on first
+execution and replaying them on subsequent, *signature-identical*
+executions.  Fig. 21 of the DCR paper evaluates the interaction of tracing
+with the control-determinism checks; `repro.models.dcr` charges a much
+smaller per-op cost for replayed operations.
+
+Replay is sound under two conditions, both enforced here:
+
+* the replayed stream must match the recording operation-for-operation
+  (kind, launch domain, sharding/projection functions, partitions, fields,
+  privileges) — checked via signatures, raising :class:`TraceMismatch`;
+* dependences that leave the trace (into operations issued before it) are
+  not recorded; instead the replay's first operation carries a *global
+  entry fence* ordering everything prior — strictly conservative, exactly
+  like Legion's trace preconditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .coarse import Fence
+from .operation import Operation, PointTask
+
+__all__ = ["TraceMismatch", "TraceCache"]
+
+
+class TraceMismatch(RuntimeError):
+    """The replayed operation stream diverged from the recording."""
+
+
+def _op_signature(op: Operation) -> Tuple:
+    from ..regions import Partition
+
+    reqs = tuple(
+        (
+            cr.upper.uid,
+            isinstance(cr.upper, Partition),
+            tuple(sorted(f.fid for f in cr.fields)),
+            cr.privilege.kind.value,
+            cr.privilege.redop,
+            cr.projection.pid if cr.projection else 0,
+        )
+        for cr in op.coarse_reqs
+    )
+    return (
+        op.kind,
+        op.launch_domain,
+        op.sharding.sid if op.sharding else None,
+        op.owner_shard if not op.is_group else None,
+        reqs,
+    )
+
+
+@dataclass
+class _TraceEntry:
+    """Recorded analysis products for one op of the trace, as templates."""
+
+    signature: Tuple
+    fence_scopes: List[Tuple[object, frozenset]] = field(default_factory=list)
+    # (source op offset within trace, source point, destination point)
+    internal_edges: List[Tuple[int, Hashable, Hashable]] = field(default_factory=list)
+    coarse_dep_offsets: List[int] = field(default_factory=list)
+
+
+@dataclass
+class _Recording:
+    entries: List[_TraceEntry] = field(default_factory=list)
+
+
+class TraceCache:
+    """Per-pipeline store of trace recordings with record/replay state."""
+
+    IDLE, RECORDING, REPLAYING = "idle", "recording", "replaying"
+
+    def __init__(self) -> None:
+        self._traces: Dict[int, _Recording] = {}
+        self._state = self.IDLE
+        self._tid: Optional[int] = None
+        self._index = 0
+        self._rec_ops: List[Operation] = []
+        self._rec_tasks: Dict[Tuple[int, Hashable], PointTask] = {}
+        self._replay_ops: List[Operation] = []
+        self._replay_tasks: Dict[Tuple[int, Hashable], PointTask] = {}
+        self._replay_edges: Dict[int, List[Tuple[PointTask, PointTask]]] = {}
+        self.replays = 0
+        self.recordings = 0
+
+    # -- control ------------------------------------------------------------------
+
+    def begin(self, trace_id: int) -> bool:
+        """Enter record or replay mode; True when a replay will be served."""
+        if self._state != self.IDLE:
+            raise RuntimeError("traces do not nest")
+        self._tid = trace_id
+        self._index = 0
+        if trace_id in self._traces:
+            self._state = self.REPLAYING
+            self._replay_ops = []
+            self._replay_tasks = {}
+            self._replay_edges = {}
+            self.replays += 1
+            return True
+        self._state = self.RECORDING
+        self._traces[trace_id] = _Recording()
+        self._rec_ops = []
+        self._rec_tasks = {}
+        self.recordings += 1
+        return False
+
+    def end(self) -> None:
+        if self._state == self.REPLAYING:
+            rec = self._traces[self._tid]  # type: ignore[index]
+            if self._index != len(rec.entries):
+                raise TraceMismatch(
+                    f"trace {self._tid} replay ended after {self._index} of "
+                    f"{len(rec.entries)} operations")
+        self._state = self.IDLE
+        self._tid = None
+
+    @property
+    def active(self) -> str:
+        return self._state
+
+    # -- recording ------------------------------------------------------------------
+
+    def observe(self, record) -> None:
+        """Called by the pipeline for every freshly analyzed op record."""
+        if self._state != self.RECORDING:
+            return
+        op = record.op
+        offset_of = {id(o): i for i, o in enumerate(self._rec_ops)}
+        entry = _TraceEntry(signature=_op_signature(op))
+        for f in record.fences:
+            entry.fence_scopes.append((f.region, f.fields))
+        for prev, nxt in self._iter_in_edges(record):
+            src = offset_of.get(id(prev.op))
+            if src is None:
+                continue  # external edge: covered by the replay entry fence
+            entry.internal_edges.append((src, prev.point, nxt.point))
+        for (prev_op, _op) in record.coarse_deps:
+            src = offset_of.get(id(prev_op))
+            if src is not None:
+                entry.coarse_dep_offsets.append(src)
+        self._traces[self._tid].entries.append(entry)  # type: ignore[index]
+        for t in record.point_tasks:
+            self._rec_tasks[(len(self._rec_ops), t.point)] = t
+        self._rec_ops.append(op)
+        self._index += 1
+
+    @staticmethod
+    def _iter_in_edges(record):
+        """Precise in-edges of this record's point tasks.
+
+        The fine stage computed them during ``analyze``; they are exactly the
+        graph dependences whose destination belongs to this record.
+        """
+        dests: Set[PointTask] = set(record.point_tasks)
+        # record.point_tasks were just analyzed; their in-edges are the graph
+        # edges added during that analysis.  The pipeline stores them on the
+        # record lazily via this attribute when tracing is active.
+        for edge in getattr(record, "in_edges", ()):  # set by pipeline
+            if edge[1] in dests:
+                yield edge
+
+    # -- replay -------------------------------------------------------------------------
+
+    def try_replay(self, op: Operation, seq: int, num_shards: int):
+        """Serve one op from the active replay, or return None."""
+        if self._state != self.REPLAYING:
+            return None
+        from .pipeline import OpRecord  # local import avoids a cycle
+
+        rec = self._traces[self._tid]  # type: ignore[index]
+        if self._index >= len(rec.entries):
+            raise TraceMismatch(
+                f"trace {self._tid} replay received more operations than "
+                f"were recorded ({len(rec.entries)})")
+        entry = rec.entries[self._index]
+        if entry.signature != _op_signature(op):
+            raise TraceMismatch(
+                f"trace {self._tid} op #{self._index} signature mismatch: "
+                f"{op.name} does not match the recording")
+        op.seq = seq
+        point_tasks = [
+            PointTask(op, p, op.shard_of(p, num_shards)) for p in op.points()]
+        offset = len(self._replay_ops)
+        for t in point_tasks:
+            self._replay_tasks[(offset, t.point)] = t
+        fences: List[Fence] = []
+        if offset == 0:
+            # Global entry fence: orders everything before the trace.
+            fences.append(Fence(at_seq=seq, region=None,
+                                fields=frozenset()))
+        for scope_region, scope_fields in entry.fence_scopes:
+            fences.append(Fence(at_seq=seq, region=scope_region,
+                                fields=scope_fields))
+        edges: List[Tuple[PointTask, PointTask]] = []
+        by_point = {t.point: t for t in point_tasks}
+        for src_off, src_point, dst_point in entry.internal_edges:
+            src = self._replay_tasks.get((src_off, src_point))
+            dst = by_point.get(dst_point)
+            if src is not None and dst is not None:
+                edges.append((src, dst))
+        coarse_deps = {
+            (self._replay_ops[off], op) for off in entry.coarse_dep_offsets
+            if off < len(self._replay_ops)
+        }
+        self._replay_ops.append(op)
+        record = OpRecord(
+            op=op, coarse_deps=coarse_deps, fences=fences,
+            point_tasks=point_tasks, coarse_scans=0, traced=True)
+        self._replay_edges[id(record)] = edges
+        self._index += 1
+        return record
+
+    def internal_edges_for(self, record) -> List[Tuple[PointTask, PointTask]]:
+        return self._replay_edges.get(id(record), [])

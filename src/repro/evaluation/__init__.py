@@ -1,0 +1,9 @@
+"""Evaluation harness: regenerate all figures of paper §5 programmatically.
+
+``python -m repro.evaluation --all`` prints every figure's series; the
+``benchmarks/`` pytest modules wrap the same sweeps with shape assertions.
+"""
+
+from .figures import FIGURES
+
+__all__ = ["FIGURES"]

@@ -1,0 +1,83 @@
+"""CLI: regenerate the paper's evaluation figures.
+
+Usage::
+
+    python -m repro.evaluation                 # list available figures
+    python -m repro.evaluation 12a 21          # print selected figures
+    python -m repro.evaluation --all           # everything
+    python -m repro.evaluation 18 --csv out/   # CSV dump per figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import sys
+
+from .figures import FIGURES
+
+
+def _print_table(name: str, header, rows) -> None:
+    print(f"\n=== Figure {name} — {FIGURES[name].__doc__} ===")
+    print("  ".join(f"{h:>16}" for h in header))
+    for row in rows:
+        cells = [f"{v:16.5g}" if isinstance(v, float) else f"{v!s:>16}"
+                 for v in row]
+        print("  ".join(cells))
+
+
+def _print_markdown(name: str, header, rows) -> None:
+    print(f"\n### Figure {name} — {FIGURES[name].__doc__}\n")
+    print("| " + " | ".join(str(h) for h in header) + " |")
+    print("|" + "---|" * len(header))
+    for row in rows:
+        cells = [f"{v:.4g}" if isinstance(v, float) else str(v)
+                 for v in row]
+        print("| " + " | ".join(cells) + " |")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation",
+        description="Regenerate evaluation figures of the DCR paper on the "
+                    "simulated machine.")
+    parser.add_argument("figures", nargs="*",
+                        help=f"figure ids ({', '.join(sorted(FIGURES))})")
+    parser.add_argument("--all", action="store_true",
+                        help="regenerate every figure")
+    parser.add_argument("--csv", metavar="DIR",
+                        help="also write figure_<id>.csv files to DIR")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit GitHub-flavored markdown tables "
+                             "(paste-ready for EXPERIMENTS.md)")
+    args = parser.parse_args(argv)
+
+    wanted = sorted(FIGURES) if args.all else args.figures
+    if not wanted:
+        print("available figures:", ", ".join(sorted(FIGURES)))
+        print("run e.g.:  python -m repro.evaluation 12a 18 21")
+        return 0
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    for name in wanted:
+        header, rows = FIGURES[name]()
+        if args.markdown:
+            _print_markdown(name, header, rows)
+        else:
+            _print_table(name, header, rows)
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"figure_{name}.csv")
+            with open(path, "w", newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(header)
+                writer.writerows(rows)
+            print(f"  -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""Programmatic regeneration of every evaluation figure (paper §5).
+
+Each ``figure*`` function runs the corresponding sweep on the simulated
+machine and returns ``(header, rows)``; the benchmark modules add the
+shape assertions on top, and the CLI (``python -m repro.evaluation``)
+prints or CSV-dumps any figure on demand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from ..apps import (candle, circuit, htr, pennant, resnet, soleil, stencil,
+                    taskbench)
+from ..flexflow import data_parallel_strategy, gradient_bytes_per_gpu
+from ..legate import cg_program, logreg_program
+from ..models import (DaskModel, DCRModel, ExplicitModel, LegionNoCRModel,
+                      SCRModel, TensorFlowModel)
+from ..sim.machine import (DGX1V, LASSEN, PIZ_DAINT, QUARTZ, SIERRA, SUMMIT,
+                           MachineSpec)
+
+__all__ = ["FIGURES", "figure12a", "figure12b", "figure13a", "figure13b",
+           "figure14", "figure15", "figure16", "figure17a", "figure17b",
+           "figure18", "figure19", "figure20", "figure21"]
+
+Table = Tuple[Sequence[str], List[Sequence]]
+
+STENCIL_NODES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def _stencil_like(app_module, weak: bool, per_node: bool,
+                  nodes=STENCIL_NODES) -> Table:
+    rows = []
+    for n in nodes:
+        machine = PIZ_DAINT.with_nodes(n)
+        build = lambda: app_module.build_program(machine, weak=weak)
+        nocr = LegionNoCRModel(machine).run(build())
+        scr = SCRModel(machine).run(build())
+        dcr = DCRModel(machine).run(build())
+        pick = (lambda r: r.throughput_per_node) if per_node \
+            else (lambda r: r.throughput)
+        rows.append((n, pick(nocr), pick(scr), pick(dcr)))
+    return (["nodes", "no-CR", "static-CR", "dynamic-CR"], rows)
+
+
+def figure12a(nodes=STENCIL_NODES) -> Table:
+    """2-D stencil weak scaling: cells/s per node."""
+    return _stencil_like(stencil, weak=True, per_node=True, nodes=nodes)
+
+
+def figure12b(nodes=STENCIL_NODES) -> Table:
+    """2-D stencil strong scaling: total cells/s."""
+    return _stencil_like(stencil, weak=False, per_node=False, nodes=nodes)
+
+
+def figure13a(nodes=STENCIL_NODES) -> Table:
+    """Circuit weak scaling: wires/s per node."""
+    return _stencil_like(circuit, weak=True, per_node=True, nodes=nodes)
+
+
+def figure13b(nodes=STENCIL_NODES) -> Table:
+    """Circuit strong scaling: total wires/s."""
+    return _stencil_like(circuit, weak=False, per_node=False, nodes=nodes)
+
+
+def figure14(nodes=(1, 2, 4, 8, 16, 32)) -> Table:
+    """Pennant weak scaling vs. MPI: iterations/s."""
+    rows = []
+    for n in nodes:
+        machine = DGX1V.with_nodes(n)
+        cpu = ExplicitModel(machine, label="mpi-cpu").run(
+            pennant.build_program(machine, cpu=True))
+        cuda = ExplicitModel(machine, label="mpi-cuda",
+                             intra_via_host=True).run(
+            pennant.build_program(machine))
+        gpudirect = ExplicitModel(machine.with_gpudirect(True),
+                                  label="mpi-gpudirect").run(
+            pennant.build_program(machine))
+        nocr = LegionNoCRModel(machine).run(pennant.build_program(machine))
+        dcr = DCRModel(machine).run(pennant.build_program(machine))
+        rows.append((n, 8 * n, cpu.throughput, cuda.throughput,
+                     gpudirect.throughput, nocr.throughput, dcr.throughput))
+    return (["nodes", "gpus", "mpi-cpu", "mpi-cuda", "mpi-gpudirect",
+             "legion-nocr", "legion-dcr"], rows)
+
+
+def _summit_for(gpus: int) -> MachineSpec:
+    if gpus < SUMMIT.gpus_per_node:
+        return dataclasses.replace(SUMMIT, nodes=1, gpus_per_node=gpus)
+    return SUMMIT.with_nodes(gpus // SUMMIT.gpus_per_node)
+
+
+def figure15(gpu_points=(1, 3, 6, 12, 24, 48, 96, 192, 384, 768)) -> Table:
+    """ResNet-50 per-epoch training time (minutes)."""
+    rows = []
+    for gpus in gpu_points:
+        m = _summit_for(gpus)
+        iters = resnet.EPOCH_ITERATIONS(gpus)
+        minutes = lambda r: r.iteration_time * iters / 60.0
+        tf = TensorFlowModel(m).run(resnet.build_program(m))
+        nocr = LegionNoCRModel(m).run(resnet.build_program(m))
+        dcr = DCRModel(m).run(resnet.build_program(m))
+        rows.append((gpus, minutes(tf), minutes(nocr), minutes(dcr)))
+    return (["gpus", "tensorflow", "flexflow-nocr", "flexflow-dcr"], rows)
+
+
+def figure16(gpu_points=(4, 8, 16, 32, 64, 128, 256, 512, 1024)) -> Table:
+    """Soleil-X weak scaling: throughput/node and efficiency."""
+    rows = []
+    base = None
+    for gpus in gpu_points:
+        m = SIERRA.with_nodes(gpus // SIERRA.gpus_per_node)
+        r = DCRModel(m).run(soleil.build_program(m))
+        tpn = r.throughput_per_node
+        base = base if base is not None else tpn
+        rows.append((gpus, tpn / 1e6, tpn / base))
+    return (["gpus", "Mcells/s/node", "efficiency"], rows)
+
+
+def figure17a(node_points=(1, 2, 4, 8, 16, 32, 64, 128, 256)) -> Table:
+    """HTR weak scaling on Quartz: parallel efficiency."""
+    rows, base = [], None
+    for n in node_points:
+        m = QUARTZ.with_nodes(n)
+        r = DCRModel(m).run(htr.build_program(m, gpu=False))
+        tpn = r.throughput_per_node
+        base = base if base is not None else tpn
+        rows.append((36 * n, tpn / base))
+    return (["cores", "efficiency"], rows)
+
+
+def figure17b(node_points=(1, 2, 4, 8, 16, 32, 64, 128)) -> Table:
+    """HTR weak scaling on Lassen: parallel efficiency."""
+    rows, base = [], None
+    for n in node_points:
+        m = LASSEN.with_nodes(n)
+        r = DCRModel(m).run(htr.build_program(m, gpu=True))
+        tpn = r.throughput_per_node
+        base = base if base is not None else tpn
+        rows.append((4 * n, tpn / base))
+    return (["gpus", "efficiency"], rows)
+
+
+def figure18(gpu_points=(6, 12, 24, 48, 96, 192, 384, 768)) -> Table:
+    """CANDLE per-epoch training time (hours), TF vs. FlexFlow hybrid."""
+    layers = candle.candle_layers()
+    dp_bytes = gradient_bytes_per_gpu(layers, data_parallel_strategy(layers))
+    rows = []
+    for gpus in gpu_points:
+        m = SUMMIT.with_nodes(max(1, gpus // SUMMIT.gpus_per_node))
+        iters = candle.EPOCH_ITERATIONS(gpus)
+        hours = lambda r: r.iteration_time * iters / 3600.0
+        tf = TensorFlowModel(m).run(candle.build_program(m, hybrid=False))
+        prog = candle.build_program(m, hybrid=True)
+        ff = DCRModel(m).run(prog)
+        rows.append((gpus, hours(tf), hours(ff), hours(tf) / hours(ff),
+                     dp_bytes / prog.gradient_bytes_per_gpu))
+    return (["gpus", "tensorflow", "flexflow-dcr", "speedup",
+             "comm-reduction"], rows)
+
+
+def socket_machine(sockets: int) -> MachineSpec:
+    """The Fig. 19/20 cluster viewed as sockets of 20 cores / 1 GPU."""
+    return MachineSpec("dgx-sockets", nodes=sockets, cpus_per_node=20,
+                       gpus_per_node=1, intra_bw=150e9, inter_bw=12.5e9)
+
+
+def _legate_sweep(builder, sockets) -> Table:
+    rows = []
+    for s in sockets:
+        m = socket_machine(s)
+        cpu = DCRModel(m).run(builder(m, gpu=False))
+        gpu = DCRModel(m).run(builder(m, gpu=True))
+        dask = DaskModel(m).run(builder(m, gpu=False, chunks_per_socket=1))
+        rows.append((s, 20 * s, dask.throughput, cpu.throughput,
+                     gpu.throughput))
+    return (["sockets", "cores", "dask-cpu", "legate-dcr-cpu",
+             "legate-dcr-gpu"], rows)
+
+
+def figure19(sockets=(1, 2, 4, 8, 16, 32, 64, 128, 256)) -> Table:
+    """Legate logistic regression weak scaling: iterations/s."""
+    return _legate_sweep(logreg_program, sockets)
+
+
+def figure20(sockets=(1, 2, 4, 8, 16, 32, 64, 128, 256)) -> Table:
+    """Legate preconditioned CG weak scaling: iterations/s."""
+    return _legate_sweep(cg_program, sockets)
+
+
+def figure21(node_points=(1, 2, 4, 8, 16, 32, 64, 128)) -> Table:
+    """METG(50%) in milliseconds across {trace} x {safe}."""
+    rows = []
+    for n in node_points:
+        m = MachineSpec("metg-cluster", nodes=n, cpus_per_node=1,
+                        gpus_per_node=0)
+        vals = {
+            (tr, safe): taskbench.metg(m, tracing=tr, safe=safe)
+            for tr in (False, True) for safe in (False, True)
+        }
+        rows.append((n,
+                     vals[(False, False)] * 1e3, vals[(False, True)] * 1e3,
+                     vals[(True, False)] * 1e3, vals[(True, True)] * 1e3))
+    return (["nodes", "notrace/nosafe", "notrace/safe", "trace/nosafe",
+             "trace/safe"], rows)
+
+
+def figure21p(node_points=(4, 16, 64),
+              patterns=("trivial", "no_comm", "stencil_1d", "fft", "tree",
+                        "spread")) -> Table:
+    """Extension: METG(50%) by Task Bench dependence pattern (ms, traced)."""
+    rows = []
+    for n in node_points:
+        m = MachineSpec("metg-cluster", nodes=n, cpus_per_node=1,
+                        gpus_per_node=0)
+        row = [n]
+        for pattern in patterns:
+            row.append(taskbench.metg(m, tracing=True, safe=True,
+                                      pattern=pattern) * 1e3)
+        rows.append(tuple(row))
+    return (["nodes", *patterns], rows)
+
+
+FIGURES = {
+    "12a": figure12a, "12b": figure12b, "13a": figure13a, "13b": figure13b,
+    "14": figure14, "15": figure15, "16": figure16, "17a": figure17a,
+    "17b": figure17b, "18": figure18, "19": figure19, "20": figure20,
+    "21": figure21, "21p": figure21p,
+}

@@ -1,0 +1,14 @@
+"""FlexFlow: hybrid data/model-parallel DNN training over DCR (paper §5.3)."""
+
+from .search import search_strategy
+from .training import make_regression, reference_train_mlp, train_mlp
+from .strategy import (LayerConfig, LayerSpec, Strategy,
+                       data_parallel_strategy, gradient_bytes_per_gpu,
+                       iteration_time)
+
+__all__ = [
+    "search_strategy",
+    "make_regression", "reference_train_mlp", "train_mlp",
+    "LayerConfig", "LayerSpec", "Strategy", "data_parallel_strategy",
+    "gradient_bytes_per_gpu", "iteration_time",
+]

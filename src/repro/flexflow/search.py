@@ -1,0 +1,70 @@
+"""FlexFlow's strategy search, as Markov-chain Monte Carlo (paper §5.3).
+
+FlexFlow explores the space of per-layer parallelization configurations
+with an MCMC search guided by a simulated execution cost.  This module
+reproduces that loop over the :mod:`repro.flexflow.strategy` cost model:
+propose a random single-layer change, accept it if it improves the modeled
+iteration time (or with Metropolis probability otherwise), keep the best.
+
+Deterministic: driven by the counter-based RNG so replicated control
+programs can run the search and agree on the result (§3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..core.rng import CounterRNG
+from ..sim.machine import MachineSpec
+from .strategy import (LayerConfig, LayerSpec, Strategy,
+                       data_parallel_strategy, iteration_time)
+
+__all__ = ["search_strategy"]
+
+
+def _candidate_degrees(machine: MachineSpec) -> List[int]:
+    """Model-parallel degrees: divisors of the node width, then node
+    multiples (model parallelism may span nodes for very large layers)."""
+    per_node = max(1, machine.gpus_per_node)
+    out = [d for d in range(1, per_node + 1) if per_node % d == 0]
+    span, gpus = per_node * 2, max(1, machine.nodes * per_node)
+    while span <= min(gpus, per_node * 8):
+        out.append(span)
+        span *= 2
+    return out
+
+
+def search_strategy(layers: Sequence[LayerSpec], machine: MachineSpec,
+                    batch_per_gpu: int = 64, steps: int = 2000,
+                    seed: int = 17, temperature: float = 0.05
+                    ) -> Tuple[Strategy, float]:
+    """MCMC over per-layer model-parallel degrees; returns (best, time)."""
+    rng = CounterRNG(seed)
+    degrees = _candidate_degrees(machine)
+    gpus = max(1, machine.nodes * machine.gpus_per_node)
+    degrees = [d for d in degrees if gpus % d == 0]
+
+    current = data_parallel_strategy(layers)
+    current_t = iteration_time(layers, current, machine, batch_per_gpu)
+    best, best_t = current, current_t
+    for _ in range(steps):
+        li = rng.randint(0, len(layers) - 1)
+        new_deg = degrees[rng.randint(0, len(degrees) - 1)]
+        if new_deg == current.model_degree(li):
+            continue
+        configs = list(current.configs)
+        configs[li] = LayerConfig(new_deg)
+        proposal = Strategy(configs)
+        t = iteration_time(layers, proposal, machine, batch_per_gpu)
+        if t < current_t:
+            accept = True
+        else:
+            # Metropolis acceptance on relative slowdown.
+            rel = (t - current_t) / max(current_t, 1e-12)
+            accept = rng.random() < math.exp(-rel / temperature)
+        if accept:
+            current, current_t = proposal, t
+            if t < best_t:
+                best, best_t = proposal, t
+    return best, best_t

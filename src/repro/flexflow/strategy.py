@@ -1,0 +1,107 @@
+"""FlexFlow-style parallelization strategies (paper §5.3).
+
+FlexFlow searches, per network layer, over how to parallelize that layer
+across the machine.  We model the two dimensions that matter for the
+paper's experiments:
+
+* **data parallelism** (degree D): the batch is split over D replicas; each
+  replica holds full layer weights, so gradients must be all-reduced across
+  replicas every iteration;
+* **model parallelism** (degree M): the layer's weights are split over M
+  GPUs (within a node, using NVLink); each weight shard's gradient is only
+  synchronized across the D = G/M data replicas, cutting gradient traffic by
+  M at the price of intra-node activation exchanges.
+
+The CANDLE MLP's 768M weights make pure data parallelism communication-
+bound; FlexFlow's hybrid strategy reduces per-GPU gradient traffic ~20x
+(paper §5.3), which the search below rediscovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..sim.machine import MachineSpec
+
+__all__ = ["LayerSpec", "LayerConfig", "Strategy", "iteration_time",
+           "gradient_bytes_per_gpu", "data_parallel_strategy"]
+
+# Effective per-GPU throughput for dense layers (V100-class, mixed precision
+# falling well short of peak on memory-bound MLPs).
+GPU_FLOPS = 10.0e12
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One network layer: enough structure to cost both parallel modes."""
+
+    name: str
+    params: int                  # weight count
+    flops_per_sample: float      # forward FLOPs for one sample
+    activation_size: int         # output activations per sample (elements)
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """Parallelization of one layer: model-parallel degree M (divides the
+    GPUs of one node); data-parallel degree is ``gpus / M``."""
+
+    model_degree: int = 1
+
+
+@dataclass
+class Strategy:
+    configs: List[LayerConfig]
+
+    def model_degree(self, i: int) -> int:
+        return self.configs[i].model_degree
+
+    def describe(self, layers: Sequence[LayerSpec]) -> str:
+        return ", ".join(
+            f"{l.name}:M{c.model_degree}" for l, c in zip(layers, self.configs))
+
+
+def data_parallel_strategy(layers: Sequence[LayerSpec]) -> Strategy:
+    return Strategy([LayerConfig(1) for _ in layers])
+
+
+def gradient_bytes_per_gpu(layers: Sequence[LayerSpec],
+                           strategy: Strategy) -> float:
+    """Bytes of gradient each GPU must all-reduce per iteration."""
+    return sum(4.0 * l.params / strategy.model_degree(i)
+               for i, l in enumerate(layers))
+
+
+def iteration_time(layers: Sequence[LayerSpec], strategy: Strategy,
+                   machine: MachineSpec, batch_per_gpu: int = 64) -> float:
+    """Modeled time of one training iteration under a strategy.
+
+    Compute (fwd + 2x bwd) overlaps nothing; gradient all-reduce uses the
+    ring model over the data-parallel replicas; model-parallel layers add
+    intra-node activation gather/scatter on NVLink.
+    """
+    gpus = max(1, machine.nodes * machine.gpus_per_node)
+    t = 0.0
+    for i, layer in enumerate(layers):
+        m_deg = strategy.model_degree(i)
+        d_deg = max(1, gpus // m_deg)
+        # Compute: the batch seen by one model shard group.
+        samples = batch_per_gpu * m_deg      # its data replica's share
+        t += 3.0 * samples * layer.flops_per_sample / m_deg / GPU_FLOPS
+        # Gradient synchronization across data replicas (ring all-reduce).
+        if d_deg > 1:
+            gbytes = 4.0 * layer.params / m_deg
+            ring = 2.0 * gbytes * (d_deg - 1) / d_deg / machine.inter_bw
+            t += ring + machine.inter_lat * max(1, (d_deg - 1).bit_length())
+        # Activation exchange for model parallelism (both passes): over
+        # NVLink while the shards fit in one node, over the interconnect
+        # when the layer spans nodes.
+        if m_deg > 1:
+            abytes = 4.0 * batch_per_gpu * m_deg * layer.activation_size
+            bw = (machine.intra_bw if m_deg <= machine.gpus_per_node
+                  else machine.inter_bw)
+            lat = (machine.intra_lat if m_deg <= machine.gpus_per_node
+                   else machine.inter_lat)
+            t += 2.0 * abytes / bw + 2 * lat
+    return t

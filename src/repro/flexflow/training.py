@@ -1,0 +1,140 @@
+"""Functional data-parallel DNN training on the replicated runtime.
+
+`repro.apps.dnn` models training performance (Figs. 15/18); this module
+executes the FlexFlow-on-Legion structure for real at mini scale: a
+two-layer MLP trained by data-parallel SGD, where each tile's task computes
+forward+backward on its batch shard against broadcast weights, gradient
+partials land in a per-tile region, and a combining task (the functional
+stand-in for the gradient all-reduce) updates the weights every next
+iteration reads.  Verified bit-for-bit against a plain-NumPy trainer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.rng import CounterRNG
+from ..runtime.runtime import Context
+
+__all__ = ["train_mlp", "reference_train_mlp", "make_regression"]
+
+
+def make_regression(n: int, f: int, seed: int = 12
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Deterministic regression data with a planted nonlinear target."""
+    rng = CounterRNG(seed)
+    x = np.array([rng.random() - 0.5 for _ in range(n * f)]).reshape(n, f)
+    w = np.array([rng.random() - 0.5 for _ in range(f)])
+    y = np.tanh(x @ w) + 0.1 * (x ** 2) @ np.abs(w)
+    return x, y
+
+
+def _init_weights(f: int, h: int, seed: int
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    rng = CounterRNG(seed, stream=5)
+    w1 = np.array([rng.random() - 0.5
+                   for _ in range(f * h)]).reshape(f, h) * 0.5
+    w2 = np.array([rng.random() - 0.5 for _ in range(h)]) * 0.5
+    return w1, w2
+
+
+def _fwd_bwd(x, y, w1, w2):
+    """Forward + backward of the tanh MLP under MSE; returns grads, loss."""
+    z = x @ w1                    # (n, h)
+    a = np.tanh(z)
+    pred = a @ w2                 # (n,)
+    err = pred - y
+    n = len(y)
+    g2 = a.T @ err / n
+    da = np.outer(err, w2) * (1 - a ** 2)
+    g1 = x.T @ da / n
+    return g1, g2, float((err ** 2).mean())
+
+
+def train_mlp(ctx: Context, x_data: np.ndarray, y_data: np.ndarray,
+              hidden: int = 6, epochs: int = 12, lr: float = 0.5,
+              tiles: int = 4, seed: int = 12):
+    """Train the MLP data-parallel over ``tiles``; returns (w1, w2, losses).
+    """
+    n, f = x_data.shape
+    w1_0, w2_0 = _init_weights(f, hidden, seed)
+    gsize = f * hidden + hidden
+
+    dfs = ctx.create_field_space([("x", "f8")], "DataF")
+    yfs = ctx.create_field_space([("y", "f8")], "LabelF")
+    wfs = ctx.create_field_space([("w", "f8")], "WeightF")
+    gfs = ctx.create_field_space([("g", "f8"), ("loss", "f8")], "GradF")
+    xr = ctx.create_region(ctx.create_index_space((n, f)), dfs, "X")
+    yr = ctx.create_region(ctx.create_index_space(n), yfs, "y")
+    wr = ctx.create_region(ctx.create_index_space(gsize), wfs, "W")
+    gr = ctx.create_region(ctx.create_index_space((tiles, gsize)), gfs,
+                           "grads")
+    x_tiles = ctx.partition_equal(xr, tiles, dim=0, name="x_tiles")
+    y_tiles = ctx.partition_equal(yr, tiles, name="y_tiles")
+    g_tiles = ctx.partition_equal(gr, tiles, dim=0, name="g_tiles")
+    ctx.fill(gr, ["g", "loss"], 0.0)
+    ctx.fill(wr, "w", 0.0)
+
+    def init(x_arg, y_arg, w_arg, xs, ys, w1f, w2f):
+        x_arg["x"].view[...] = np.array(xs).reshape(n, f)
+        y_arg["y"].view[...] = np.array(ys)
+        w_arg["w"].view[...] = np.concatenate(
+            [np.array(w1f), np.array(w2f)])
+
+    ctx.launch(init, [(xr, "x", "rw"), (yr, "y", "rw"), (wr, "w", "rw")],
+               args=(tuple(x_data.reshape(-1)), tuple(y_data),
+                     tuple(w1_0.reshape(-1)), tuple(w2_0)))
+
+    def fwd_bwd(point, x_arg, y_arg, w_arg, g_arg):
+        w_flat = w_arg["w"].view
+        w1 = w_flat[:f * hidden].reshape(f, hidden)
+        w2 = w_flat[f * hidden:]
+        g1, g2, loss = _fwd_bwd(x_arg["x"].view, y_arg["y"].view, w1, w2)
+        g_arg["g"].view[...] = np.concatenate(
+            [g1.reshape(-1), g2])[None, :]
+        g_arg["loss"].view[...] = loss
+
+    def combine_update(g_arg, w_arg, step):
+        grads = g_arg["g"].view            # (tiles, gsize)
+        losses = g_arg["loss"].view[:, 0]
+        mean_grad = grads.mean(axis=0)
+        w_arg["w"].view[...] -= step * mean_grad
+        return float(losses.mean())
+
+    dom = list(range(tiles))
+    losses: List[float] = []
+    for _epoch in range(epochs):
+        ctx.index_launch(
+            fwd_bwd, dom,
+            [(x_tiles, "x", "ro"), (y_tiles, "y", "ro"), (wr, "w", "ro"),
+             (g_tiles, ["g", "loss"], "rw")])
+        fut = ctx.launch(combine_update,
+                         [(gr, ["g", "loss"], "ro"), (wr, "w", "rw")],
+                         args=(lr,))
+        losses.append(ctx.get_value(fut))
+    return wr, losses
+
+
+def reference_train_mlp(x: np.ndarray, y: np.ndarray, hidden: int = 6,
+                        epochs: int = 12, lr: float = 0.5, tiles: int = 4,
+                        seed: int = 12
+                        ) -> Tuple[np.ndarray, List[float]]:
+    """NumPy trainer with the identical tile-averaged gradient math."""
+    n, f = x.shape
+    w1, w2 = _init_weights(f, hidden, seed)
+    w = np.concatenate([w1.reshape(-1), w2])
+    bounds = [(n * t // tiles, n * (t + 1) // tiles) for t in range(tiles)]
+    losses = []
+    for _ in range(epochs):
+        grads, tile_losses = [], []
+        w1c = w[:f * hidden].reshape(f, hidden)
+        w2c = w[f * hidden:]
+        for lo, hi in bounds:
+            g1, g2, loss = _fwd_bwd(x[lo:hi], y[lo:hi], w1c, w2c)
+            grads.append(np.concatenate([g1.reshape(-1), g2]))
+            tile_losses.append(loss)
+        w = w - lr * np.mean(grads, axis=0)
+        losses.append(float(np.mean(tile_losses)))
+    return w, losses

@@ -1,0 +1,16 @@
+"""Legate NumPy: distributed deferred arrays over DCR (paper §5.4)."""
+
+from .array import LegateArray, LegateContext
+from .kmeans import kmeans, make_blobs, reference_kmeans
+from .linalg import (logistic_regression, make_problem, preconditioned_cg,
+                     reference_logistic_regression,
+                     reference_preconditioned_cg)
+from .programs import cg_program, logreg_program
+
+__all__ = [
+    "LegateArray", "LegateContext",
+    "kmeans", "make_blobs", "reference_kmeans",
+    "logistic_regression", "make_problem", "preconditioned_cg",
+    "reference_logistic_regression", "reference_preconditioned_cg",
+    "cg_program", "logreg_program",
+]

@@ -1,0 +1,106 @@
+"""k-means clustering on the deferred-array runtime (a Legate NumPy demo).
+
+The Legate NumPy paper's flagship demos are logistic regression, CG and
+k-means; this module adds the third.  The structure is the classic
+map-reduce EM loop: a group launch assigns each row tile's points to the
+nearest center (reading the small centers region whole — a broadcast), a
+second group launch accumulates per-tile partial sums and counts, and a
+single combining task produces the new centers every shard's next
+iteration depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.rng import CounterRNG
+from ..runtime.runtime import Context
+from .array import LegateContext
+
+__all__ = ["kmeans", "reference_kmeans", "make_blobs"]
+
+
+def make_blobs(n: int, f: int, k: int, seed: int = 9, spread: float = 0.15
+               ) -> np.ndarray:
+    """Deterministic clustered data: k well-separated blobs in [0,1]^f."""
+    rng = CounterRNG(seed)
+    centers = np.array([[rng.random() for _ in range(f)] for _ in range(k)])
+    rows = []
+    for i in range(n):
+        c = centers[i % k]
+        rows.append([c[j] + spread * (rng.random() - 0.5)
+                     for j in range(f)])
+    return np.array(rows)
+
+
+def kmeans(ctx: Context, data: np.ndarray, k: int, iterations: int = 8,
+           num_tiles: int = 4) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm over deferred arrays; returns (centers, labels)."""
+    lg = LegateContext(ctx, num_tiles)
+    n, f = data.shape
+    x = lg.from_values(data, "km_x")
+    centers = lg.from_values(data[:k].copy(), "km_centers")
+    labels = lg.zeros(n, "km_labels")
+    tiles = len(x.tiles)
+    sums = lg.zeros((tiles, k * f), "km_sums")
+    counts = lg.zeros((tiles, k), "km_counts")
+
+    def assign(point, x_arg, c_arg, l_arg):
+        xs = x_arg["v"].view
+        cen = c_arg["v"].view
+        d = ((xs[:, None, :] - cen[None, :, :]) ** 2).sum(axis=2)
+        l_arg["v"].view[...] = np.argmin(d, axis=1).astype(np.float64)
+
+    def partials(point, x_arg, l_arg, s_arg, n_arg):
+        xs = x_arg["v"].view
+        lbl = l_arg["v"].view.astype(np.int64)
+        s = s_arg["v"].view.reshape(k, f)
+        cn = n_arg["v"].view.reshape(k)
+        s[...] = 0.0
+        cn[...] = 0.0
+        for c in range(k):
+            mask = lbl == c
+            cn[c] = float(mask.sum())
+            if cn[c]:
+                s[c, :] = xs[mask].sum(axis=0)
+
+    def combine(s_arg, n_arg, c_arg):
+        s = s_arg["v"].view.reshape(tiles, k, f)
+        cn = n_arg["v"].view.reshape(tiles, k)
+        cen = c_arg["v"].view
+        total = cn.sum(axis=0)
+        agg = s.sum(axis=0)
+        for c in range(k):
+            if total[c] > 0:
+                cen[c, :] = agg[c, :] / total[c]
+
+    dom = list(range(tiles))
+    for _ in range(iterations):
+        ctx.index_launch(assign, dom,
+                         [(x.tiles, "v", "ro"), (centers.region, "v", "ro"),
+                          (labels.tiles, "v", "rw")])
+        ctx.index_launch(partials, dom,
+                         [(x.tiles, "v", "ro"), (labels.tiles, "v", "ro"),
+                          (sums.tiles, "v", "rw"),
+                          (counts.tiles, "v", "rw")])
+        ctx.launch(combine,
+                   [(sums.region, "v", "ro"), (counts.region, "v", "ro"),
+                    (centers.region, "v", "rw")])
+    return centers.to_numpy(), labels.to_numpy()
+
+
+def reference_kmeans(data: np.ndarray, k: int, iterations: int = 8
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Plain-NumPy Lloyd's algorithm with the same initialization."""
+    centers = data[:k].copy()
+    labels = np.zeros(len(data))
+    for _ in range(iterations):
+        d = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = np.argmin(d, axis=1)
+        for c in range(k):
+            mask = labels == c
+            if mask.any():
+                centers[c] = data[mask].mean(axis=0)
+    return centers, labels.astype(np.float64)

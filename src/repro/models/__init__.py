@@ -1,0 +1,17 @@
+"""Execution models: the three approaches of Fig. 1 plus explicit MPI."""
+
+from .base import ExecutionModel, SimResult
+from .centralized import (CentralizedModel, DaskModel, LegionNoCRModel,
+                          SparkModel, TensorFlowModel)
+from .dcr import DCRModel
+from .des import EventDrivenExecutor
+from .explicit import ExplicitModel
+from .scr import SCRInapplicable, SCRModel
+
+__all__ = [
+    "ExecutionModel", "SimResult",
+    "CentralizedModel", "DaskModel", "LegionNoCRModel", "SparkModel",
+    "TensorFlowModel",
+    "DCRModel", "EventDrivenExecutor", "ExplicitModel", "SCRInapplicable",
+    "SCRModel",
+]

@@ -1,0 +1,301 @@
+"""Shared execution scheduler for all execution models (Fig. 1).
+
+Every model — centralized lazy evaluation, static control replication,
+dynamic control replication, explicit MPI-style — executes the *same*
+application operation stream on the *same* simulated machine; they differ
+only in when each point task's *analysis/launch* completes (the model's
+``analysis_schedule``) and in which runtime collectives they insert.
+
+Execution itself is deterministic list scheduling over numpy arrays:
+
+* point p of an op is placed on a processor by the blocked mapping;
+* p may start when (a) its analysis is done, (b) all producer points have
+  finished and their data has arrived (pattern-expanded edges, or an
+  O(log N) collective for ``all`` dependences), and (c) its processor is
+  free;
+* processors are FIFO-serial.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.machine import MachineSpec, ProcKind
+from ..sim.network import NetworkModel, TrafficStats
+from ..sim.workload import DepSpec, SimOp, SimProgram, placement
+
+__all__ = ["SimResult", "ExecutionModel"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    model: str
+    machine: str
+    nodes: int
+    makespan: float
+    iteration_time: float
+    throughput: float                   # work units per second
+    analysis_busy: float = 0.0          # max per-resource analysis busy time
+    traffic: Optional[TrafficStats] = None
+    op_done: List[float] = field(default_factory=list)
+    proc_busy: float = 0.0              # total processor busy time (s)
+    proc_count: int = 0                 # processors of the dominant kind
+
+    @property
+    def throughput_per_node(self) -> float:
+        return self.throughput / max(1, self.nodes)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of processor-seconds spent executing tasks."""
+        if self.makespan <= 0 or self.proc_count == 0:
+            return 0.0
+        return min(1.0, self.proc_busy / (self.makespan * self.proc_count))
+
+    @property
+    def analysis_fraction(self) -> float:
+        """Analysis busy time relative to the whole run (hidden if < 1)."""
+        return self.analysis_busy / self.makespan if self.makespan else 0.0
+
+
+class ExecutionModel(ABC):
+    """Template: subclass supplies the analysis/launch schedule."""
+
+    name = "abstract"
+
+    def __init__(self, machine: MachineSpec, costs: CostModel = DEFAULT_COSTS):
+        self.machine = machine
+        self.costs = costs
+
+    # -- model-specific -----------------------------------------------------------
+
+    @abstractmethod
+    def analysis_schedule(self, program: SimProgram) -> List[np.ndarray]:
+        """Per op: array of per-point times at which analysis completes."""
+
+    def collective_efficiency_for(self, nbytes: float) -> float:
+        """Fraction of ideal ring bandwidth this runtime's collectives
+        achieve for the given payload (1.0 = ideal; overridden by models
+        whose measured collectives degrade at large payloads)."""
+        return 1.0
+
+    # -- shared executor ------------------------------------------------------------
+
+    # -- analysis/execution coupling hooks -----------------------------------------
+
+    def begin_run(self, program: SimProgram) -> None:
+        """Initialize per-run analysis state (default: precompute)."""
+        self._ready_schedule = self.analysis_schedule(program)
+
+    def op_ready(self, op: SimOp, done: List[np.ndarray]) -> np.ndarray:
+        """Per-point analysis-complete times for ``op``.
+
+        ``done`` holds execution completion times of all earlier ops, which
+        lets models with a bounded operation window throttle analysis on
+        execution progress.  The default indexes the precomputed schedule.
+        """
+        return self._ready_schedule[op.index]
+
+    def run(self, program: SimProgram) -> SimResult:
+        machine = self.machine
+        net = NetworkModel(machine)
+        self.begin_run(program)
+        done: List[np.ndarray] = []
+        ppn = {
+            ProcKind.GPU: max(1, machine.gpus_per_node),
+            ProcKind.CPU: max(1, machine.cpus_per_node),
+        }
+        avail: Dict[ProcKind, np.ndarray] = {
+            k: np.zeros(machine.nodes * ppn[k]) for k in ppn
+        }
+        node_cache: Dict[Tuple[int, ProcKind], np.ndarray] = {}
+
+        def nodes_of(points: int, kind: ProcKind) -> np.ndarray:
+            key = (points, kind)
+            arr = node_cache.get(key)
+            if arr is None:
+                total = machine.nodes * ppn[kind]
+                gproc = np.minimum(
+                    np.arange(points) * total // max(points, 1), total - 1)
+                arr = np.stack([gproc // ppn[kind], gproc])
+                node_cache[key] = arr
+            return arr
+
+        for op in program.ops:
+            n = op.points
+            start = np.array(self.op_ready(op, done), dtype=float, copy=True)
+            if start.shape != (n,):
+                start = np.full(n, float(start))
+            dst_nodes, dst_gproc = nodes_of(n, op.proc_kind)
+            for dep in op.deps:
+                src = done[dep.src]
+                src_op = program.ops[dep.src]
+                if dep.pattern == "all":
+                    t = src.max() + net.collective_time(
+                        dep.nbytes, max(src_op.points, n), op.proc_kind,
+                        staging_contention=getattr(
+                            self, "collective_staging_contention", 1),
+                        bw_efficiency=self.collective_efficiency_for(
+                            dep.nbytes))
+                    np.maximum(start, t, out=start)
+                    continue
+                src_nodes, _ = nodes_of(src_op.points, src_op.proc_kind)
+                self._apply_edges(start, src, dep, op, src_op,
+                                  dst_nodes, src_nodes, net)
+            # Processor serialization.
+            free = avail[op.proc_kind]
+            if n <= machine.nodes * ppn[op.proc_kind]:
+                begin = np.maximum(start, free[dst_gproc])
+                end = begin + op.duration
+                free[dst_gproc] = end
+            else:
+                end = np.empty(n)
+                for p in range(n):
+                    g = dst_gproc[p]
+                    b = max(start[p], free[g])
+                    e = b + op.duration
+                    free[g] = e
+                    end[p] = e
+            done.append(end)
+
+        makespan = max((float(d.max()) for d in done), default=0.0)
+        iteration_time = self._steady_iteration_time(program, done)
+        throughput = (program.work_per_iteration / iteration_time
+                      if iteration_time > 0 else 0.0)
+        proc_busy = sum(op.points * op.duration for op in program.ops)
+        kinds = {op.proc_kind for op in program.ops}
+        proc_count = max((machine.nodes * ppn[k] for k in kinds), default=0)
+        return SimResult(
+            model=self.name, machine=machine.name, nodes=machine.nodes,
+            makespan=makespan, iteration_time=iteration_time,
+            throughput=throughput, traffic=net.stats,
+            analysis_busy=self._analysis_busy(),
+            op_done=[float(d.max()) for d in done],
+            proc_busy=proc_busy, proc_count=proc_count)
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _apply_edges(self, start: np.ndarray, src_done: np.ndarray,
+                     dep: DepSpec, op: SimOp, src_op: SimOp,
+                     dst_nodes: np.ndarray, src_nodes: np.ndarray,
+                     net: NetworkModel) -> None:
+        """Vectorized pointwise/halo edge application."""
+        n = op.points
+        m = src_op.points
+        if dep.pattern == "pointwise":
+            src_idx = (np.arange(n) if m == n
+                       else np.minimum(np.arange(n) * m // max(n, 1), m - 1))
+            self._edge_max(start, src_done, src_idx, dep.nbytes,
+                           dst_nodes, src_nodes, op.proc_kind, net)
+            return
+        if dep.pattern == "halo":
+            offsets = dep.offsets or (-1, 1)
+            # Own tile (no transfer).
+            own = np.minimum(np.arange(n), m - 1)
+            np.maximum(start, src_done[own], out=start)
+            # Resolve all offsets first so NIC ingress contention can be
+            # computed over the whole exchange: a node receiving k halo
+            # messages concurrently serializes them on its interconnect.
+            edges = []   # (src_idx, valid) per offset
+            if op.grid is None:
+                base = np.arange(n)
+                for off in offsets:
+                    q = base + int(off)
+                    valid = (q >= 0) & (q < m)
+                    edges.append((np.clip(q, 0, m - 1), valid))
+            else:
+                coords = np.unravel_index(np.arange(n), op.grid)
+                for off in offsets:
+                    q_coords = [c + o for c, o in zip(coords, off)]
+                    valid = np.ones(n, dtype=bool)
+                    for qc, e in zip(q_coords, op.grid):
+                        valid &= (qc >= 0) & (qc < e)
+                    q = np.ravel_multi_index(
+                        [np.clip(qc, 0, e - 1)
+                         for qc, e in zip(q_coords, op.grid)], op.grid)
+                    edges.append((np.minimum(q, m - 1), valid))
+            ingress = None
+            if dep.nbytes > 0:
+                per_node = np.zeros(self.machine.nodes, dtype=np.int64)
+                for q, valid in edges:
+                    inter = valid & (src_nodes[q] != dst_nodes)
+                    np.add.at(per_node, dst_nodes[inter], 1)
+                ingress = np.maximum(per_node, 1)[dst_nodes]
+            for q, valid in edges:
+                self._edge_max(start, src_done, q, dep.nbytes,
+                               dst_nodes, src_nodes, op.proc_kind, net,
+                               valid=valid, ingress=ingress)
+            return
+        raise ValueError(f"unknown pattern {dep.pattern!r}")
+
+    def _edge_max(self, start: np.ndarray, src_done: np.ndarray,
+                  src_idx: np.ndarray, nbytes: float,
+                  dst_nodes: np.ndarray, src_nodes: np.ndarray,
+                  kind: ProcKind, net: NetworkModel,
+                  valid: Optional[np.ndarray] = None,
+                  ingress: Optional[np.ndarray] = None) -> None:
+        m = self.machine
+        idx = np.clip(src_idx, 0, len(src_done) - 1)
+        arrive = src_done[idx].copy()
+        if nbytes > 0:
+            same_node = src_nodes[np.clip(idx, 0, len(src_nodes) - 1)] == dst_nodes
+            intra = m.intra_lat + nbytes / m.intra_bw
+            if ingress is None:
+                inter = np.full(len(dst_nodes),
+                                m.inter_lat + nbytes / m.inter_bw)
+            else:
+                # NIC ingress serialization: a node receiving k concurrent
+                # halo messages drains them at bw/k each.
+                inter = m.inter_lat + ingress * (nbytes / m.inter_bw)
+            if kind is ProcKind.GPU and not m.gpudirect:
+                inter += 2 * (m.intra_lat + nbytes / m.host_staging_bw) \
+                    + m.staging_overhead
+            if kind is ProcKind.GPU and getattr(self, "intra_via_host", False):
+                # One-rank-per-GPU MPI without GPUDirect P2P: even same-node
+                # exchanges bounce through host memory (Fig. 14 discussion),
+                # and all ranks on the node contend for the host copy path.
+                contend = max(1, m.gpus_per_node)
+                stage_bw = m.host_staging_bw / contend
+                intra = (m.intra_lat + 2 * nbytes / stage_bw
+                         + m.staging_overhead)
+                inter = (m.inter_lat + nbytes / m.inter_bw
+                         + 2 * (m.intra_lat + nbytes / stage_bw)
+                         + m.staging_overhead)
+            cost = np.where(same_node, intra, inter)
+            arrive += cost
+            if valid is None:
+                n_intra = int(same_node.sum())
+                n_inter = len(same_node) - n_intra
+            else:
+                n_intra = int((same_node & valid).sum())
+                n_inter = int(valid.sum()) - n_intra
+            net.stats.intra_msgs += n_intra
+            net.stats.inter_msgs += n_inter
+            net.stats.intra_bytes += n_intra * nbytes
+            net.stats.inter_bytes += n_inter * nbytes
+        if valid is not None:
+            arrive = np.where(valid, arrive, 0.0)
+        np.maximum(start, arrive, out=start)
+
+    def _steady_iteration_time(self, program: SimProgram,
+                               done: List[np.ndarray]) -> float:
+        ranges = program.iteration_ranges
+        if not ranges:
+            return max((float(d.max()) for d in done), default=0.0)
+        first_start, _ = ranges[0]
+        _, last_end = ranges[-1]
+        t0 = (max(float(done[i].max()) for i in range(first_start))
+              if first_start > 0 else 0.0)
+        t1 = max(float(done[i].max()) for i in range(first_start, last_end))
+        return (t1 - t0) / len(ranges)
+
+    def _analysis_busy(self) -> float:
+        return getattr(self, "_busy", 0.0)

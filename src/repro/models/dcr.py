@@ -1,0 +1,168 @@
+"""Dynamic control replication execution model (Fig. 1 bottom; §4).
+
+Analysis is performed by one shard per node (or per GPU).  Each shard's
+analysis clock advances through the operation stream in program order:
+
+* a cross-shard fence (derived by running the **real coarse analysis** over
+  the application's real operations when available) synchronizes all shards
+  with an O(log N) all-gather;
+* an untraced op costs the coarse group-level charge on every shard, plus
+  the fine per-point charge for the points the shard owns;
+* a traced op (Fig. 21) costs only the replay charge;
+* control-determinism checks add a small per-call hash cost (§3/§5.5).
+
+Execution of each point task then waits for its owner shard's analysis —
+the pipelining the paper describes falls out naturally, since analysis
+clocks run ahead of execution whenever task granularity exceeds analysis
+cost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set
+
+import numpy as np
+
+from ..core.coarse import CoarseAnalysis
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.machine import MachineSpec, ProcKind
+from ..sim.workload import SimOp, SimProgram
+from .base import ExecutionModel
+
+__all__ = ["DCRModel"]
+
+
+class DCRModel(ExecutionModel):
+    name = "dcr"
+
+    def __init__(self, machine: MachineSpec, costs: CostModel = DEFAULT_COSTS,
+                 shards_per: str = "node", safe_checks: bool = True,
+                 tracing: bool = True, sharding: str = "blocked",
+                 window: Optional[int] = None):
+        super().__init__(machine, costs)
+        if shards_per not in ("node", "gpu"):
+            raise ValueError("shards_per must be 'node' or 'gpu'")
+        if sharding not in ("blocked", "cyclic"):
+            raise ValueError("sharding must be 'blocked' or 'cyclic'")
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 operation")
+        self.shards_per = shards_per
+        self.safe_checks = safe_checks
+        self.tracing = tracing
+        self.sharding = sharding
+        # Legion bounds how many operations the analysis may run ahead of
+        # execution (the mapper-configurable window); None = unbounded.
+        self.window = window
+        self._busy = 0.0
+
+    # -- fence derivation -------------------------------------------------------
+
+    def _fence_positions(self, program: SimProgram, shards: int) -> Set[int]:
+        """Op indices preceded by a cross-shard fence.
+
+        Runs the genuine coarse analysis when every op carries a real
+        Operation; falls back to per-op ``fence`` annotations otherwise.
+        """
+        if shards <= 1:
+            return set()
+        if all(op.operation is not None for op in program.ops):
+            # Always derive the fence structure from the genuine coarse
+            # analysis; tracing changes what the replay *costs*, never which
+            # synchronization the program needs.
+            coarse = CoarseAnalysis(num_shards=shards)
+            positions: Set[int] = set()
+            for i, op in enumerate(program.ops):
+                assert op.operation is not None
+                op.operation.seq = i
+                _deps, fences = coarse.analyze(op.operation)
+                if fences:
+                    positions.add(i)
+            return positions
+        return {i for i, op in enumerate(program.ops) if op.fence}
+
+    # -- analysis schedule --------------------------------------------------------
+    #
+    # The analysis runs incrementally (begin_run/op_ready) so the bounded
+    # operation window can throttle it on execution progress; the batch
+    # analysis_schedule entry point drives the same machinery without
+    # feedback for API compatibility.
+
+    def begin_run(self, program: SimProgram) -> None:
+        m = self.machine
+        self._shards = m.nodes if self.shards_per == "node" \
+            else max(1, m.nodes * m.gpus_per_node)
+        self._fence_at = self._fence_positions(program, self._shards)
+        self._fence_latency = (
+            self.costs.fence_hop
+            * max(1, math.ceil(math.log2(self._shards)))
+            if self._shards > 1 else 0.0)
+        self._clock = np.zeros(self._shards)
+        self._det = (self.costs.determinism_per_call
+                     if self.safe_checks else 0.0)
+        self._blocked_since = None
+        self._busy = 0.0
+
+    def op_ready(self, op: SimOp, done) -> np.ndarray:
+        if self.window is not None and op.index >= self.window:
+            # The window is full until the op `window` places back retires.
+            release = float(done[op.index - self.window].max())
+            np.maximum(self._clock, release, out=self._clock)
+        if self._blocked_since is not None:
+            # The control program read a future produced by an earlier op
+            # (e.g. Pennant's dt reduction): every shard's analysis stalled
+            # until that op executed — the blocking downstream effect the
+            # paper attributes to the global dt collective.
+            release = float(done[self._blocked_since].max())
+            np.maximum(self._clock, release, out=self._clock)
+            self._blocked_since = None
+        if op.blocks_analysis:
+            self._blocked_since = op.index
+        r = self._advance(op)
+        self._busy = float(self._clock.max())
+        return r
+
+    def analysis_schedule(self, program: SimProgram) -> List[np.ndarray]:
+        self.begin_run(program)
+        ready: List[np.ndarray] = []
+        for op in program.ops:
+            ready.append(self._advance(op))
+        self._busy = float(self._clock.max())
+        return ready
+
+    def _advance(self, op: SimOp) -> np.ndarray:
+        m = self.machine
+        shards, clock, c = self._shards, self._clock, self.costs
+        fence_at, fence_latency, det = (self._fence_at, self._fence_latency,
+                                        self._det)
+        if True:
+            if op.index in fence_at:
+                release = clock.max() + fence_latency
+                np.maximum(clock, release, out=clock)
+            pts = np.arange(op.points)
+            if self.sharding == "blocked":
+                owner = np.minimum(pts * shards // max(op.points, 1),
+                                   shards - 1)
+            else:
+                owner = pts % shards
+            if self.tracing and op.traced:
+                clock += c.trace_replay_per_op + det
+            else:
+                clock += c.coarse_per_op + det
+                counts = np.bincount(owner, minlength=shards)
+                clock += counts * (c.fine_per_point + c.sharding_eval)
+                if shards > 1:
+                    # Points whose analysis shard differs from the executing
+                    # node ship task meta-data across the network — extra
+                    # analysis work per misplaced point (the cost a good
+                    # sharding function avoids, paper §4).
+                    ppn = max(1, m.procs_per_node(op.proc_kind))
+                    total = m.nodes * ppn
+                    exec_node = np.minimum(
+                        pts * total // max(op.points, 1), total - 1) // ppn
+                    shard_node = (owner * m.nodes // shards
+                                  if self.shards_per == "gpu" else owner)
+                    misplaced = shard_node != exec_node
+                    remote = np.bincount(owner[misplaced], minlength=shards)
+                    clock += remote * m.inter_lat
+        return clock[owner].copy()

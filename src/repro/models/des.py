@@ -1,0 +1,239 @@
+"""Event-driven executor: a second, independent scheduling engine.
+
+`ExecutionModel.run` uses deterministic list scheduling (program-order FIFO
+per processor).  Real machines behave more like Realm: a processor picks
+whichever ready task arrives first, regardless of issue order.  This module
+implements that policy on the discrete-event engine and serves as a
+cross-validation of the performance layer: for serialized chains the two
+engines must agree exactly, and in general both are bounded below by the
+critical path and above by each other within a small factor — so the
+figure-level conclusions do not hinge on the scheduling policy
+(`tests/models/test_des.py`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.machine import MachineSpec, ProcKind
+from ..sim.network import NetworkModel
+from ..sim.workload import SimProgram, edge_sources, placement
+from .base import ExecutionModel, SimResult
+
+__all__ = ["EventDrivenExecutor"]
+
+
+class EventDrivenExecutor:
+    """Run a SimProgram with readiness-order (greedy) processor scheduling.
+
+    Analysis-ready times come from any :class:`ExecutionModel`'s schedule
+    (unbounded window only); execution is simulated with an event queue:
+    a point task becomes *available* when its analysis and all producer
+    transfers complete, and each processor always runs the available task
+    with the earliest availability time.
+    """
+
+    def __init__(self, machine: MachineSpec, model: ExecutionModel):
+        self.machine = machine
+        self.model = model
+
+    # -- edge cost (scalar twin of the vectorized _edge_max) ----------------------
+
+    def _edge_cost(self, nbytes: float, src_node: int, dst_node: int,
+                   kind: ProcKind, ingress: int) -> float:
+        m = self.machine
+        if nbytes <= 0:
+            return 0.0
+        if src_node == dst_node:
+            return m.intra_lat + nbytes / m.intra_bw
+        t = m.inter_lat + max(1, ingress) * nbytes / m.inter_bw
+        if kind is ProcKind.GPU and not m.gpudirect:
+            t += 2 * (m.intra_lat + nbytes / m.host_staging_bw) \
+                + m.staging_overhead
+        return t
+
+    def run(self, program: SimProgram) -> SimResult:
+        machine = self.machine
+        ready = self.model.analysis_schedule(program)
+        ppn = {ProcKind.GPU: max(1, machine.gpus_per_node),
+               ProcKind.CPU: max(1, machine.cpus_per_node)}
+
+        # Build the point-level consumer graph up front.
+        node_of: List[List[int]] = []
+        proc_of: List[List[int]] = []
+        for op in program.ops:
+            nodes, procs = [], []
+            for p in range(op.points):
+                n, q = placement(p, op.points, machine.nodes,
+                                 ppn[op.proc_kind])
+                nodes.append(n)
+                procs.append(n * ppn[op.proc_kind] + q)
+            node_of.append(nodes)
+            proc_of.append(procs)
+
+        indeg: Dict[Tuple[int, int], int] = defaultdict(int)
+        consumers: Dict[Tuple[int, int],
+                        List[Tuple[int, int, float]]] = defaultdict(list)
+        avail: Dict[Tuple[int, int], float] = {}
+        net = NetworkModel(machine)
+        collective_release: Dict[Tuple[int, int], float] = {}
+
+        for op in program.ops:
+            for p in range(op.points):
+                avail[(op.index, p)] = float(ready[op.index][p]) \
+                    if hasattr(ready[op.index], "__len__") \
+                    else float(ready[op.index])
+            for dep in op.deps:
+                src_op = program.ops[dep.src]
+                if dep.pattern == "all":
+                    # Treated as: every point waits on every source point,
+                    # with a single collective charge added at release.
+                    for p in range(op.points):
+                        for q in range(src_op.points):
+                            indeg[(op.index, p)] += 1
+                            consumers[(dep.src, q)].append(
+                                (op.index, p, -1.0))
+                    collective_release[(op.index, dep.src)] = \
+                        net.collective_time(
+                            dep.nbytes, max(src_op.points, op.points),
+                            op.proc_kind,
+                            staging_contention=getattr(
+                                self.model,
+                                "collective_staging_contention", 1),
+                            bw_efficiency=self.model
+                            .collective_efficiency_for(dep.nbytes))
+                    continue
+                # Offset-derived sources are charged transfers; the own
+                # tile (halo pattern) is a free local dependence — the same
+                # semantics as the vectorized executor.
+                def offset_sources(p: int):
+                    if dep.pattern == "pointwise":
+                        return list(edge_sources(dep, p, src_op.points,
+                                                 op.points, op.grid))
+                    out = []
+                    offsets = dep.offsets or (-1, 1)
+                    if op.grid is None:
+                        for off in offsets:
+                            q = p + int(off)
+                            if 0 <= q < src_op.points:
+                                out.append(q)
+                    else:
+                        import numpy as np
+                        coords = np.unravel_index(p, op.grid)
+                        for off in offsets:
+                            qc = [c + o for c, o in zip(coords, off)]
+                            if all(0 <= c < e
+                                   for c, e in zip(qc, op.grid)):
+                                lin = int(np.ravel_multi_index(qc, op.grid))
+                                if lin < src_op.points:
+                                    out.append(lin)
+                    return out
+
+                per_node = [0] * machine.nodes
+                edges = []
+                for p in range(op.points):
+                    srcs = [(q, True) for q in offset_sources(p)]
+                    if dep.pattern == "halo":
+                        own = min(p, src_op.points - 1)
+                        srcs.append((own, False))   # free local edge
+                    edges.append(srcs)
+                    if dep.nbytes > 0:
+                        for q, charged in srcs:
+                            if charged and node_of[dep.src][q] \
+                                    != node_of[op.index][p]:
+                                per_node[node_of[op.index][p]] += 1
+                for p, srcs in enumerate(edges):
+                    for q, charged in srcs:
+                        cost = self._edge_cost(
+                            dep.nbytes, node_of[dep.src][q],
+                            node_of[op.index][p], op.proc_kind,
+                            per_node[node_of[op.index][p]]) if charged \
+                            else 0.0
+                        indeg[(op.index, p)] += 1
+                        consumers[(dep.src, q)].append((op.index, p, cost))
+
+        # Event-driven execution: per-processor ready heaps.
+        total_procs = max(machine.nodes * v for v in ppn.values())
+        proc_heap: Dict[int, list] = defaultdict(list)
+        proc_free: Dict[int, float] = defaultdict(float)
+        tiebreak = itertools.count()
+        done: Dict[Tuple[int, int], float] = {}
+        events: list = []        # (time, seq, kind, payload)
+
+        def enqueue_if_ready(key: Tuple[int, int]) -> None:
+            if indeg[key] == 0 and key not in done:
+                op_idx, p = key
+                proc = proc_of[op_idx][p]
+                heapq.heappush(proc_heap[proc],
+                               (avail[key], next(tiebreak), key))
+                heapq.heappush(events,
+                               (max(avail[key], proc_free[proc]),
+                                next(tiebreak), proc))
+
+        for op in program.ops:
+            for p in range(op.points):
+                enqueue_if_ready((op.index, p))
+
+        completed = 0
+        total_tasks = sum(op.points for op in program.ops)
+        while completed < total_tasks:
+            if not events:
+                raise RuntimeError("event-driven executor stalled "
+                                   "(dependence cycle?)")
+            now, _seq, proc = heapq.heappop(events)
+            heap = proc_heap[proc]
+            # Find an available task on this processor.
+            while heap and heap[0][2] in done:
+                heapq.heappop(heap)
+            if not heap or proc_free[proc] > now:
+                continue
+            task_avail, _tb, key = heap[0]
+            if task_avail > now:
+                heapq.heappush(events, (task_avail, next(tiebreak), proc))
+                continue
+            heapq.heappop(heap)
+            op_idx, p = key
+            op = program.ops[op_idx]
+            start = max(now, proc_free[proc], avail[key])
+            end = start + op.duration
+            proc_free[proc] = end
+            done[key] = end
+            completed += 1
+            # Notify consumers.
+            for c_op, c_p, cost in consumers[key]:
+                ckey = (c_op, c_p)
+                if cost < 0:
+                    release = collective_release.get((c_op, op_idx), 0.0)
+                    arrive = end + release
+                else:
+                    arrive = end + cost
+                avail[ckey] = max(avail[ckey], arrive)
+                indeg[ckey] -= 1
+                enqueue_if_ready(ckey)
+            # This processor may immediately run another task.
+            if heap:
+                heapq.heappush(events,
+                               (max(heap[0][0], end), next(tiebreak), proc))
+
+        op_done = [max(done[(op.index, p)] for p in range(op.points))
+                   for op in program.ops]
+        makespan = max(op_done) if op_done else 0.0
+        ranges = program.iteration_ranges
+        if ranges:
+            first_start, _ = ranges[0]
+            t0 = (max(op_done[:first_start]) if first_start else 0.0)
+            t1 = max(op_done[first_start:ranges[-1][1]])
+            iteration = (t1 - t0) / len(ranges)
+        else:
+            iteration = makespan
+        throughput = (program.work_per_iteration / iteration
+                      if iteration > 0 else 0.0)
+        return SimResult(
+            model=f"des:{self.model.name}", machine=machine.name,
+            nodes=machine.nodes, makespan=makespan,
+            iteration_time=iteration, throughput=throughput,
+            op_done=op_done)

@@ -1,0 +1,56 @@
+"""Explicitly parallel (MPI-style) execution model.
+
+The programmer has already choreographed all communication and
+synchronization, so there is no dependence analysis: every point task is
+launched by its own rank with only a small matching overhead.  Used as the
+comparison system for Pennant (Fig. 14), in three configurations selected
+through the :class:`repro.sim.machine.MachineSpec`:
+
+* CPU-only (``proc_kind=CPU`` ops),
+* MPI+CUDA (GPU ops, ``gpudirect=False`` — inter-node GPU data staged
+  through host memory),
+* MPI+CUDA+GPUDirect (``gpudirect=True``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.machine import MachineSpec
+from ..sim.workload import SimProgram
+from .base import ExecutionModel
+
+__all__ = ["ExplicitModel"]
+
+
+class ExplicitModel(ExecutionModel):
+    name = "mpi"
+
+    def __init__(self, machine: MachineSpec, costs: CostModel = DEFAULT_COSTS,
+                 label: str = "mpi", intra_via_host: bool = False):
+        super().__init__(machine, costs)
+        self.name = label
+        # One rank per GPU without GPUDirect P2P: intra-node exchanges are
+        # staged through host memory instead of NVLink (Fig. 14's MPI+CUDA),
+        # and collectives contend for the node's host copy path.
+        self.intra_via_host = intra_via_host
+        self.collective_staging_contention = (
+            max(1, machine.gpus_per_node) if intra_via_host else 1)
+        self._busy = 0.0
+
+    def analysis_schedule(self, program: SimProgram) -> List[np.ndarray]:
+        c = self.costs
+        shards = max(1, self.machine.nodes)
+        clock = np.zeros(shards)
+        ready: List[np.ndarray] = []
+        for op in program.ops:
+            pts = np.arange(op.points)
+            owner = np.minimum(pts * shards // max(op.points, 1), shards - 1)
+            counts = np.bincount(owner, minlength=shards)
+            clock += counts * c.mpi_per_point
+            ready.append(clock[owner].copy())
+        self._busy = float(clock.max())
+        return ready

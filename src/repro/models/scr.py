@@ -1,0 +1,54 @@
+"""Static control replication execution model (Fig. 1 top; Regent SCR).
+
+The compiler partitions the control loop into one explicitly parallel copy
+per node at *compile time*, so there is no runtime dependence analysis at
+all — only per-op SPMD bookkeeping and local launches.  The price is
+applicability: programs with dynamic partition counts or control flow the
+static analysis cannot handle (Soleil-X, HTR — §5.2) do not compile, which
+this model surfaces as :class:`SCRInapplicable`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.machine import MachineSpec
+from ..sim.workload import SimProgram
+from .base import ExecutionModel
+
+__all__ = ["SCRInapplicable", "SCRModel"]
+
+
+class SCRInapplicable(RuntimeError):
+    """The static compiler cannot handle this program (paper §5.2)."""
+
+
+class SCRModel(ExecutionModel):
+    name = "scr"
+
+    def __init__(self, machine: MachineSpec, costs: CostModel = DEFAULT_COSTS):
+        super().__init__(machine, costs)
+        self._busy = 0.0
+
+    def analysis_schedule(self, program: SimProgram) -> List[np.ndarray]:
+        if not program.scr_applicable:
+            raise SCRInapplicable(
+                f"{program.name}: static control replication cannot compile "
+                f"this program (dynamic partitions / data-dependent control "
+                f"flow)")
+        c = self.costs
+        shards = self.machine.nodes
+        clock = np.zeros(shards)
+        ready: List[np.ndarray] = []
+        for op in program.ops:
+            pts = np.arange(op.points)
+            owner = np.minimum(pts * shards // max(op.points, 1), shards - 1)
+            clock += c.scr_per_op
+            counts = np.bincount(owner, minlength=shards)
+            clock += counts * c.scr_per_point
+            ready.append(clock[owner].copy())
+        self._busy = float(clock.max())
+        return ready

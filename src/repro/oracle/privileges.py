@@ -1,0 +1,79 @@
+"""Access privileges on region arguments.
+
+Legion tasks declare, per region argument, what they may do with each field.
+The dependence oracle only needs the classic read/write/reduce lattice:
+
+* two readers never conflict;
+* two reducers with the *same* reduction operator never conflict (their
+  updates commute);
+* everything else involving a writer conflicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Privilege", "PrivilegeKind", "READ_ONLY", "READ_WRITE",
+           "WRITE_DISCARD", "reduce_priv"]
+
+
+class PrivilegeKind(enum.Enum):
+    """The four Legion privilege kinds."""
+
+    READ_ONLY = "ro"
+    READ_WRITE = "rw"
+    WRITE_DISCARD = "wd"
+    REDUCE = "red"
+
+
+@dataclass(frozen=True)
+class Privilege:
+    """A privilege kind, plus the reduction operator name for REDUCE."""
+
+    kind: PrivilegeKind
+    redop: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is PrivilegeKind.REDUCE and not self.redop:
+            raise ValueError("REDUCE privilege requires a reduction operator")
+        if self.kind is not PrivilegeKind.REDUCE and self.redop:
+            raise ValueError("only REDUCE privileges carry a reduction operator")
+
+    @property
+    def reads(self) -> bool:
+        return self.kind in (PrivilegeKind.READ_ONLY, PrivilegeKind.READ_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self.kind in (PrivilegeKind.READ_WRITE,
+                             PrivilegeKind.WRITE_DISCARD)
+
+    @property
+    def is_reduce(self) -> bool:
+        return self.kind is PrivilegeKind.REDUCE
+
+    def conflicts_with(self, other: "Privilege") -> bool:
+        """True when two accesses to the *same data* must be ordered."""
+        if self.kind is PrivilegeKind.READ_ONLY and \
+                other.kind is PrivilegeKind.READ_ONLY:
+            return False
+        if self.is_reduce and other.is_reduce:
+            return self.redop != other.redop
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if self.is_reduce:
+            return f"Privilege(REDUCE<{self.redop}>)"
+        return f"Privilege({self.kind.name})"
+
+
+READ_ONLY = Privilege(PrivilegeKind.READ_ONLY)
+READ_WRITE = Privilege(PrivilegeKind.READ_WRITE)
+WRITE_DISCARD = Privilege(PrivilegeKind.WRITE_DISCARD)
+
+
+def reduce_priv(redop: str) -> Privilege:
+    """Reduction privilege with the named commutative operator (e.g. '+')."""
+    return Privilege(PrivilegeKind.REDUCE, redop)

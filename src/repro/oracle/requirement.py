@@ -1,0 +1,48 @@
+"""Region requirements: (region, fields, privilege) triples.
+
+A task launch carries one :class:`RegionRequirement` per region argument —
+the complete statement of what data the task touches and how.  The oracle
+compares requirement pairs; everything above it (group launches, the coarse
+analysis) builds on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from ..regions import Field, LogicalRegion
+from .privileges import Privilege
+
+__all__ = ["RegionRequirement"]
+
+
+@dataclass(frozen=True)
+class RegionRequirement:
+    """What one task argument touches: a region, a field set, a privilege."""
+
+    region: LogicalRegion
+    fields: FrozenSet[Field]
+    privilege: Privilege
+
+    def __init__(self, region: LogicalRegion, fields: Iterable[Field] | Field,
+                 privilege: Privilege):
+        if isinstance(fields, Field):
+            fields = (fields,)
+        fset = frozenset(fields)
+        if not fset:
+            raise ValueError("a region requirement must name at least one field")
+        for f in fset:
+            if f not in region.field_space.fields:
+                raise ValueError(
+                    f"field {f.name} is not part of {region.name}'s field space")
+        object.__setattr__(self, "region", region)
+        object.__setattr__(self, "fields", fset)
+        object.__setattr__(self, "privilege", privilege)
+
+    def field_ids(self) -> FrozenSet[int]:
+        return frozenset(f.fid for f in self.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        names = ",".join(sorted(f.name for f in self.fields))
+        return f"Req({self.privilege!r} {self.region.name}.{{{names}}})"

@@ -1,0 +1,114 @@
+"""Dependent partitioning operators (Treichler et al., OOPSLA'13/'16).
+
+The paper's data model cites Legion's dependent-partitioning sublanguage
+([49, 50]): new partitions computed *from data* — a color field, or pointer
+(index) fields relating two regions.  These are what real Legion programs
+like the circuit simulation use to build their dynamically computed
+communication structure:
+
+* :func:`partition_by_field` — piece = the value of a color field;
+* :func:`partition_by_image` — the nodes each wire piece points at
+  (``image(wires_part, wire.in_ptr)``);
+* :func:`partition_by_preimage` — the wires pointing into each node piece.
+
+All three return ordinary (usually aliased) partitions of the destination
+region, so everything downstream — upper bounds, fence insertion, may-alias
+— works unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional, Sequence
+
+from .index_space import IndexSpace
+from .point import Point
+from .region import LogicalRegion, Partition
+
+__all__ = ["partition_by_field", "partition_by_image",
+           "partition_by_preimage"]
+
+
+def partition_by_field(region: LogicalRegion,
+                       colors: Sequence[Hashable],
+                       color_of: Callable[[Point], Hashable],
+                       name: str = "") -> Partition:
+    """Partition ``region`` by a per-point color (Legion's partition-by-field).
+
+    ``color_of`` plays the role of the color field's contents: it must be a
+    pure function of the point (in a replicated context, derived from region
+    data or other control-deterministic inputs).  Points whose color is not
+    in ``colors`` are dropped — matching Legion, where such rows simply land
+    in no subregion.  The result is disjoint by construction.
+    """
+    buckets: Dict[Hashable, list] = {c: [] for c in colors}
+    for p in region.index_space:
+        c = color_of(p)
+        if c in buckets:
+            buckets[c].append(p)
+    spaces = {
+        c: IndexSpace(points=pts, name=f"{name or region.name}_byfield[{c}]")
+        for c, pts in buckets.items()
+    }
+    return region.partition_by_spaces(
+        spaces, disjoint=True, complete=None,
+        name=name or f"{region.name}_byfield")
+
+
+def partition_by_image(dest: LogicalRegion, source: Partition,
+                       pointer: Callable[[Point], Iterable[Point]],
+                       name: str = "") -> Partition:
+    """Image partition: subregion c = the points of ``dest`` that the points
+    of ``source[c]`` point at.
+
+    ``pointer(p)`` yields the destination points point ``p`` refers to (a
+    wire's endpoints, a cell's neighbor list).  Images generally overlap —
+    two pieces' wires can share a node — so the result is aliased unless
+    proven otherwise geometrically.
+    """
+    spaces: Dict[Hashable, IndexSpace] = {}
+    for color, sub in source.subregions.items():
+        pts = set()
+        for p in sub.index_space:
+            for q in pointer(p):
+                q = (q,) if isinstance(q, int) else tuple(q)
+                if dest.index_space.contains(q):
+                    pts.add(q)
+        spaces[color] = IndexSpace(
+            points=pts, name=f"{name or dest.name}_image[{color}]")
+    return region_partition(dest, spaces, name or f"{dest.name}_image")
+
+
+def partition_by_preimage(dest: LogicalRegion, target: Partition,
+                          pointer: Callable[[Point], Iterable[Point]],
+                          name: str = "") -> Partition:
+    """Preimage partition: subregion c = the points of ``dest`` whose
+    pointers land inside ``target[c]``.
+
+    The preimage of a disjoint target under a single-valued pointer is
+    disjoint; with multi-valued pointers (a wire touching two node pieces)
+    pieces may overlap, which the constructor detects geometrically.
+    """
+    spaces: Dict[Hashable, set] = {c: set() for c in target.colors}
+    membership = {
+        color: sub.index_space.point_set()
+        for color, sub in target.subregions.items()
+    }
+    for p in dest.index_space:
+        for q in pointer(p):
+            q = (q,) if isinstance(q, int) else tuple(q)
+            for color, pts in membership.items():
+                if q in pts:
+                    spaces[color].add(p)
+    return region_partition(
+        dest,
+        {c: IndexSpace(points=pts,
+                       name=f"{name or dest.name}_preimage[{c}]")
+         for c, pts in spaces.items()},
+        name or f"{dest.name}_preimage")
+
+
+def region_partition(region: LogicalRegion,
+                     spaces: Dict[Hashable, IndexSpace],
+                     name: str) -> Partition:
+    """Attach computed subspaces to the region, with geometric disjointness."""
+    return region.partition_by_spaces(spaces, name=name)

@@ -1,0 +1,155 @@
+"""n-dimensional integer points and rectangles.
+
+These are the geometric primitives underlying Legion-style index spaces:
+every structured index space is a :class:`Rect` (a dense box of integer
+points), and partitions carve boxes into sub-boxes.  Rectangles use
+*inclusive* bounds on both ends, matching Legion's convention, so the 1-D
+rect ``Rect((0,), (3,))`` contains the four points 0, 1, 2, 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+__all__ = ["Point", "Rect"]
+
+
+Point = Tuple[int, ...]
+"""An n-dimensional integer point, represented as a tuple of ints."""
+
+
+def _as_point(value: Sequence[int] | int) -> Point:
+    if isinstance(value, int):
+        return (value,)
+    return tuple(int(v) for v in value)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A dense n-dimensional box of integer points with inclusive bounds.
+
+    Parameters
+    ----------
+    lo, hi:
+        Inclusive lower and upper corners.  ``lo[d] > hi[d]`` in any
+        dimension denotes the empty rectangle of that dimensionality.
+    """
+
+    lo: Point
+    hi: Point
+
+    def __init__(self, lo: Sequence[int] | int, hi: Sequence[int] | int):
+        lo_p, hi_p = _as_point(lo), _as_point(hi)
+        if len(lo_p) != len(hi_p):
+            raise ValueError(
+                f"Rect corners must have equal dimensionality: {lo_p} vs {hi_p}"
+            )
+        object.__setattr__(self, "lo", lo_p)
+        object.__setattr__(self, "hi", hi_p)
+
+    # -- basic geometry ----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the rectangle."""
+        return len(self.lo)
+
+    @property
+    def empty(self) -> bool:
+        """True when the rectangle contains no points."""
+        return any(l > h for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        """Number of integer points contained in the rectangle."""
+        if self.empty:
+            return 0
+        vol = 1
+        for l, h in zip(self.lo, self.hi):
+            vol *= h - l + 1
+        return vol
+
+    @property
+    def extents(self) -> Point:
+        """Per-dimension side lengths (0 for empty rects)."""
+        return tuple(max(0, h - l + 1) for l, h in zip(self.lo, self.hi))
+
+    def contains(self, point: Sequence[int] | int) -> bool:
+        """True when ``point`` lies inside the rectangle."""
+        p = _as_point(point)
+        if len(p) != self.dim:
+            return False
+        return all(l <= x <= h for x, l, h in zip(p, self.lo, self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when every point of ``other`` lies inside ``self``."""
+        if other.empty:
+            return True
+        if other.dim != self.dim:
+            return False
+        return all(
+            sl <= ol and oh <= sh
+            for sl, sh, ol, oh in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def intersection(self, other: "Rect") -> "Rect":
+        """The (possibly empty) rectangle of points common to both boxes."""
+        if other.dim != self.dim:
+            raise ValueError("cannot intersect rects of different dimensionality")
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        return Rect(lo, hi)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the two rectangles share at least one point."""
+        return not self.intersection(other).empty
+
+    def union_bounds(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both boxes (a bounding box)."""
+        if self.empty:
+            return other
+        if other.empty:
+            return self
+        lo = tuple(min(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(max(a, b) for a, b in zip(self.hi, other.hi))
+        return Rect(lo, hi)
+
+    # -- iteration ----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Point]:
+        if self.empty:
+            return iter(())
+        ranges = [range(l, h + 1) for l, h in zip(self.lo, self.hi)]
+        return iter(itertools.product(*ranges))
+
+    def __len__(self) -> int:
+        return self.volume
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rect(lo={self.lo}, hi={self.hi})"
+
+    # -- slicing helpers ----------------------------------------------------
+
+    def slice_dim(self, dim: int, lo: int, hi: int) -> "Rect":
+        """Restrict dimension ``dim`` to ``[lo, hi]`` (inclusive)."""
+        if not 0 <= dim < self.dim:
+            raise ValueError(f"dimension {dim} out of range for {self.dim}-D rect")
+        new_lo = tuple(lo if d == dim else v for d, v in enumerate(self.lo))
+        new_hi = tuple(hi if d == dim else v for d, v in enumerate(self.hi))
+        return Rect(new_lo, new_hi)
+
+    def to_slices(self) -> Tuple[slice, ...]:
+        """NumPy slices selecting this rect within a 0-based array."""
+        return tuple(slice(l, h + 1) for l, h in zip(self.lo, self.hi))
+
+    def translated(self, offset: Sequence[int]) -> "Rect":
+        """The rectangle shifted by ``offset`` in each dimension."""
+        off = _as_point(offset)
+        if len(off) != self.dim:
+            raise ValueError("offset dimensionality mismatch")
+        return Rect(
+            tuple(l + o for l, o in zip(self.lo, off)),
+            tuple(h + o for h, o in zip(self.hi, off)),
+        )

@@ -1,0 +1,127 @@
+"""Attach/detach: tying external resources to regions (paper §4.3).
+
+Attach operations associate external memory (a NumPy array handed in by
+other code) or files (``.npy`` here, HDF5 in Legion) with a region; detach
+flushes updates back and severs the association.  Under DCR these are
+sharded like any other operation: a plain attach/detach is performed by a
+single owner shard, while the *group* variants attach one file per
+subregion of a partition, modeling parallel file I/O.
+
+All functions are control-deterministic API calls (hashed), and detach may
+be issued from a finalizer via :meth:`Context.finalizer`, exercising the
+deferred-operation consensus.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Hashable
+
+import numpy as np
+
+from ..core import CoarseRequirement, Operation
+from ..oracle import READ_ONLY, READ_WRITE
+from ..regions import LogicalRegion, Partition
+from .runtime import Context
+
+__all__ = ["attach_array", "detach_array", "attach_file", "detach_file",
+           "attach_file_group", "detach_file_group"]
+
+
+def _issue(ctx: Context, kind: str, region: LogicalRegion, field_name: str,
+           writes_region: bool) -> None:
+    f = region.field_space[field_name]
+    priv = READ_WRITE if writes_region else READ_ONLY
+    op = Operation(kind, [CoarseRequirement(region, frozenset([f]), priv)],
+                   owner_shard=0, name=f"{kind}({region.name}.{field_name})")
+    if ctx.shard == 0:
+        ctx.runtime.pipeline.analyze(op)
+
+
+def attach_array(ctx: Context, region: LogicalRegion, field_name: str,
+                 array: np.ndarray) -> None:
+    """Associate an external allocation with ``region.field``: copy it in.
+
+    Only the *shape* of the attachment is control (and hashed); the array
+    contents are data — shard 0 may already have mutated them through an
+    earlier attach by the time later shards replay this call.
+    """
+    ctx._record("attach_array", region, field_name,
+                list(array.shape), str(array.dtype))
+    _issue(ctx, "attach", region, field_name, writes_region=True)
+    if ctx.shard == 0:
+        f = region.field_space[field_name]
+        dst = ctx.runtime.store.raw(region.tree_id, f)
+        rect = region.index_space.rect
+        dst[rect.to_slices()] = np.asarray(array).reshape(rect.extents)
+
+
+def detach_array(ctx: Context, region: LogicalRegion, field_name: str,
+                 array: np.ndarray) -> None:
+    """Flush the region's contents back into the external allocation."""
+    ctx._record("detach_array", region, field_name)
+    _issue(ctx, "detach", region, field_name, writes_region=False)
+    if ctx.shard == 0:
+        f = region.field_space[field_name]
+        src = ctx.runtime.store.raw(region.tree_id, f)
+        rect = region.index_space.rect
+        np.copyto(array.reshape(rect.extents), src[rect.to_slices()])
+
+
+def attach_file(ctx: Context, region: LogicalRegion, field_name: str,
+                path: str) -> None:
+    """Read a ``.npy`` file into the region; performed by one owner shard."""
+    ctx._record("attach_file", region, field_name, path)
+    _issue(ctx, "attach", region, field_name, writes_region=True)
+    if ctx.shard == 0:
+        data = np.load(path)
+        f = region.field_space[field_name]
+        dst = ctx.runtime.store.raw(region.tree_id, f)
+        rect = region.index_space.rect
+        dst[rect.to_slices()] = data.reshape(rect.extents)
+
+
+def detach_file(ctx: Context, region: LogicalRegion, field_name: str,
+                path: str) -> None:
+    """Write the region's contents to a ``.npy`` file and detach."""
+    ctx._record("detach_file", region, field_name, path)
+    _issue(ctx, "detach", region, field_name, writes_region=False)
+    if ctx.shard == 0:
+        f = region.field_space[field_name]
+        src = ctx.runtime.store.raw(region.tree_id, f)
+        rect = region.index_space.rect
+        np.save(path, src[rect.to_slices()])
+
+
+def attach_file_group(ctx: Context, partition: Partition, field_name: str,
+                      path_of: Callable[[Hashable], str]) -> None:
+    """Parallel file attach: one file per subregion, sharded like a group op."""
+    colors = sorted(partition.colors, key=str)
+    ctx._record("attach_file_group", partition, field_name,
+                [path_of(c) for c in colors])
+    for color in colors:
+        sub = partition[color]
+        _issue(ctx, "attach", sub, field_name, writes_region=True)
+        if ctx.shard == 0:
+            data = np.load(path_of(color))
+            f = sub.field_space[field_name]
+            dst = ctx.runtime.store.raw(sub.tree_id, f)
+            rect = sub.index_space.rect
+            dst[rect.to_slices()] = data.reshape(rect.extents)
+
+
+def detach_file_group(ctx: Context, partition: Partition, field_name: str,
+                      path_of: Callable[[Hashable], str]) -> None:
+    """Parallel file detach: flush one file per subregion."""
+    colors = sorted(partition.colors, key=str)
+    ctx._record("detach_file_group", partition, field_name,
+                [path_of(c) for c in colors])
+    for color in colors:
+        sub = partition[color]
+        _issue(ctx, "detach", sub, field_name, writes_region=False)
+        if ctx.shard == 0:
+            f = sub.field_space[field_name]
+            src = ctx.runtime.store.raw(sub.tree_id, f)
+            rect = sub.index_space.rect
+            os.makedirs(os.path.dirname(path_of(color)) or ".", exist_ok=True)
+            np.save(path_of(color), src[rect.to_slices()])

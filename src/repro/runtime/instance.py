@@ -1,0 +1,115 @@
+"""Physical-instance tracking: the data movement a run implies.
+
+Legion's physical analysis (the lower half of the fine stage, Fig. 9's
+``make_valid_region``) maintains *valid copies* of each field per memory
+and issues copies when a task reads data its node does not hold.  The
+functional layer executes against one authoritative store, so this module
+reconstructs the movement after the fact: it replays the recorded point
+tasks in program order through a directory-based validity protocol
+(MESI-like, per point per field) and reports every transfer a distributed
+execution would have performed.
+
+Used by tests to pin down communication volumes exactly — e.g. a row-tiled
+2-D stencil must move exactly its ghost rows per step — and by the
+analysis report for observability.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..core.operation import PointTask
+from ..runtime.runtime import Runtime
+
+__all__ = ["Transfer", "MovementReport", "track_movement"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point copy of one field's data."""
+
+    field_name: str
+    src_node: int
+    dst_node: int
+    points: int
+    nbytes: int
+
+
+@dataclass
+class MovementReport:
+    """All transfers a distributed execution of the run would perform."""
+
+    transfers: List[Transfer] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved across all transfers."""
+        return sum(t.nbytes for t in self.transfers)
+
+    @property
+    def total_points_moved(self) -> int:
+        """Field-points moved across all transfers."""
+        return sum(t.points for t in self.transfers)
+
+    def bytes_by_field(self) -> Dict[str, int]:
+        """Bytes moved, broken down by field name."""
+        out: Dict[str, int] = defaultdict(int)
+        for t in self.transfers:
+            out[t.field_name] += t.nbytes
+        return dict(out)
+
+    def bytes_between(self, src: int, dst: int) -> int:
+        """Bytes moved from node ``src`` to node ``dst``."""
+        return sum(t.nbytes for t in self.transfers
+                   if t.src_node == src and t.dst_node == dst)
+
+
+def _node_of(task: PointTask, num_nodes: int) -> int:
+    """Execution placement: the blocked mapping the models use (a point's
+    shard doubles as its node for the functional layer)."""
+    return task.shard % max(1, num_nodes)
+
+
+def track_movement(runtime: Runtime, num_nodes: int = 0) -> MovementReport:
+    """Replay a finished run through the validity protocol.
+
+    ``num_nodes`` defaults to the shard count (one shard per node, the
+    paper's usual configuration).
+    """
+    num_nodes = num_nodes or runtime.num_shards
+    report = MovementReport()
+    # Directory: (tree, fid, point) -> set of nodes holding a valid copy.
+    valid: Dict[Tuple[int, int, Tuple[int, ...]], Set[int]] = {}
+
+    tasks = sorted(runtime.pipeline.fine_result.graph.tasks,
+                   key=lambda t: (t.op.seq, str(t.point)))
+    for task in tasks:
+        node = _node_of(task, num_nodes)
+        for req in task.requirements:
+            tree = req.region.tree_id
+            points = sorted(req.region.index_space.point_set())
+            for f in sorted(req.fields, key=lambda f: f.fid):
+                itemsize = f.dtype.itemsize
+                if req.privilege.reads:
+                    # Pull every point not valid here, grouped by source.
+                    pulls: Dict[int, int] = defaultdict(int)
+                    for p in points:
+                        key = (tree, f.fid, p)
+                        holders = valid.get(key)
+                        if holders is None:
+                            # Never written: fills/attaches initialize
+                            # everywhere; treat as valid on all nodes.
+                            continue
+                        if node not in holders:
+                            src = min(holders)
+                            pulls[src] += 1
+                            holders.add(node)
+                    for src, count in sorted(pulls.items()):
+                        report.transfers.append(Transfer(
+                            f.name, src, node, count, count * itemsize))
+                if req.privilege.writes or req.privilege.is_reduce:
+                    for p in points:
+                        valid[(tree, f.fid, p)] = {node}
+    return report

@@ -1,0 +1,96 @@
+"""The mapping interface (paper §4).
+
+Legion exposes performance decisions — *whether* to replicate a task, how
+many shards, which sharding function each launch uses — through mappers
+rather than baking heuristics into the runtime.  The DCR paper's extension
+is exactly the replication/sharding part, reproduced here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.sharding import CYCLIC, BLOCKED, ShardingFunction
+
+__all__ = ["Mapper", "DefaultMapper", "BlockedMapper"]
+
+
+class Mapper:
+    """Application/machine-specific policy hooks."""
+
+    def replicate_task(self, task_name: str) -> bool:
+        """Should this (top-level) task be dynamically control replicated?"""
+        raise NotImplementedError
+
+    def select_sharding(self, op_kind: str, task_name: str) -> ShardingFunction:
+        """Sharding function for a launch (pure; results are memoized)."""
+        raise NotImplementedError
+
+    def select_num_shards(self, num_nodes: int) -> int:
+        """How many shards to use (one per node in the paper's runs)."""
+        return num_nodes
+
+
+class DefaultMapper(Mapper):
+    """Replicates everything marked replicable; cyclic (ID 0) sharding."""
+
+    def __init__(self, sharding: Optional[ShardingFunction] = None):
+        self._sharding = sharding or CYCLIC
+
+    def replicate_task(self, task_name: str) -> bool:
+        """Replicate every task marked replicable."""
+        return True
+
+    def select_sharding(self, op_kind: str, task_name: str) -> ShardingFunction:
+        """One fixed sharding function for every launch."""
+        return self._sharding
+
+
+class BlockedMapper(DefaultMapper):
+    """Tiled sharding: contiguous blocks of points per shard — the locality-
+    preserving choice the Pennant experiment credits for beating MPI+CUDA."""
+
+    def __init__(self):
+        super().__init__(BLOCKED)
+
+
+class PerTaskMapper(DefaultMapper):
+    """Per-task sharding overrides: the Fig. 11 experiment as a mapper.
+
+    The paper's Fig. 11 shows how choosing a different sharding function
+    for one launch (mul_two) changes the fence structure; this mapper lets
+    tests and applications express exactly that: a table from task name to
+    sharding function, with a default for everything else.
+    """
+
+    def __init__(self, overrides: dict,
+                 default: Optional[ShardingFunction] = None):
+        super().__init__(default)
+        self._overrides = dict(overrides)
+
+    def select_sharding(self, op_kind: str, task_name: str) -> ShardingFunction:
+        """The per-task override when present, else the default."""
+        return self._overrides.get(task_name, self._sharding)
+
+
+class AutoReplicationMapper(DefaultMapper):
+    """Heuristic replication decisions (paper §4: "there is nothing that
+    prevents the use of DCR from being automated by heuristics").
+
+    Policy: replicate whenever the machine has more than one node, with one
+    shard per node; prefer blocked sharding (analysis lands next to
+    execution under the default tiled mapping) unless the caller overrides.
+    """
+
+    def __init__(self, num_nodes: int,
+                 sharding: Optional[ShardingFunction] = None):
+        super().__init__(sharding or BLOCKED)
+        self.num_nodes = max(1, num_nodes)
+
+    def replicate_task(self, task_name: str) -> bool:
+        """Replicate exactly when more than one node exists."""
+        return self.num_nodes > 1
+
+    def select_num_shards(self, num_nodes: int) -> int:
+        """One shard per node."""
+        return self.num_nodes

@@ -1,0 +1,143 @@
+"""Nested task launches with privilege subsumption.
+
+The paper's model (§2) replicates a top-level task, but the implementation
+allows any task to launch (optionally replicated) subtasks of its own.  The
+functional runtime supports the inner-task idiom: a task body that asks for
+a :class:`TaskContext` may launch child tasks over *subregions of its own
+privileges*.  Legion's safety rule applies and is enforced here:
+
+    a child's region requirement must be **subsumed** by one of the
+    parent's — contained region, subset of fields, and no stronger
+    privilege —
+
+which is what makes the child analysis locally scopeable (it can never
+introduce a dependence the parent's requirement did not already cover).
+Children execute eagerly in program order within the parent, a legal
+schedule of the parent-scoped analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+from ..oracle import Privilege, RegionRequirement
+from ..regions import LogicalRegion, Partition
+from .runtime import Context, PRIVILEGES, RegionArg
+from .store import PrivilegeError
+
+__all__ = ["TaskContext", "launch_with_context"]
+
+
+def _privilege(spec) -> Privilege:
+    if isinstance(spec, Privilege):
+        return spec
+    if spec in PRIVILEGES:
+        return PRIVILEGES[spec]
+    from ..oracle import reduce_priv
+    if isinstance(spec, str) and spec.startswith("red"):
+        return reduce_priv(spec[len("red"):].strip("<>") or "+")
+    raise ValueError(f"unknown privilege spec {spec!r}")
+
+
+def _region_contained(outer: LogicalRegion, inner: LogicalRegion) -> bool:
+    if outer.tree_id != inner.tree_id:
+        return False
+    if outer.is_ancestor_of(inner):
+        return True
+    if outer.index_space.structured and inner.index_space.structured:
+        return outer.index_space.rect.contains_rect(inner.index_space.rect)
+    return inner.index_space.point_set() <= outer.index_space.point_set()
+
+
+def _privilege_subsumes(parent: Privilege, child: Privilege) -> bool:
+    """May a task holding ``parent`` grant ``child`` to a subtask?"""
+    if parent.writes:
+        return True                       # RW/WD grant anything
+    if parent.is_reduce:
+        return child.is_reduce and child.redop == parent.redop
+    # Read-only parents grant only reads.
+    return not child.writes and not child.is_reduce
+
+
+class TaskContext:
+    """What a task body uses to launch children within its privileges."""
+
+    def __init__(self, ctx: Context, parent_reqs: Sequence[RegionRequirement],
+                 parent_name: str):
+        self._ctx = ctx
+        self._parent_reqs = tuple(parent_reqs)
+        self._parent_name = parent_name
+        self.children_launched = 0
+
+    # -- subsumption ---------------------------------------------------------
+
+    def _check_subsumed(self, region: LogicalRegion, fields, priv: Privilege
+                        ) -> None:
+        for parent in self._parent_reqs:
+            if not _region_contained(parent.region, region):
+                continue
+            if not set(fields) <= parent.fields:
+                continue
+            if _privilege_subsumes(parent.privilege, priv):
+                return
+        raise PrivilegeError(
+            f"child launch in task {self._parent_name!r} requests "
+            f"{priv!r} on {region.name} which no parent requirement "
+            f"subsumes")
+
+    # -- child launches -----------------------------------------------------------
+
+    def launch(self, fn: Callable[..., Any], reqs: Sequence[Tuple],
+               args: Sequence[Any] = ()) -> Any:
+        """Launch one child task inline; returns its value."""
+        store = self._ctx.runtime.store
+        child_reqs: List[RegionRequirement] = []
+        for spec in reqs:
+            region, fields, priv = spec[0], spec[1], _privilege(spec[2])
+            names = [fields] if isinstance(fields, str) else sorted(fields)
+            fobjs = frozenset(region.field_space[n] for n in names)
+            self._check_subsumed(region, fobjs, priv)
+            child_reqs.append(RegionRequirement(region, fobjs, priv))
+        self.children_launched += 1
+        self._ctx.runtime.executed_points += 1
+        region_args = [RegionArg(store, r) for r in child_reqs]
+        return fn(*region_args, *args)
+
+    def index_launch(self, fn: Callable[..., Any],
+                     domain: Sequence, reqs: Sequence[Tuple],
+                     args: Sequence[Any] = ()) -> List[Any]:
+        """Launch a child group over subregions; returns per-point values."""
+        out = []
+        for point in domain:
+            point_reqs = []
+            for spec in reqs:
+                target = spec[0]
+                region = target[point] if isinstance(target, Partition) \
+                    else target
+                point_reqs.append((region, spec[1], spec[2]))
+            out.append(self.launch(lambda *a, _p=point: fn(_p, *a),
+                                   point_reqs, args))
+        return out
+
+
+def launch_with_context(ctx: Context, fn: Callable[..., Any],
+                        reqs: Sequence[Tuple], args: Sequence[Any] = (),
+                        **kwargs) -> Any:
+    """Launch a task whose body receives a :class:`TaskContext` first.
+
+    The body signature becomes ``fn(task_ctx, *region_args, *args)`` (or
+    with the launch point after ``task_ctx`` for index launches).
+    """
+    def wrapper(*call_args):
+        # The runtime passes region args then scalars; rebuild the child
+        # context from the outer task's requirements.
+        n_regions = len(reqs)
+        region_args = call_args[:n_regions]
+        rest = call_args[n_regions:]
+        parent_reqs = [ra.req for ra in region_args]
+        tctx = TaskContext(ctx, parent_reqs, fn.__name__)
+        return fn(tctx, *region_args, *rest)
+
+    wrapper.__name__ = fn.__name__
+    wrapper.__qualname__ = fn.__qualname__
+    return ctx.launch(wrapper, reqs, args=args, **kwargs)

@@ -1,0 +1,565 @@
+"""The implicitly parallel runtime with dynamic control replication.
+
+This is the functional (really-executes) layer of the reproduction: a
+Legion-like tasking runtime whose top-level control program can be
+*dynamically control replicated*.  ``Runtime.execute(control)`` runs the
+control function once per shard:
+
+* **shard 0** drives the real work — every launch flows through the
+  two-stage DCR analysis pipeline (:mod:`repro.core.pipeline`) and executes
+  its point tasks synchronously (program order is a legal topological order
+  of the precise task graph, so results equal a sequential execution);
+* **shards 1..N-1** replay the control program against the shard-0 resource
+  and future logs: resources are interned by creation order, so all shards
+  hold identical handles, and every runtime API call is hashed and checked
+  by the control-determinism monitor (§3).  A shard that launches different
+  work, in a different order, or branches differently raises
+  :class:`~repro.core.determinism.ControlDeterminismViolation`.
+
+The division of labor with the simulator layer is deliberate (DESIGN.md
+§2): this layer proves the algorithms (graph equivalence, fence soundness,
+determinism checking, deferred deletions); the simulator reproduces the
+paper's scaling numbers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from typing import (Any, Callable, Dict, Hashable, Iterable, List, Optional,
+                    Sequence, Tuple, Union)
+
+import numpy as np
+
+from ..core import (CoarseRequirement, DCRPipeline, DeferredOpManager,
+                    DeterminismMonitor, IDENTITY_PROJECTION, Operation,
+                    PointTask, ProjectionFunction)
+from ..core.determinism import ControlDeterminismViolation
+from ..core.rng import CounterRNG
+from ..core.sharding import ShardingFunction
+from ..oracle import (Privilege, READ_ONLY, READ_WRITE, RegionRequirement,
+                      WRITE_DISCARD, reduce_priv)
+from ..regions import Field, FieldSpace, IndexSpace, LogicalRegion, Partition
+from .future import Future, FutureMap
+from .mapper import DefaultMapper, Mapper
+from .store import FieldAccessor, RegionStore
+
+__all__ = ["Runtime", "Context", "RegionArg", "PRIVILEGES"]
+
+PRIVILEGES = {
+    "ro": READ_ONLY,
+    "rw": READ_WRITE,
+    "wd": WRITE_DISCARD,
+}
+
+
+def _privilege(spec: Union[str, Privilege]) -> Privilege:
+    if isinstance(spec, Privilege):
+        return spec
+    if spec in PRIVILEGES:
+        return PRIVILEGES[spec]
+    if spec.startswith("red"):
+        return reduce_priv(spec[len("red"):].strip("<>") or "+")
+    raise ValueError(f"unknown privilege spec {spec!r}")
+
+
+class RegionArg:
+    """What a task body receives for one region requirement."""
+
+    def __init__(self, store: RegionStore, req: RegionRequirement):
+        self._store = store
+        self.req = req
+        self.region = req.region
+        self.privilege = req.privilege
+
+    def __getitem__(self, field_name: str) -> FieldAccessor:
+        f = self.region.field_space[field_name]
+        return self._store.accessor(self.req, f)
+
+    def fields(self) -> Tuple[Field, ...]:
+        """The requirement's fields, in stable fid order."""
+        return tuple(sorted(self.req.fields, key=lambda f: f.fid))
+
+
+class Runtime:
+    """Owner of storage, analysis pipeline, and the shard logs."""
+
+    def __init__(self, num_shards: int = 1, mapper: Optional[Mapper] = None,
+                 safe_checks: bool = True, check_batch: int = 32,
+                 timing_oracle: Optional[Callable[[int, Future], bool]] = None):
+        self.num_shards = num_shards
+        self.mapper = mapper or DefaultMapper()
+        self.store = RegionStore()
+        self.pipeline = DCRPipeline(num_shards)
+        self.monitor = DeterminismMonitor(num_shards, batch=check_batch,
+                                          enabled=safe_checks)
+        self.deferred = DeferredOpManager(num_shards)
+        self.timing_oracle = timing_oracle
+        # Shard-0 logs replayed by the other shards, keyed by call order.
+        self._resources: List[Any] = []
+        self._futures: List[Union[Future, FutureMap]] = []
+        self._deferred_keys: Dict[int, Any] = {}
+        self.executed_points: int = 0
+
+    # -- replicated execution ------------------------------------------------------
+
+    def execute(self, control: Callable[..., Any], *args: Any) -> Any:
+        """Run ``control(ctx, *args)`` replicated across all shards.
+
+        Returns shard 0's return value.  Raises
+        :class:`ControlDeterminismViolation` if any shard diverges.
+        """
+        if getattr(self, "_executed", False):
+            raise RuntimeError(
+                "Runtime instances are single-use: the resource/future logs "
+                "and analysis state belong to one replicated execution — "
+                "create a fresh Runtime for another run")
+        self._executed = True
+        result: Any = None
+        for shard in range(self.num_shards):
+            self._current_shard = shard
+            ctx = Context(self, shard)
+            ret = control(ctx, *args)
+            ctx._finish()
+            if shard == 0:
+                result = ret
+        self.monitor.flush()
+        self._drain_deferred()
+        self.pipeline.validate()
+        return result
+
+    def _drain_deferred(self) -> None:
+        """Insert finalizer-deferred deletions once all shards concur (§4.3)."""
+        while self.deferred.outstanding:
+            ready = self.deferred.tick()
+            for key in ready:
+                target = self._deferred_keys.pop(key)
+                self._apply_deletion(target)
+            if not ready and self.deferred.outstanding:
+                continue  # back-off tick consumed; poll again
+
+    def _apply_deletion(self, target: Any) -> None:
+        if isinstance(target, tuple) and target[0] == "field":
+            _tag, region, field = target
+            self.store.deallocate_field(region.tree_id, field)
+            if field.name in region.field_space:
+                region.field_space.remove_field(field.name)
+        elif isinstance(target, LogicalRegion):
+            for f in target.field_space.fields:
+                self.store.deallocate_field(target.tree_id, f)
+
+    # -- task graph accessors ----------------------------------------------------------
+
+    def task_graph(self):
+        """The precise point-task graph the analysis produced."""
+        return self.pipeline.fine_result.graph
+
+    def coarse_result(self):
+        """The coarse-stage products: group deps and fences."""
+        return self.pipeline.coarse_result
+
+
+class Context:
+    """Per-shard view of the runtime: the API control programs call.
+
+    Every method hashes itself into the determinism monitor.  Shard 0
+    performs effects; other shards replay against the logs.
+    """
+
+    def __init__(self, runtime: Runtime, shard: int):
+        self.runtime = runtime
+        self.shard = shard
+        self.num_shards = runtime.num_shards
+        self._hasher = runtime.monitor.hasher(shard)
+        self._res_cursor = 0
+        self._fut_cursor = 0
+        self._in_finalizer = False
+
+    # -- internal plumbing ------------------------------------------------------------
+
+    def _record(self, call: str, *args: Any) -> None:
+        self._hasher.record(call, *args)
+        self.runtime.monitor.maybe_check()
+
+    def _intern_resource(self, call: str, factory: Callable[[], Any]) -> Any:
+        """Create on shard 0, replay by creation order on other shards."""
+        log = self.runtime._resources
+        if self.shard == 0:
+            obj = factory()
+            log.append(obj)
+        else:
+            if self._res_cursor >= len(log):
+                raise ControlDeterminismViolation(
+                    self._res_cursor,
+                    [f"shard {self.shard} issued extra {call}"])
+            obj = log[self._res_cursor]
+        self._res_cursor += 1
+        return obj
+
+    def _intern_future(self, factory: Callable[[], Union[Future, FutureMap]]
+                       ) -> Union[Future, FutureMap]:
+        log = self.runtime._futures
+        if self.shard == 0:
+            fut = factory()
+            log.append(fut)
+        else:
+            if self._fut_cursor >= len(log):
+                raise ControlDeterminismViolation(
+                    self._fut_cursor,
+                    [f"shard {self.shard} issued an extra launch"])
+            fut = log[self._fut_cursor]
+        self._fut_cursor += 1
+        return fut
+
+    def _finish(self) -> None:
+        self._record("task_complete", self.shard >= -1)
+
+    # -- resource creation ----------------------------------------------------------------
+
+    def create_field_space(self, fields: Iterable[Tuple[str, object]],
+                           name: str = "") -> FieldSpace:
+        """Allocate a field space from (name, dtype) pairs."""
+        fields = list(fields)
+        self._record("create_field_space",
+                     [(n, str(np.dtype(d))) for n, d in fields], name)
+        return self._intern_resource(
+            "create_field_space", lambda: FieldSpace(fields, name=name))
+
+    def create_index_space(self, extent: Union[int, Tuple[int, ...]],
+                           name: str = "") -> IndexSpace:
+        """Allocate a dense 0-based index space of the given extents."""
+        ext = (extent,) if isinstance(extent, int) else tuple(extent)
+        self._record("create_index_space", list(ext), name)
+        return self._intern_resource(
+            "create_index_space",
+            lambda: IndexSpace.from_extent(*ext, name=name))
+
+    def create_region(self, ispace: IndexSpace, fspace: FieldSpace,
+                      name: str = "") -> LogicalRegion:
+        """Create a root region (and its backing storage)."""
+        self._record("create_region", ispace, fspace, name)
+        def make() -> LogicalRegion:
+            region = LogicalRegion(ispace, fspace, name=name)
+            self.runtime.store.allocate(region)
+            return region
+        return self._intern_resource("create_region", make)
+
+    def partition_equal(self, region: LogicalRegion, pieces: int,
+                        dim: int = 0, name: str = "") -> Partition:
+        """Disjoint, complete blockwise partition along one dimension."""
+        self._record("partition_equal", region, pieces, dim, name)
+        return self._intern_resource(
+            "partition_equal",
+            lambda: region.partition_equal(pieces, dim=dim, name=name))
+
+    def partition_tiles(self, region: LogicalRegion, tiles: Tuple[int, ...],
+                        name: str = "") -> Partition:
+        """Disjoint, complete n-D tiling of a region."""
+        self._record("partition_tiles", region, list(tiles), name)
+        return self._intern_resource(
+            "partition_tiles", lambda: region.partition_tiles(tiles, name=name))
+
+    def partition_ghost(self, region: LogicalRegion, base: Partition,
+                        halo: int, dim: Optional[int] = None,
+                        name: str = "") -> Partition:
+        """Aliased ghost partition: each base piece grown by ``halo``."""
+        self._record("partition_ghost", region, base, halo,
+                     -1 if dim is None else dim, name)
+        return self._intern_resource(
+            "partition_ghost",
+            lambda: region.partition_ghost(base, halo, dim=dim, name=name))
+
+    def partition_by_field(self, region: LogicalRegion,
+                           colors: Sequence[Hashable],
+                           color_of: Callable, name: str = "") -> Partition:
+        """Dependent partitioning: piece = per-point color (OOPSLA'13).
+
+        ``color_of`` must be control deterministic; its evaluation over the
+        region is folded into the call hash.
+        """
+        from ..regions import partition_by_field
+        assignment = [(list(p), str(color_of(p)))
+                      for p in region.index_space]
+        self._record("partition_by_field", region, assignment, name)
+        return self._intern_resource(
+            "partition_by_field",
+            lambda: partition_by_field(region, colors, color_of, name=name))
+
+    def partition_by_image(self, dest: LogicalRegion, source: Partition,
+                           pointer: Callable, name: str = "") -> Partition:
+        """Dependent partitioning: image of a pointer field (OOPSLA'16)."""
+        from ..regions import partition_by_image
+        arrows = [(list(p), sorted(map(str, pointer(p))))
+                  for sub in source for p in sub.index_space]
+        self._record("partition_by_image", dest, source, arrows, name)
+        return self._intern_resource(
+            "partition_by_image",
+            lambda: partition_by_image(dest, source, pointer, name=name))
+
+    def partition_by_preimage(self, dest: LogicalRegion, target: Partition,
+                              pointer: Callable, name: str = "") -> Partition:
+        """Dependent partitioning: preimage of a pointer field."""
+        from ..regions import partition_by_preimage
+        arrows = [(list(p), sorted(map(str, pointer(p))))
+                  for p in dest.index_space]
+        self._record("partition_by_preimage", dest, target, arrows, name)
+        return self._intern_resource(
+            "partition_by_preimage",
+            lambda: partition_by_preimage(dest, target, pointer, name=name))
+
+    def partition_by_points(self, region: LogicalRegion,
+                            pieces: Dict[Hashable, Sequence],
+                            disjoint: Optional[bool] = None,
+                            name: str = "") -> Partition:
+        """Arbitrary (possibly dynamic) partition from explicit point lists —
+        the circuit app's dynamically computed graph partition."""
+        norm = {
+            color: tuple(sorted((p,) if isinstance(p, int) else tuple(p)
+                                for p in pts))
+            for color, pts in pieces.items()
+        }
+        self._record("partition_by_points", region,
+                     sorted((str(c), list(map(list, pts)))
+                            for c, pts in norm.items()),
+                     name)
+        def make() -> Partition:
+            spaces = {
+                color: IndexSpace(points=pts, name=f"{name}[{color}]")
+                for color, pts in norm.items()
+            }
+            return region.partition_by_spaces(spaces, disjoint=disjoint,
+                                              name=name)
+        return self._intern_resource("partition_by_points", make)
+
+    # -- data operations --------------------------------------------------------------------
+
+    def fill(self, region: LogicalRegion,
+             fields: Union[str, Iterable[str]], value) -> None:
+        """Fill the named fields of a region with one value (an operation)."""
+        names = [fields] if isinstance(fields, str) else sorted(fields)
+        self._record("fill", region, names, float(value))
+        fobjs = frozenset(region.field_space[n] for n in names)
+        op = Operation(
+            "fill",
+            [CoarseRequirement(region, fobjs, WRITE_DISCARD)],
+            owner_shard=0, name=f"fill({region.name})")
+        op.fill_value = value
+        if self.shard == 0:
+            self.runtime.pipeline.analyze(op)
+            for n in names:
+                self.runtime.store.fill(region, region.field_space[n], value)
+
+    # -- task launches -------------------------------------------------------------------------
+
+    def _normalize_reqs(
+        self, reqs: Sequence[Tuple]
+    ) -> List[Tuple[Union[LogicalRegion, Partition], frozenset, Privilege,
+                    Optional[ProjectionFunction]]]:
+        out = []
+        for spec in reqs:
+            target, fields, priv = spec[0], spec[1], _privilege(spec[2])
+            proj = spec[3] if len(spec) > 3 else IDENTITY_PROJECTION
+            fspace = (target.parent_region.field_space
+                      if isinstance(target, Partition)
+                      else target.field_space)
+            names = [fields] if isinstance(fields, str) else sorted(fields)
+            fobjs = frozenset(fspace[n] for n in names)
+            out.append((target, fobjs, priv,
+                        proj if isinstance(target, Partition) else None))
+        return out
+
+    @staticmethod
+    def _task_key(fn: Callable) -> str:
+        """A stable identity for a task function, equal across shards.
+
+        ``__name__`` alone is not enough: two different lambdas both hash as
+        "<lambda>" and a divergent branch between them would go unnoticed.
+        The defining module and line pin down the code object.
+        """
+        code = getattr(fn, "__code__", None)
+        if code is None:
+            return fn.__qualname__
+        return f"{fn.__module__}:{fn.__qualname__}:{code.co_firstlineno}"
+
+    def launch(self, fn: Callable[..., Any], reqs: Sequence[Tuple],
+               args: Sequence[Any] = (), owner_shard: int = 0,
+               future_args: Sequence[Future] = (),
+               cost: float = 0.0) -> Future:
+        """Launch one individual task; returns its future.
+
+        ``future_args`` pass other tasks' results into this task without the
+        control program reading them — the §3-safe alternative to branching
+        on a value (Fig. 5's ``launch_task1(precondition=future)``): the
+        future is resolved by the time the task body runs, and the argument
+        is hashed by *handle*, not value, so shards stay deterministic.
+        """
+        norm = self._normalize_reqs(reqs)
+        self._record("launch", self._task_key(fn),
+                     [(t, sorted(f.fid for f in fl), p.kind.value)
+                      for t, fl, p, _ in norm],
+                     list(map(self._hashable_arg, args)),
+                     list(future_args), owner_shard)
+        def do() -> Future:
+            op = Operation(
+                "task",
+                [CoarseRequirement(t, fl, p, pr) for t, fl, p, pr in norm],
+                owner_shard=owner_shard, name=fn.__name__, body=fn, cost=cost)
+            op.body_args = tuple(args) + tuple(f.get() for f in future_args)
+            record = self.runtime.pipeline.analyze(op)
+            value = self._execute_point(op, record.point_tasks[0],
+                                        op.body_args)
+            fut = Future(self._oracle_binding())
+            fut.resolve(value)
+            return fut
+        return self._intern_future(do)  # type: ignore[return-value]
+
+    def index_launch(self, fn: Callable[..., Any], domain: Sequence[Hashable],
+                     reqs: Sequence[Tuple], args: Sequence[Any] = (),
+                     future_args: Sequence[Future] = (),
+                     cost: float = 0.0) -> FutureMap:
+        """Launch a group (index) task over ``domain``; one future per point.
+
+        This is the Regent-transformed form ``t(p[f(i)])`` (§4) that makes
+        the coarse analysis cost independent of the number of points.
+        ``future_args`` behave as in :meth:`launch`.
+        """
+        norm = self._normalize_reqs(reqs)
+        domain = list(domain)
+        if not domain:
+            raise ValueError(
+                f"index_launch of {fn.__name__} over an empty domain — "
+                f"launch at least one point (or skip the launch)")
+        sharding = self.runtime.mapper.select_sharding("task", fn.__name__)
+        self._record("index_launch", self._task_key(fn), domain,
+                     [(t, sorted(f.fid for f in fl), p.kind.value,
+                       pr.pid if pr else -1)
+                      for t, fl, p, pr in norm],
+                     list(map(self._hashable_arg, args)),
+                     list(future_args), sharding.sid)
+        def do() -> FutureMap:
+            op = Operation(
+                "task",
+                [CoarseRequirement(t, fl, p, pr) for t, fl, p, pr in norm],
+                launch_domain=domain, sharding=sharding, name=fn.__name__,
+                body=fn, cost=cost)
+            op.body_args = tuple(args) + tuple(f.get() for f in future_args)
+            record = self.runtime.pipeline.analyze(op)
+            futures: Dict[Hashable, Future] = {}
+            for pt in record.point_tasks:
+                value = self._execute_point(op, pt, op.body_args)
+                f = Future(self._oracle_binding())
+                f.resolve(value)
+                futures[pt.point] = f
+            return FutureMap(futures)
+        return self._intern_future(do)  # type: ignore[return-value]
+
+    def _execute_point(self, op: Operation, pt: PointTask,
+                       args: Sequence[Any]) -> Any:
+        if self.shard != 0:  # pragma: no cover - only shard 0 executes
+            return None
+        self.runtime.executed_points += 1
+        assert op.body is not None
+        region_args = [RegionArg(self.runtime.store, req)
+                       for req in pt.requirements]
+        if op.is_group:
+            return op.body(pt.point, *region_args, *args)
+        return op.body(*region_args, *args)
+
+    def _oracle_binding(self):
+        """Bind ``is_ready`` to the *currently replaying* shard.
+
+        Futures are interned (all shards share one object), so the timing
+        oracle must look up which shard is asking at call time — that is
+        what lets tests model per-shard timing skew (Fig. 5).
+        """
+        oracle = self.runtime.timing_oracle
+        runtime = self.runtime
+        if oracle is None:
+            return None
+        return lambda fut: oracle(getattr(runtime, "_current_shard", 0), fut)
+
+    @staticmethod
+    def _hashable_arg(a: Any) -> Any:
+        if isinstance(a, np.generic):
+            return a.item()
+        if isinstance(a, np.ndarray):
+            return a.tobytes()
+        return a
+
+    # -- futures & control helpers ------------------------------------------------------------
+
+    def get_value(self, future: Future) -> Any:
+        """Block for a future's value; identical on every shard (hashed)."""
+        self._record("future_get", future)
+        return future.get()
+
+    def rng(self, seed: int, stream: int = 0) -> CounterRNG:
+        """A shard-safe counter-based generator (§3, Fig. 4 remedy)."""
+        self._record("create_rng", seed, stream)
+        return CounterRNG(seed, stream)
+
+    def execution_fence(self) -> None:
+        """A global ordering point: everything issued before the fence is
+        ordered before everything after it (Legion's execution fence).
+
+        Implemented as a global analysis fence occupying one program-order
+        slot, so fence-coverage checks, the spy validator, and the event
+        replayer's barrier eras all see it; the synchronous executor
+        already honors program order.
+        """
+        self._record("execution_fence")
+        if self.shard != 0:
+            return
+        from ..core.coarse import Fence
+        pipe = self.runtime.pipeline
+        pipe.coarse.result.fences.append(
+            Fence(at_seq=pipe._next_seq, region=None, fields=frozenset()))
+        pipe._next_seq += 1
+
+    # -- tracing -----------------------------------------------------------------------------------
+
+    def begin_trace(self, trace_id: int) -> None:
+        """Start capturing (or replaying) a trace of the following launches."""
+        self._record("begin_trace", trace_id)
+        if self.shard == 0:
+            self.runtime.pipeline.begin_trace(trace_id)
+
+    def end_trace(self) -> None:
+        """Finish the current trace capture/replay."""
+        self._record("end_trace")
+        if self.shard == 0:
+            self.runtime.pipeline.end_trace()
+
+    # -- deletions & finalizers (§4.3) ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def finalizer(self):
+        """Model a garbage-collector finalizer running at an arbitrary,
+        shard-dependent point: deletions inside are deferred, not hashed."""
+        self._in_finalizer = True
+        try:
+            yield
+        finally:
+            self._in_finalizer = False
+
+    def delete_region(self, region: LogicalRegion) -> None:
+        """Delete a region's storage (deferred when inside a finalizer)."""
+        if self._in_finalizer:
+            self.runtime._deferred_keys[region.uid] = region
+            self.runtime.deferred.announce(self.shard, region.uid)
+            return
+        self._record("delete_region", region)
+        if self.shard == 0:
+            self.runtime._apply_deletion(region)
+
+    def delete_field(self, region: LogicalRegion, field_name: str) -> None:
+        """Delete one field (deferred when inside a finalizer)."""
+        f = region.field_space[field_name]
+        if self._in_finalizer:
+            key = ("field", region.uid, f.fid)
+            self.runtime._deferred_keys[key] = ("field", region, f)
+            self.runtime.deferred.announce(self.shard, key)
+            return
+        self._record("delete_field", region, field_name)
+        if self.shard == 0:
+            self.runtime._apply_deletion(("field", region, f))

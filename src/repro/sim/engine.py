@@ -1,0 +1,76 @@
+"""A small discrete-event engine plus serial-resource bookkeeping.
+
+The execution models mostly use analytic list scheduling (deterministic and
+fast), but a few components — the deferred-deletion poller tests and the
+pipelined analysis/execution overlap checks — want a genuine event queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["SimEngine", "SerialResource"]
+
+
+class SimEngine:
+    """Priority-queue discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, next(self._seq), fn))
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` ``delay`` seconds from now."""
+        self.at(self.now + delay, fn)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events (optionally up to ``until``); returns final time."""
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            time, _seq, fn = heapq.heappop(self._queue)
+            self.now = time
+            self.events_processed += 1
+            fn()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class SerialResource:
+    """A FIFO-serial resource (a processor, a controller, a NIC).
+
+    ``acquire(ready, duration)`` returns the interval actually granted:
+    start = max(ready, when the resource frees up).  Tracks busy time for
+    utilization reporting.
+    """
+
+    __slots__ = ("name", "available_at", "busy")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.available_at = 0.0
+        self.busy = 0.0
+
+    def acquire(self, ready: float, duration: float) -> Tuple[float, float]:
+        start = max(ready, self.available_at)
+        end = start + duration
+        self.available_at = end
+        self.busy += duration
+        return start, end
+
+    def utilization(self, horizon: float) -> float:
+        return self.busy / horizon if horizon > 0 else 0.0

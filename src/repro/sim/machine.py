@@ -1,0 +1,77 @@
+"""Machine descriptions for the performance simulator.
+
+The paper's experiments span Piz-Daint, Summit, Sierra, Lassen, Quartz and
+DGX-1V clusters; this module captures the properties of those machines that
+matter for the evaluation — node count, processors per node, intra-node
+(NVLink / shared memory) vs. inter-node (InfiniBand / Aries) bandwidth and
+latency, and whether GPUDirect RDMA is available (Fig. 14's third MPI
+configuration).
+
+Absolute calibration is deliberately coarse (DESIGN.md §2): the simulator is
+asked to reproduce *shapes* — who wins, where scaling breaks — not testbed
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+__all__ = ["ProcKind", "MachineSpec", "PIZ_DAINT", "DGX1V", "SUMMIT",
+           "SIERRA", "LASSEN", "QUARTZ"]
+
+
+class ProcKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A homogeneous cluster description."""
+
+    name: str
+    nodes: int
+    cpus_per_node: int
+    gpus_per_node: int
+    intra_bw: float = 50e9      # bytes/s within a node (NVLink-class)
+    inter_bw: float = 12.5e9    # bytes/s between nodes (IB EDR-class)
+    intra_lat: float = 2e-6     # seconds, one message within a node
+    inter_lat: float = 5e-6     # seconds, one message between nodes
+    gpudirect: bool = False     # direct NIC<->GPU path for inter-node GPU data
+    host_staging_bw: float = 10e9  # bytes/s extra hop when GPUDirect is off
+    # Fixed software cost of one staged GPU message (cudaMemcpy + stream
+    # sync + pack/unpack of unstructured halos).  Paid whenever a GPU
+    # transfer must bounce through host memory.
+    staging_overhead: float = 50e-6
+
+    def procs_per_node(self, kind: ProcKind) -> int:
+        return self.gpus_per_node if kind is ProcKind.GPU else self.cpus_per_node
+
+    def total_procs(self, kind: ProcKind) -> int:
+        return self.nodes * self.procs_per_node(kind)
+
+    def with_nodes(self, nodes: int) -> "MachineSpec":
+        """The same machine scaled to a different node count."""
+        return replace(self, nodes=nodes)
+
+    def with_gpudirect(self, enabled: bool) -> "MachineSpec":
+        return replace(self, gpudirect=enabled)
+
+
+# Presets named after the paper's testbeds.  Bandwidths/latencies are
+# public-spec magnitudes, not measurements.
+PIZ_DAINT = MachineSpec("piz-daint", nodes=512, cpus_per_node=12,
+                        gpus_per_node=1, intra_bw=30e9, inter_bw=10e9)
+DGX1V = MachineSpec("dgx-1v", nodes=32, cpus_per_node=40, gpus_per_node=8,
+                    intra_bw=150e9, inter_bw=12.5e9)
+# POWER9 machines have NVLink between CPU and GPU, so host staging runs at
+# NVLink rates rather than PCIe rates.
+SUMMIT = MachineSpec("summit", nodes=256, cpus_per_node=42, gpus_per_node=6,
+                     intra_bw=150e9, inter_bw=25e9, host_staging_bw=50e9)
+SIERRA = MachineSpec("sierra", nodes=256, cpus_per_node=44, gpus_per_node=4,
+                     intra_bw=150e9, inter_bw=25e9, host_staging_bw=50e9)
+LASSEN = MachineSpec("lassen", nodes=128, cpus_per_node=44, gpus_per_node=4,
+                     intra_bw=150e9, inter_bw=25e9, host_staging_bw=50e9)
+QUARTZ = MachineSpec("quartz", nodes=256, cpus_per_node=36, gpus_per_node=0,
+                     intra_bw=40e9, inter_bw=12.5e9)

@@ -1,0 +1,88 @@
+"""Point-to-point transfer cost model.
+
+Transfers are latency + size/bandwidth, with the link chosen by endpoint
+placement: same processor (free), same node (NVLink/shared memory), or
+different nodes (interconnect).  Inter-node transfers between GPUs without
+GPUDirect pay an extra host-staging hop, which is what separates the
+MPI+CUDA and MPI+CUDA+GPUDirect curves of Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .machine import MachineSpec, ProcKind
+
+__all__ = ["NetworkModel", "TrafficStats"]
+
+
+@dataclass
+class TrafficStats:
+    """Accumulated traffic, split by link class."""
+
+    intra_bytes: float = 0.0
+    inter_bytes: float = 0.0
+    intra_msgs: int = 0
+    inter_msgs: int = 0
+
+
+class NetworkModel:
+    """Computes transfer times on a :class:`MachineSpec` and keeps stats."""
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+        self.stats = TrafficStats()
+
+    def transfer_time(self, nbytes: float, src_node: int, dst_node: int,
+                      kind: ProcKind = ProcKind.GPU,
+                      same_proc: bool = False) -> float:
+        """Seconds to move ``nbytes`` between the given placements."""
+        if nbytes <= 0 or same_proc:
+            return 0.0
+        m = self.machine
+        if src_node == dst_node:
+            self.stats.intra_bytes += nbytes
+            self.stats.intra_msgs += 1
+            return m.intra_lat + nbytes / m.intra_bw
+        self.stats.inter_bytes += nbytes
+        self.stats.inter_msgs += 1
+        t = m.inter_lat + nbytes / m.inter_bw
+        if kind is ProcKind.GPU and not m.gpudirect:
+            # Stage through host memory on both ends.
+            t += 2 * (m.intra_lat + nbytes / m.host_staging_bw)
+        return t
+
+    def collective_time(self, nbytes: float, participants: int,
+                        kind: ProcKind = ProcKind.GPU,
+                        bandwidth: float | None = None,
+                        staging_contention: int = 1,
+                        bw_efficiency: float = 1.0) -> float:
+        """All-reduce/all-gather cost across ``participants`` (§4.2).
+
+        Standard alpha-beta model: O(log P) latency rounds plus the
+        bandwidth-optimal ring term ``2 * nbytes * (P-1)/P / bw`` (what
+        Horovod/NCCL achieve for the gradient payloads of Figs. 15/18).
+        GPU payloads without GPUDirect also bounce through host memory;
+        ``staging_contention`` > 1 models one-rank-per-GPU runtimes whose
+        ranks share the node's host copy path (Horovod), versus
+        one-process-per-node runtimes (Legion) that stage once.
+        """
+        if participants <= 1:
+            return 0.0
+        m = self.machine
+        bw = bandwidth if bandwidth is not None else m.inter_bw
+        rounds = max(1, (participants - 1).bit_length())
+        latency = rounds * m.inter_lat
+        # ``bw_efficiency`` captures how far a runtime's collectives fall
+        # short of the ideal ring at scale (fusion-buffer serialization,
+        # fat-tree incast); 1.0 = ideal.
+        ring = (2.0 * nbytes * (participants - 1) / participants
+                / (bw * max(1e-6, bw_efficiency)))
+        if nbytes > 0 and kind is ProcKind.GPU and not m.gpudirect \
+                and bandwidth is None:
+            stage_bw = m.host_staging_bw / max(1, staging_contention)
+            ring += 2 * nbytes / stage_bw + m.staging_overhead
+        self.stats.inter_msgs += rounds * participants
+        self.stats.inter_bytes += 2 * nbytes * max(0, participants - 1)
+        return latency + ring

@@ -1,0 +1,181 @@
+"""Simulated workloads: operation streams with point-level structure hints.
+
+The performance layer runs an application as a stream of :class:`SimOp`
+entries.  Each entry may carry a *real* :class:`repro.core.Operation` (with
+regions, partitions, privileges), in which case the DCR model derives coarse
+dependences and cross-shard fences by running the actual coarse analysis —
+the paper's contribution is never approximated.  What *is* modeled
+analytically is the point-level execution structure: instead of expanding an
+O(points²) precise analysis at 512 nodes, each dependence carries a
+``pattern`` describing which source points feed each destination point
+(pointwise, halo exchange with offsets, or an all/collective pattern).
+
+This split mirrors the paper's own observation that the coarse stage never
+enumerates points; only execution does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.operation import Operation
+from .machine import ProcKind
+
+__all__ = ["DepSpec", "SimOp", "SimProgram", "edge_sources", "placement"]
+
+
+@dataclass(frozen=True)
+class DepSpec:
+    """A point-structure hint for a dependence on an earlier SimOp.
+
+    Patterns:
+
+    * ``pointwise`` — destination point i consumes source point i (scaled
+      proportionally when the two launch sizes differ);
+    * ``halo`` — point i consumes i+o for each offset o (n-D offsets when the
+      op declares a ``grid``), the stencil/ghost-exchange shape;
+    * ``all`` — every destination point needs every source point; executed
+      as an O(log N) collective (reduction/broadcast trees), not N² edges.
+    """
+
+    src: int                      # index of the earlier op in the stream
+    pattern: str = "pointwise"    # 'pointwise' | 'halo' | 'all'
+    nbytes: float = 0.0           # payload per consumed edge (or collective)
+    offsets: Tuple = ()           # halo offsets: ints, or tuples for n-D
+
+
+@dataclass
+class SimOp:
+    """One (group) operation of the simulated program."""
+
+    name: str
+    points: int
+    duration: float                       # per-point execution seconds
+    deps: List[DepSpec] = field(default_factory=list)
+    proc_kind: ProcKind = ProcKind.GPU
+    operation: Optional[Operation] = None  # real op for the coarse analysis
+    grid: Optional[Tuple[int, ...]] = None  # n-D launch shape for halo deps
+    fence: Optional[bool] = None  # override when no real Operation is given
+    traced: bool = False          # this op is a trace replay
+    # The control program reads this op's future (e.g. a dt reduction), so
+    # the *analysis* of everything after it stalls until it has executed —
+    # the blocking behavior the paper's Pennant discussion attributes to
+    # the global dt collective.
+    blocks_analysis: bool = False
+    index: int = -1               # position in the stream (set by SimProgram)
+
+
+@dataclass
+class SimProgram:
+    """A complete simulated run: operation stream plus bookkeeping."""
+
+    name: str
+    ops: List[SimOp] = field(default_factory=list)
+    # Half-open op-index ranges of the timed steady-state iterations.
+    iteration_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    work_per_iteration: float = 1.0     # app-level units (cells, wires, ...)
+    scr_applicable: bool = True         # static control replication can compile it
+
+    def add(self, op: SimOp) -> int:
+        op.index = len(self.ops)
+        self.ops.append(op)
+        return op.index
+
+    def begin_iteration(self) -> int:
+        return len(self.ops)
+
+    def end_iteration(self, start: int) -> None:
+        self.iteration_ranges.append((start, len(self.ops)))
+
+    @property
+    def total_points(self) -> int:
+        return sum(op.points for op in self.ops)
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises ValueError on the first problem.
+
+        Checks the invariants every app builder must maintain: dependence
+        indices point strictly backwards, iteration ranges are contiguous
+        half-open intervals covering the stream's tail, and durations/point
+        counts are positive.
+        """
+        for op in self.ops:
+            if op.points < 1:
+                raise ValueError(f"{op.name}: non-positive point count")
+            if op.duration <= 0:
+                raise ValueError(f"{op.name}: non-positive duration")
+            for dep in op.deps:
+                if not 0 <= dep.src < op.index:
+                    raise ValueError(
+                        f"{op.name}: dependence on op {dep.src} does not "
+                        f"point strictly backwards from {op.index}")
+                if dep.pattern not in ("pointwise", "halo", "all"):
+                    raise ValueError(
+                        f"{op.name}: unknown pattern {dep.pattern!r}")
+        prev_end = None
+        for start, end in self.iteration_ranges:
+            if not 0 <= start < end <= len(self.ops):
+                raise ValueError(
+                    f"iteration range ({start}, {end}) out of bounds")
+            if prev_end is not None and start != prev_end:
+                raise ValueError("iteration ranges are not contiguous")
+            prev_end = end
+        if self.iteration_ranges and prev_end != len(self.ops):
+            raise ValueError("iteration ranges do not cover the tail")
+
+
+def placement(point: int, points: int, nodes: int, procs_per_node: int
+              ) -> Tuple[int, int]:
+    """Blocked mapping of a launch point to (node, processor index).
+
+    Points are spread over all processors of the machine contiguously —
+    the default tiled mapping every app in §5 uses.
+    """
+    total = max(1, nodes * procs_per_node)
+    gproc = min(point * total // max(points, 1), total - 1)
+    return gproc // procs_per_node, gproc % procs_per_node
+
+
+def edge_sources(dep: DepSpec, point: int, src_points: int, dst_points: int,
+                 grid: Optional[Tuple[int, ...]] = None) -> Sequence[int]:
+    """Source points feeding ``point`` under the dependence's pattern.
+
+    ``all`` is intentionally *not* expanded here — models treat it as a
+    collective (see module docstring).
+    """
+    if dep.pattern == "pointwise":
+        if src_points == dst_points:
+            return (point,)
+        return (min(point * src_points // max(dst_points, 1),
+                    src_points - 1),)
+    if dep.pattern == "halo":
+        if grid is None:
+            out = []
+            for off in dep.offsets or (-1, 1):
+                q = point + off
+                if 0 <= q < src_points:
+                    out.append(q)
+            out.append(min(point, src_points - 1))  # own tile
+            return tuple(dict.fromkeys(out))
+        # n-D halo: linearize row-major over `grid`.
+        coords = []
+        rem = point
+        for extent in reversed(grid):
+            coords.append(rem % extent)
+            rem //= extent
+        coords.reverse()
+        out = [point]
+        for off in dep.offsets:
+            q = [c + o for c, o in zip(coords, off)]
+            if all(0 <= qc < e for qc, e in zip(q, grid)):
+                lin = 0
+                for qc, e in zip(q, grid):
+                    lin = lin * e + qc
+                if lin < src_points:
+                    out.append(lin)
+        return tuple(dict.fromkeys(out))
+    if dep.pattern == "all":
+        raise ValueError("'all' dependences are modeled as collectives, "
+                         "not expanded into edges")
+    raise ValueError(f"unknown dependence pattern {dep.pattern!r}")

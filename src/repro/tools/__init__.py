@@ -1,0 +1,16 @@
+"""Observability and utility tooling layered on the runtime."""
+
+from .autotune import TuningResult, tune_mapper
+from .checkpoint import (load_partitioned, load_region, save_partitioned,
+                         save_region)
+from .dot import coarse_graph_dot, task_graph_dot
+from .report import AnalysisReport, analyze_run
+from .spy import SpyFinding, SpyReport, validate_run
+
+__all__ = [
+    "TuningResult", "tune_mapper",
+    "load_partitioned", "load_region", "save_partitioned", "save_region",
+    "coarse_graph_dot", "task_graph_dot",
+    "AnalysisReport", "analyze_run",
+    "SpyFinding", "SpyReport", "validate_run",
+]

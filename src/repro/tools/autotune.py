@@ -1,0 +1,81 @@
+"""Mapper auto-tuning: search DCR's mapper-facing knobs on the simulator.
+
+The paper leaves replication/sharding decisions to the mapper ("users
+decide when best to deploy DCR") and notes they could be automated.  This
+tool is that automation for the performance layer: given an application's
+operation stream and a machine, sweep the DCR model's mapper-visible
+configuration space — sharding policy, shards-per, operation window,
+tracing — and report the fastest configuration with the measured times of
+every candidate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..models.dcr import DCRModel
+from ..sim.costs import CostModel, DEFAULT_COSTS
+from ..sim.machine import MachineSpec
+from ..sim.workload import SimProgram
+
+__all__ = ["TuningResult", "tune_mapper"]
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    sharding: str = "blocked"
+    shards_per: str = "node"
+    window: Optional[int] = None
+    tracing: bool = True
+
+    def describe(self) -> str:
+        win = "inf" if self.window is None else str(self.window)
+        return (f"sharding={self.sharding} shards_per={self.shards_per} "
+                f"window={win} tracing={self.tracing}")
+
+
+@dataclass
+class TuningResult:
+    best: MapperConfig
+    best_time: float
+    candidates: List[Tuple[MapperConfig, float]] = field(default_factory=list)
+
+    def speedup_over_worst(self) -> float:
+        worst = max(t for _c, t in self.candidates)
+        return worst / self.best_time if self.best_time else 1.0
+
+    def render(self) -> str:
+        lines = ["mapper auto-tuning result", "========================="]
+        for config, t in sorted(self.candidates, key=lambda ct: ct[1]):
+            marker = " <- best" if config == self.best else ""
+            lines.append(f"{t * 1e3:10.4f} ms/iter  {config.describe()}"
+                         f"{marker}")
+        return "\n".join(lines)
+
+
+def tune_mapper(build_program: Callable[[], SimProgram],
+                machine: MachineSpec,
+                costs: CostModel = DEFAULT_COSTS,
+                shardings: Sequence[str] = ("blocked", "cyclic"),
+                shards_pers: Sequence[str] = ("node",),
+                windows: Sequence[Optional[int]] = (None,),
+                tracings: Sequence[bool] = (True, False)) -> TuningResult:
+    """Exhaustively evaluate mapper configurations; returns the ranking.
+
+    ``build_program`` is called once per candidate (op streams carry
+    mutable per-run state such as ``seq`` assignments).
+    """
+    candidates: List[Tuple[MapperConfig, float]] = []
+    for sharding, shards_per, window, tracing in itertools.product(
+            shardings, shards_pers, windows, tracings):
+        config = MapperConfig(sharding=sharding, shards_per=shards_per,
+                              window=window, tracing=tracing)
+        model = DCRModel(machine, costs, shards_per=shards_per,
+                         tracing=tracing, sharding=sharding, window=window)
+        result = model.run(build_program())
+        candidates.append((config, result.iteration_time))
+    best, best_time = min(candidates, key=lambda ct: ct[1])
+    return TuningResult(best=best, best_time=best_time,
+                        candidates=candidates)

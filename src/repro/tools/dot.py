@@ -1,0 +1,78 @@
+"""Graphviz export of analysis products, for debugging and documentation.
+
+``task_graph_dot`` renders the precise point-task graph (clustered by
+operation, colored by shard); ``coarse_graph_dot`` renders the coarse
+operation-level graph with fence edges highlighted — the picture the
+paper's Fig. 10 draws by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.coarse import CoarseResult
+from ..core.taskgraph import TaskGraph
+
+__all__ = ["task_graph_dot", "coarse_graph_dot"]
+
+_SHARD_COLORS = ["lightblue", "lightpink", "lightgreen", "khaki",
+                 "lightsalmon", "plum", "palegreen", "lightgray"]
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace('"', r'\"') + '"'
+
+
+def task_graph_dot(graph: TaskGraph, max_tasks: int = 500) -> str:
+    """DOT text for a point-task graph; raises if it would be unreadable."""
+    if len(graph.tasks) > max_tasks:
+        raise ValueError(
+            f"graph has {len(graph.tasks)} tasks; refusing to render more "
+            f"than {max_tasks} (pass max_tasks= to override)")
+    lines = ["digraph tasks {", "  rankdir=TB;",
+             '  node [shape=box, style=filled];']
+    by_op = {}
+    for task in graph.tasks:
+        by_op.setdefault(task.op, []).append(task)
+
+    def node_id(task) -> str:
+        return _quote(f"{task.op.name}#{task.op.seq}[{task.point}]")
+
+    for op, tasks in sorted(by_op.items(), key=lambda kv: kv[0].seq):
+        lines.append(f"  subgraph cluster_{op.seq} {{")
+        lines.append(f"    label={_quote(f'{op.name} (seq {op.seq})')};")
+        for task in sorted(tasks, key=lambda t: str(t.point)):
+            color = _SHARD_COLORS[task.shard % len(_SHARD_COLORS)]
+            lines.append(
+                f"    {node_id(task)} "
+                f"[label={_quote(str(task.point))}, fillcolor={color}];")
+        lines.append("  }")
+    for a, b in sorted(graph.deps,
+                       key=lambda e: (e[0].op.seq, str(e[0].point),
+                                      e[1].op.seq, str(e[1].point))):
+        style = "" if a.shard == b.shard else " [color=red, penwidth=2]"
+        lines.append(f"  {node_id(a)} -> {node_id(b)}{style};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def coarse_graph_dot(coarse: CoarseResult,
+                     ops: Optional[Iterable] = None) -> str:
+    """DOT text for the coarse dependence graph, fences marked in red."""
+    lines = ["digraph coarse {", "  rankdir=TB;",
+             '  node [shape=box, style=filled, fillcolor=white];']
+    fence_positions = {f.at_seq for f in coarse.fences}
+    seen = set()
+    for a, b in sorted(coarse.deps, key=lambda e: (e[0].seq, e[1].seq)):
+        for op in (a, b):
+            if op.seq not in seen:
+                seen.add(op.seq)
+                fenced = op.seq in fence_positions
+                fill = ", fillcolor=mistyrose" if fenced else ""
+                lines.append(
+                    f"  op{op.seq} [label={_quote(op.name)}{fill}];")
+        fenced_edge = b.seq in fence_positions
+        style = (' [color=red, label="fence"]' if fenced_edge else "")
+        lines.append(f"  op{a.seq} -> op{b.seq}{style};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Structural well-formedness of every application's operation stream."""
+
+import pytest
+
+from repro.apps import (candle, circuit, htr, pennant, resnet, soleil,
+                        stencil, taskbench)
+from repro.legate import cg_program, logreg_program
+from repro.sim.machine import (DGX1V, LASSEN, PIZ_DAINT, QUARTZ, SIERRA,
+                               SUMMIT, MachineSpec)
+
+
+def all_programs():
+    out = []
+    out.append(("stencil-weak",
+                stencil.build_program(PIZ_DAINT.with_nodes(8))))
+    out.append(("stencil-strong",
+                stencil.build_program(PIZ_DAINT.with_nodes(8), weak=False)))
+    out.append(("circuit", circuit.build_program(PIZ_DAINT.with_nodes(8))))
+    out.append(("pennant", pennant.build_program(DGX1V.with_nodes(2))))
+    out.append(("pennant-cpu",
+                pennant.build_program(DGX1V.with_nodes(2), cpu=True)))
+    out.append(("resnet", resnet.build_program(SUMMIT.with_nodes(2))))
+    out.append(("candle", candle.build_program(SUMMIT.with_nodes(2),
+                                               search_steps=100)))
+    out.append(("soleil", soleil.build_program(SIERRA.with_nodes(4))))
+    out.append(("htr-gpu", htr.build_program(LASSEN.with_nodes(2))))
+    out.append(("htr-cpu", htr.build_program(QUARTZ.with_nodes(2),
+                                             gpu=False)))
+    out.append(("taskbench",
+                taskbench.build_program(MachineSpec("t", 4, 1, 0), 1e-3)))
+    sockets = MachineSpec("s", 4, 20, 1)
+    out.append(("logreg", logreg_program(sockets)))
+    out.append(("cg", cg_program(sockets)))
+    return out
+
+
+@pytest.mark.parametrize("name,prog", all_programs(),
+                         ids=[n for n, _ in all_programs()])
+class TestProgramStructure:
+    def test_dep_indices_point_backwards(self, name, prog):
+        for op in prog.ops:
+            for dep in op.deps:
+                assert 0 <= dep.src < op.index, (op.name, dep)
+
+    def test_iteration_ranges_cover_tail(self, name, prog):
+        assert prog.iteration_ranges, name
+        prev_end = None
+        for start, end in prog.iteration_ranges:
+            assert start < end <= len(prog.ops)
+            if prev_end is not None:
+                assert start == prev_end       # contiguous iterations
+            prev_end = end
+        assert prev_end == len(prog.ops)
+
+    def test_real_operations_attached(self, name, prog):
+        assert all(op.operation is not None for op in prog.ops), name
+
+    def test_positive_durations_and_points(self, name, prog):
+        for op in prog.ops:
+            assert op.points >= 1
+            assert op.duration > 0
+
+    def test_warmup_untraced_then_traced(self, name, prog):
+        assert not prog.ops[0].traced
+        assert any(op.traced for op in prog.ops)
+
+    def test_work_per_iteration_positive(self, name, prog):
+        assert prog.work_per_iteration > 0
+
+
+class TestAppSpecifics:
+    def test_scr_applicability_flags(self):
+        assert stencil.build_program(PIZ_DAINT.with_nodes(2)).scr_applicable
+        assert circuit.build_program(PIZ_DAINT.with_nodes(2)).scr_applicable
+        assert not soleil.build_program(SIERRA.with_nodes(2)).scr_applicable
+        assert not htr.build_program(LASSEN.with_nodes(2)).scr_applicable
+
+    def test_stencil_weak_scales_problem(self):
+        small = stencil.build_program(PIZ_DAINT.with_nodes(2))
+        big = stencil.build_program(PIZ_DAINT.with_nodes(8))
+        assert big.work_per_iteration == 4 * small.work_per_iteration
+
+    def test_stencil_strong_fixes_problem(self):
+        small = stencil.build_program(PIZ_DAINT.with_nodes(2), weak=False)
+        big = stencil.build_program(PIZ_DAINT.with_nodes(8), weak=False)
+        assert big.work_per_iteration == small.work_per_iteration
+
+    def test_pennant_has_dt_collective_chain(self):
+        prog = pennant.build_program(DGX1V.with_nodes(2))
+        dt_ops = [op for op in prog.ops if op.name.startswith("reduce_dt")]
+        assert dt_ops
+        gathers = [op for op in prog.ops
+                   if op.name.startswith("calc_forces.0[") and op.index > 0]
+        # Each later iteration's first gather waits on the previous dt.
+        for g in gathers[1:]:
+            assert any(prog.ops[d.src].name.startswith("reduce_dt")
+                       for d in g.deps)
+
+    def test_pennant_launches_per_cycle(self):
+        """The centralized-analysis cost driver: ~16 launches per cycle."""
+        prog = pennant.build_program(DGX1V.with_nodes(1), iterations=1,
+                                     warmup=0)
+        assert 12 <= len(prog.ops) <= 20
+
+    def test_resnet_epoch_iterations(self):
+        assert resnet.EPOCH_ITERATIONS(1) == 1_281_167 // 64
+        assert resnet.EPOCH_ITERATIONS(768) == 1_281_167 // (64 * 768)
+
+    def test_resnet_parameter_count(self):
+        total = sum(l.params for l in resnet.resnet50_layers())
+        assert 24e6 < total < 27e6       # ~25.6M
+
+    def test_candle_parameter_count(self):
+        total = sum(l.params for l in candle.candle_layers())
+        assert 7.0e8 < total < 8.2e8     # ~768M
+
+    def test_soleil_has_wavefront_sweeps(self):
+        prog = soleil.build_program(SIERRA.with_nodes(4))
+        sweeps = [op for op in prog.ops if op.name.startswith("rad_sweep")]
+        assert len(sweeps) >= 4
+        # Sweeps chain: each depends on the previous one.
+        for a, b in zip(sweeps, sweeps[1:]):
+            if a.name.split("[")[1] == b.name.split("[")[1]:
+                assert any(d.src == a.index for d in b.deps)
+
+    def test_htr_overlap_structure(self):
+        prog = htr.build_program(LASSEN.with_nodes(2))
+        ints = [op for op in prog.ops if "_int[" in op.name]
+        bnds = [op for op in prog.ops if "_bnd[" in op.name]
+        assert len(ints) == len(bnds) > 0
+        # Interior work dominates boundary work (that is what hides comm).
+        assert ints[0].duration > 3 * bnds[0].duration

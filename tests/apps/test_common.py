@@ -1,0 +1,71 @@
+"""App-building helpers: grid_dims, TiledField, op constructors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.common import TiledField, grid_dims, group_op, single_op
+from repro.oracle import READ_ONLY, READ_WRITE
+
+
+class TestGridDims:
+    @given(st.integers(1, 4096), st.integers(1, 3))
+    def test_product_and_order(self, n, dims):
+        g = grid_dims(n, dims)
+        prod = 1
+        for f in g:
+            prod *= f
+        assert prod == n
+        assert len(g) == dims
+        assert all(f >= 1 for f in g)
+
+    def test_near_cubic(self):
+        assert sorted(grid_dims(64, 3)) == [4, 4, 4]
+        assert sorted(grid_dims(512, 3)) == [8, 8, 8]
+        assert sorted(grid_dims(16, 2)) == [4, 4]
+
+    def test_primes_degrade_gracefully(self):
+        g = grid_dims(13, 3)
+        assert sorted(g) == [1, 1, 13]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_dims(0, 3)
+
+
+class TestTiledField:
+    def test_build_with_ghost(self):
+        f = TiledField.build("t", [("a", "f8")], num_tiles=4)
+        assert len(f.tiles) == 4
+        assert f.ghost is not None and not f.ghost.disjoint
+        assert f.tiles.disjoint and f.tiles.complete
+        assert f.field("a").name == "a"
+        assert len(f.fieldset("a")) == 1
+
+    def test_build_without_ghost(self):
+        f = TiledField.build("t", [("a", "f8")], 4, with_ghost=False)
+        assert f.ghost is None
+
+    def test_proxy_geometry_keeps_ghosts_smaller_than_tiles(self):
+        """The aliasing-exactness precondition: halo 1 < tile width."""
+        f = TiledField.build("t", [("a", "f8")], num_tiles=8,
+                             cells_per_tile=4)
+        assert f.ghost is not None
+        for color in f.tiles.colors:
+            tile = f.tiles[color].index_space
+            ghost = f.ghost[color].index_space
+            assert ghost.volume <= tile.volume + 2
+
+
+class TestOpConstructors:
+    def test_group_op(self):
+        f = TiledField.build("t", [("a", "f8")], 4)
+        op = group_op("work", 4, [(f.tiles, f.fieldset("a"), READ_WRITE)])
+        assert op.is_group and op.num_points == 4
+        assert op.coarse_reqs[0].projection is not None
+
+    def test_single_op(self):
+        f = TiledField.build("t", [("a", "f8")], 4)
+        op = single_op("one", [(f.region, f.fieldset("a"), READ_ONLY)],
+                       owner_shard=2)
+        assert not op.is_group
+        assert op.owner_shard == 2

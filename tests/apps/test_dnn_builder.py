@@ -1,0 +1,75 @@
+"""Structure of the shared DNN training-program builder."""
+
+import pytest
+
+from repro.apps.dnn import build_training_program
+from repro.flexflow import (LayerConfig, LayerSpec, Strategy,
+                            data_parallel_strategy)
+from repro.sim.machine import SUMMIT
+
+
+LAYERS = [
+    LayerSpec("big", 50_000_000, 1e8, 4096),
+    LayerSpec("small", 1_000_000, 1e7, 512),
+]
+
+
+def build(strategy, nodes=4, iterations=2):
+    m = SUMMIT.with_nodes(nodes)
+    return m, build_training_program("net", LAYERS, strategy, m,
+                                     iterations=iterations)
+
+
+class TestDataParallel:
+    def test_op_structure_per_iteration(self):
+        _m, prog = build(data_parallel_strategy(LAYERS))
+        prog.validate()
+        names = [op.name for op in prog.ops]
+        # fwd per layer, bwd per layer, allreduce + update per layer.
+        per_iter = [n.split("[")[0] for n in names
+                    if n.endswith("[1]")]
+        assert per_iter.count("net.fwd0") == 1
+        assert per_iter.count("net.bwd1") == 1
+        assert per_iter.count("net.allreduce0") == 1
+        assert per_iter.count("net.update1") == 1
+
+    def test_allreduce_carries_gradient_bytes(self):
+        _m, prog = build(data_parallel_strategy(LAYERS))
+        red = [op for op in prog.ops if op.name.startswith("net.allreduce0")]
+        dep = red[0].deps[0]
+        assert dep.pattern == "all"
+        assert dep.nbytes == pytest.approx(4.0 * LAYERS[0].params)
+
+    def test_warmup_untraced(self):
+        _m, prog = build(data_parallel_strategy(LAYERS))
+        assert not any(op.traced for op in prog.ops if "[0]" in op.name)
+        assert all(op.traced for op in prog.ops if "[1]" in op.name)
+
+
+class TestHybrid:
+    def test_model_parallel_shrinks_gradients(self):
+        strat = Strategy([LayerConfig(4), LayerConfig(1)])
+        _m, prog = build(strat)
+        red0 = [op for op in prog.ops
+                if op.name.startswith("net.allreduce0")][0]
+        assert red0.deps[0].nbytes == pytest.approx(LAYERS[0].params)  # /4*4B
+        # The new iteration's fwd0 depends on the previous update.
+        fwd0 = [op for op in prog.ops if op.name.startswith("net.fwd0[1]")][0]
+        assert fwd0.deps and prog.ops[fwd0.deps[0].src].name.startswith(
+            "net.update")
+        # A model-parallel non-first layer gathers activations from its
+        # shard group.
+        strat2 = Strategy([LayerConfig(1), LayerConfig(4)])
+        _m2, prog2 = build(strat2)
+        fwd1 = [op for op in prog2.ops
+                if op.name.startswith("net.fwd1[1]")][0]
+        assert any(d.pattern == "halo" for d in fwd1.deps)
+
+    def test_full_model_parallel_skips_allreduce(self):
+        """When the data-parallel degree is 1, no gradient sync exists."""
+        m = SUMMIT.with_nodes(1)
+        import dataclasses
+        m = dataclasses.replace(m, gpus_per_node=4)
+        strat = Strategy([LayerConfig(4), LayerConfig(4)])
+        prog = build_training_program("net", LAYERS, strat, m, iterations=1)
+        assert not any("allreduce" in op.name for op in prog.ops)

@@ -1,0 +1,81 @@
+"""Task Bench dependence patterns and their METG ordering."""
+
+import math
+
+import pytest
+
+from repro.apps.taskbench import (PATTERNS, build_program, efficiency, metg,
+                                  pattern_offsets)
+from repro.sim.machine import MachineSpec
+
+
+def cluster(n=8):
+    return MachineSpec("tb", nodes=n, cpus_per_node=1, gpus_per_node=0)
+
+
+class TestPatternOffsets:
+    def test_trivial_has_no_deps(self):
+        assert pattern_offsets("trivial", 0, 16) is None
+
+    def test_no_comm_self_only(self):
+        assert pattern_offsets("no_comm", 3, 16) == ()
+
+    def test_stencil(self):
+        assert pattern_offsets("stencil_1d", 5, 16) == (-1, 1)
+
+    def test_fft_cycles_through_distances(self):
+        dists = {abs(pattern_offsets("fft", t, 16)[1]) for t in range(8)}
+        assert dists == {1, 2, 4, 8}
+
+    def test_tree_doubles(self):
+        assert abs(pattern_offsets("tree", 0, 16)[1]) == 1
+        assert abs(pattern_offsets("tree", 2, 16)[1]) == 4
+        # Saturates at the row width.
+        assert abs(pattern_offsets("tree", 10, 16)[1]) == 8
+
+    def test_spread_long_range(self):
+        offs = pattern_offsets("spread", 0, 30)
+        assert 10 in offs and 20 in offs
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_offsets("mystery", 0, 4)
+
+
+class TestPatternPrograms:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_programs_build_and_run(self, pattern):
+        from repro.models import DCRModel
+        m = cluster(4)
+        prog = build_program(m, 1e-4, pattern=pattern)
+        r = DCRModel(m).run(prog)
+        assert r.iteration_time > 0
+
+    def test_trivial_has_no_edges(self):
+        prog = build_program(cluster(4), 1e-4, pattern="trivial")
+        assert all(not op.deps for op in prog.ops)
+
+    def test_stencil_has_edges(self):
+        prog = build_program(cluster(4), 1e-4, pattern="stencil_1d")
+        assert any(op.deps for op in prog.ops)
+
+
+class TestMETGByPattern:
+    def test_trivial_cheapest(self):
+        m = cluster(8)
+        t = metg(m, tracing=False, safe=True, pattern="trivial")
+        s = metg(m, tracing=False, safe=True, pattern="stencil_1d")
+        assert t <= s * 1.05
+
+    def test_all_patterns_finite(self):
+        m = cluster(4)
+        for pattern in PATTERNS:
+            g = metg(m, tracing=True, safe=True, pattern=pattern)
+            assert math.isfinite(g) and g > 0, pattern
+
+    def test_efficiency_at_metg(self):
+        m = cluster(4)
+        for pattern in ("no_comm", "fft"):
+            g = metg(m, tracing=False, safe=False, pattern=pattern)
+            assert efficiency(m, g, tracing=False, safe=False,
+                              pattern=pattern) >= 0.5

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.regions import FieldSpace, IndexSpace, LogicalRegion
+
+
+@pytest.fixture
+def cell_region():
+    """The paper's Fig. 7 region tree: cells with owned/interior/ghost."""
+    fs = FieldSpace([("state", "f8"), ("flux", "f8")], name="Cell")
+    cells = LogicalRegion(IndexSpace.line(16, "grid"), fs, name="cells")
+    owned = cells.partition_equal(4, name="owned")
+    interior = cells.partition_equal(4, name="interior")
+    ghost = cells.partition_ghost(owned, 1, name="ghost")
+    return cells, owned, interior, ghost

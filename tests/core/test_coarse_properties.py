@@ -1,0 +1,134 @@
+"""Property tests: the epoch-based coarse analysis vs. brute force.
+
+Ground truth at group level: two operations depend iff some pair of their
+coarse requirements conflicts (privilege conflict + field overlap + upper
+bounds alias).  The epoch state machine prunes transitively redundant
+edges, so the check is *order-preservation*: every ground-truth dependence
+must be realized as a path in the coarse graph.
+"""
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coarse import CoarseAnalysis
+from repro.core.operation import (CoarseRequirement, IDENTITY_PROJECTION,
+                                  Operation)
+from repro.core.sharding import BLOCKED, CYCLIC
+from repro.oracle import READ_ONLY, READ_WRITE, WRITE_DISCARD, reduce_priv
+from repro.regions import FieldSpace, IndexSpace, LogicalRegion, may_alias
+
+PRIVS = [READ_ONLY, READ_WRITE, WRITE_DISCARD, reduce_priv("+"),
+         reduce_priv("max")]
+
+
+@st.composite
+def op_streams(draw, max_ops=10):
+    """Random op streams over a two-partition region tree."""
+    fs = FieldSpace([("f0", "f8"), ("f1", "f8")])
+    region = LogicalRegion(IndexSpace.line(16), fs, name="root")
+    tiles = region.partition_equal(4, name="tiles")
+    ghost = region.partition_ghost(tiles, 1, name="ghost")
+    uppers = [region, tiles, ghost, tiles[0], ghost[2]]
+    ops = []
+    for i in range(draw(st.integers(2, max_ops))):
+        n_reqs = draw(st.integers(1, 2))
+        reqs = []
+        for _ in range(n_reqs):
+            upper = uppers[draw(st.integers(0, len(uppers) - 1))]
+            fields = draw(st.sets(st.sampled_from(["f0", "f1"]),
+                                  min_size=1, max_size=2))
+            priv = PRIVS[draw(st.integers(0, len(PRIVS) - 1))]
+            proj = IDENTITY_PROJECTION if not isinstance(
+                upper, LogicalRegion) else None
+            reqs.append(CoarseRequirement(
+                upper, frozenset(fs[f] for f in fields), priv, proj))
+        group = any(not isinstance(r.upper, LogicalRegion) for r in reqs)
+        if group:
+            # Mixed region/partition requirement sets are fine; a launch
+            # domain makes it a group op.
+            op = Operation("task", reqs, launch_domain=[0, 1, 2, 3],
+                           sharding=draw(st.sampled_from([CYCLIC, BLOCKED])),
+                           name=f"op{i}")
+        else:
+            op = Operation("task", reqs,
+                           owner_shard=draw(st.integers(0, 2)),
+                           name=f"op{i}")
+        ops.append(op)
+    return ops
+
+
+def ground_truth_pairs(ops):
+    out = set()
+    for i, a in enumerate(ops):
+        for b in ops[i + 1:]:
+            hit = False
+            for ra in a.coarse_reqs:
+                for rb in b.coarse_reqs:
+                    if not ra.privilege.conflicts_with(rb.privilege):
+                        continue
+                    if not (ra.fields & rb.fields):
+                        continue
+                    if may_alias(ra.bound_region(), rb.bound_region()):
+                        hit = True
+            if hit:
+                out.add((a, b))
+    return out
+
+
+def reachable_pairs(deps):
+    succ = defaultdict(set)
+    for a, b in deps:
+        succ[a].add(b)
+    cache = {}
+
+    def reach(x):
+        if x in cache:
+            return cache[x]
+        cache[x] = set()
+        out = set()
+        for nxt in succ[x]:
+            out.add(nxt)
+            out |= reach(nxt)
+        cache[x] = out
+        return out
+
+    return {(a, b) for a in list(succ) for b in reach(a)}
+
+
+class TestCoarseAgainstBruteForce:
+    @settings(max_examples=80, deadline=None)
+    @given(op_streams(), st.integers(1, 4))
+    def test_every_true_dependence_is_ordered(self, ops, shards):
+        coarse = CoarseAnalysis(num_shards=shards)
+        for i, op in enumerate(ops):
+            op.seq = i
+            coarse.analyze(op)
+        closure = reachable_pairs(coarse.result.deps)
+        for a, b in ground_truth_pairs(ops):
+            assert (a, b) in closure, (a.name, b.name)
+
+    @settings(max_examples=50, deadline=None)
+    @given(op_streams())
+    def test_no_spurious_dependences(self, ops):
+        """Recorded edges must be genuine conflicts (precision)."""
+        coarse = CoarseAnalysis(num_shards=2)
+        for i, op in enumerate(ops):
+            op.seq = i
+            coarse.analyze(op)
+        truth = ground_truth_pairs(ops)
+        closure_truth = set(truth)
+        # A recorded edge may be any ground-truth pair (direct), never a
+        # pair the oracle calls independent.
+        for a, b in coarse.result.deps:
+            assert (a, b) in closure_truth, (a.name, b.name)
+
+    @settings(max_examples=40, deadline=None)
+    @given(op_streams())
+    def test_edges_respect_program_order(self, ops):
+        coarse = CoarseAnalysis(num_shards=3)
+        for i, op in enumerate(ops):
+            op.seq = i
+            coarse.analyze(op)
+        for a, b in coarse.result.deps:
+            assert a.seq < b.seq

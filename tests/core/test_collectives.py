@@ -1,0 +1,86 @@
+"""Collective primitives: correctness and O(log N) structure (paper §4.2)."""
+
+import math
+import operator
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.collectives import Collectives
+
+
+class TestBroadcastReduce:
+    def test_broadcast(self):
+        c = Collectives(5)
+        assert c.broadcast("x") == ["x"] * 5
+
+    def test_reduce_sum(self):
+        c = Collectives(6)
+        assert c.reduce(list(range(6)), operator.add) == 15
+
+    def test_reduce_single(self):
+        c = Collectives(1)
+        assert c.reduce([7], operator.add) == 7
+
+    def test_reduce_wrong_arity(self):
+        c = Collectives(3)
+        with pytest.raises(ValueError):
+            c.reduce([1, 2], operator.add)
+
+    def test_reduce_deterministic_tree_order(self):
+        """Merely-associative ops still give a fixed result."""
+        c = Collectives(4)
+        concat = lambda a, b: a + b
+        assert c.reduce(["a", "b", "c", "d"], concat) == "abcd"
+
+
+class TestAllGatherAllReduce:
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=33))
+    def test_allreduce_sum(self, values):
+        c = Collectives(len(values))
+        out = c.allreduce(values, operator.add)
+        assert out == [sum(values)] * len(values)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=17))
+    def test_allreduce_max(self, values):
+        c = Collectives(len(values))
+        assert c.allreduce(values, max) == [max(values)] * len(values)
+
+    def test_allreduce_non_power_of_two(self):
+        for n in (3, 5, 6, 7, 9, 12, 13):
+            c = Collectives(n)
+            out = c.allreduce(list(range(n)), operator.add)
+            assert out == [n * (n - 1) // 2] * n, n
+
+    def test_allgather(self):
+        c = Collectives(4)
+        out = c.allgather([10, 11, 12, 13])
+        assert out == [[10, 11, 12, 13]] * 4
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            Collectives(0)
+
+
+class TestLogStructure:
+    def test_rounds_are_logarithmic(self):
+        for n in (1, 2, 4, 16, 64, 256):
+            c = Collectives(n)
+            c.barrier()
+            expected = 0 if n == 1 else math.ceil(math.log2(n))
+            assert c.stats.rounds == expected, n
+
+    def test_fence_rounds(self):
+        assert Collectives(1).fence_rounds() == 0
+        assert Collectives(2).fence_rounds() == 1
+        assert Collectives(512).fence_rounds() == 9
+
+    def test_stats_accumulate(self):
+        c = Collectives(8)
+        c.broadcast(1)
+        c.allreduce([0] * 8, operator.add)
+        c.barrier()
+        assert c.stats.operations == 3
+        assert c.stats.by_kind == {"broadcast": 1, "allreduce": 1,
+                                   "barrier": 1}
+        assert c.stats.messages > 0

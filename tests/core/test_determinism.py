@@ -1,0 +1,167 @@
+"""Control-determinism checking at the monitor level (paper §3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.determinism import (ControlDeterminismViolation,
+                                    DeterminismMonitor, ShardHasher)
+
+
+class TestHashing:
+    def test_identical_calls_identical_hash(self):
+        a, b = ShardHasher(0), ShardHasher(1)
+        assert a.record("launch", 1, "x", 2.5) == b.record("launch", 1, "x", 2.5)
+
+    def test_argument_sensitivity(self):
+        a, b = ShardHasher(0), ShardHasher(1)
+        assert a.record("launch", 1) != b.record("launch", 2)
+
+    def test_call_name_sensitivity(self):
+        a, b = ShardHasher(0), ShardHasher(1)
+        assert a.record("fill", 1) != b.record("launch", 1)
+
+    def test_kwargs_order_insensitive(self):
+        a, b = ShardHasher(0), ShardHasher(1)
+        assert a.record("op", x=1, y=2) == b.record("op", y=2, x=1)
+
+    def test_type_disambiguation(self):
+        """1, 1.0, "1" and True must hash differently (no coercion)."""
+        h = ShardHasher(0)
+        digests = {h.record("op", v) for v in (1, 1.0, "1", True)}
+        assert len(digests) == 4
+
+    def test_container_canonicalization(self):
+        a, b = ShardHasher(0), ShardHasher(1)
+        assert a.record("op", [1, (2, 3)]) == b.record("op", [1, (2, 3)])
+        assert a.record("op", {4, 5}) == b.record("op", {5, 4})
+        assert a.record("op", {"k": 1}) == b.record("op", {"k": 1})
+
+    def test_resource_interning_by_first_use(self):
+        """Different objects in the same usage order hash identically —
+        the property that makes per-shard resource handles comparable."""
+        res_a, res_b = object(), object()
+        other_a, other_b = object(), object()
+        h0, h1 = ShardHasher(0), ShardHasher(1)
+        d0 = [h0.record("use", res_a), h0.record("use", other_a)]
+        d1 = [h1.record("use", res_b), h1.record("use", other_b)]
+        assert d0 == d1
+        # Swapped usage order changes the digests.
+        h2 = ShardHasher(2)
+        d2 = [h2.record("use", other_a), h2.record("use", res_a)]
+        assert d2 == d0  # first-use interning is positional, so still equal
+
+    def test_resource_reuse_stable(self):
+        res = object()
+        h = ShardHasher(0)
+        first = h.record("use", res)
+        second = h.record("use", res)
+        assert first == second
+
+    @given(st.lists(st.integers(), max_size=6))
+    def test_hash_is_128_bit(self, args):
+        d = ShardHasher(0).record("op", *args)
+        assert 0 <= d < 2 ** 128
+
+
+class TestMonitor:
+    def _record_all(self, mon, *calls):
+        for shard in range(len(mon.hashers)):
+            for call in calls:
+                mon.hasher(shard).record(*call)
+            mon.maybe_check()
+
+    def test_agreeing_shards_pass(self):
+        mon = DeterminismMonitor(3, batch=2)
+        self._record_all(mon, ("a", 1), ("b", 2), ("c", 3))
+        mon.flush()
+        assert mon.checks_performed >= 1
+
+    def test_divergent_argument_detected(self):
+        mon = DeterminismMonitor(2, batch=1)
+        mon.hasher(0).record("launch", 1)
+        mon.hasher(1).record("launch", 2)
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.maybe_check()
+        assert exc.value.seq == 0
+        assert "launch" in str(exc.value)
+
+    def test_divergent_order_detected(self):
+        mon = DeterminismMonitor(2, batch=2)
+        mon.hasher(0).record("a")
+        mon.hasher(0).record("b")
+        mon.hasher(1).record("b")
+        mon.hasher(1).record("a")
+        with pytest.raises(ControlDeterminismViolation):
+            mon.maybe_check()
+
+    def test_missing_call_detected_at_flush(self):
+        mon = DeterminismMonitor(2, batch=100)
+        mon.hasher(0).record("a")
+        mon.hasher(0).record("b")
+        mon.hasher(1).record("a")
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.flush()
+        assert exc.value.seq == 1
+
+    def test_batching_defers_checks(self):
+        mon = DeterminismMonitor(2, batch=4)
+        for _ in range(3):
+            mon.hasher(0).record("x")
+            mon.hasher(1).record("x")
+            mon.maybe_check()
+        assert mon.checks_performed == 0        # batch not yet full
+        mon.hasher(0).record("x")
+        mon.hasher(1).record("x")
+        mon.maybe_check()
+        assert mon.checks_performed == 1
+
+    def test_disabled_monitor_never_raises(self):
+        mon = DeterminismMonitor(2, batch=1, enabled=False)
+        mon.hasher(0).record("a", 1)
+        mon.hasher(1).record("a", 2)
+        mon.maybe_check()
+        mon.flush()
+        assert mon.checks_performed == 0
+
+    def test_violation_reports_first_divergence(self):
+        mon = DeterminismMonitor(2, batch=8)
+        for shard in (0, 1):
+            mon.hasher(shard).record("same")
+        mon.hasher(0).record("diverge", 0)
+        mon.hasher(1).record("diverge", 1)
+        for shard in (0, 1):
+            mon.hasher(shard).record("same-again")
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.flush()
+        assert exc.value.seq == 1
+
+
+class TestCanonicalEncodingProperties:
+    from hypothesis import given as _given, strategies as _st
+
+    primitives = _st.one_of(
+        _st.integers(-10**6, 10**6), _st.floats(allow_nan=False),
+        _st.text(max_size=12), _st.booleans(), _st.none())
+
+    @_given(primitives, primitives)
+    def test_distinct_values_distinct_hashes(self, a, b):
+        """The canonical encoding must be injective on primitives (no
+        cross-type coercion collisions like 1 == 1.0 == True)."""
+        if a is b or (type(a) is type(b) and a == b):
+            return
+        ha = ShardHasher(0).record("op", a)
+        hb = ShardHasher(1).record("op", b)
+        assert ha != hb, (a, b)
+
+    @_given(_st.lists(primitives, max_size=5))
+    def test_encoding_stable_across_hashers(self, args):
+        assert ShardHasher(0).record("op", *args) == \
+            ShardHasher(1).record("op", *args)
+
+    @_given(_st.lists(primitives, min_size=2, max_size=5))
+    def test_argument_order_matters(self, args):
+        if args == list(reversed(args)):
+            return
+        a = ShardHasher(0).record("op", *args)
+        b = ShardHasher(1).record("op", *reversed(args))
+        assert a != b

@@ -1,0 +1,132 @@
+"""Fine-stage analysis: precise point graphs and fence-elision soundness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from helpers import brute_force_point_graph, reachability
+
+from repro.core.coarse import CoarseAnalysis
+from repro.core.fine import FineAnalysis
+from repro.core.operation import (CoarseRequirement, IDENTITY_PROJECTION,
+                                  Operation)
+from repro.core.sharding import BLOCKED, CYCLIC, HASHED
+from repro.oracle import READ_ONLY, READ_WRITE, WRITE_DISCARD, reduce_priv
+from repro.regions import FieldSpace, IndexSpace, LogicalRegion
+
+
+def environment(tiles=4):
+    fs = FieldSpace([("state", "f8"), ("flux", "f8")])
+    cells = LogicalRegion(IndexSpace.line(tiles * 4), fs, name="cells")
+    owned = cells.partition_equal(tiles, name="owned")
+    ghost = cells.partition_ghost(owned, 1, name="ghost")
+    return fs, cells, owned, ghost
+
+
+def stencil_ops(fs, cells, owned, ghost, steps=3, sharding=CYCLIC, tiles=4):
+    state = frozenset([fs["state"]])
+    flux = frozenset([fs["flux"]])
+    dom = list(range(tiles))
+    ops = [Operation("fill", [CoarseRequirement(cells, state | flux,
+                                                WRITE_DISCARD)],
+                     name="fill")]
+    for t in range(steps):
+        ops.append(Operation(
+            "task", [CoarseRequirement(owned, state, READ_WRITE,
+                                       IDENTITY_PROJECTION)],
+            launch_domain=dom, sharding=sharding, name=f"add[{t}]"))
+        ops.append(Operation(
+            "task", [CoarseRequirement(owned, flux, READ_WRITE,
+                                       IDENTITY_PROJECTION),
+                     CoarseRequirement(ghost, state, READ_ONLY,
+                                       IDENTITY_PROJECTION)],
+            launch_domain=dom, sharding=sharding, name=f"st[{t}]"))
+    return ops
+
+
+class TestPreciseGraph:
+    @pytest.mark.parametrize("sharding", [CYCLIC, BLOCKED, HASHED])
+    def test_matches_brute_force_partial_order(self, sharding):
+        fs, cells, owned, ghost = environment()
+        ops = stencil_ops(fs, cells, owned, ghost, sharding=sharding)
+        fine = FineAnalysis(num_shards=3)
+        for i, op in enumerate(ops):
+            op.seq = i
+            fine.analyze(op)
+        brute = brute_force_point_graph(ops, 3)
+        assert fine.result.graph.tasks == brute.tasks
+        # Epoch pruning may drop transitively-redundant edges; the induced
+        # partial orders must be identical.
+        assert reachability(fine.result.graph) == reachability(brute)
+
+    def test_edge_classification(self):
+        fs, cells, owned, ghost = environment()
+        ops = stencil_ops(fs, cells, owned, ghost, steps=2)
+        fine = FineAnalysis(num_shards=2)
+        for i, op in enumerate(ops):
+            op.seq = i
+            fine.analyze(op)
+        res = fine.result
+        assert res.local_edges | res.cross_edges == set(res.graph.deps)
+        assert not (res.local_edges & res.cross_edges)
+        for a, b in res.cross_edges:
+            assert a.shard != b.shard
+        for a, b in res.local_edges:
+            assert a.shard == b.shard
+
+    def test_points_attributed_to_shards(self):
+        fs, cells, owned, ghost = environment()
+        ops = stencil_ops(fs, cells, owned, ghost, steps=1)
+        fine = FineAnalysis(num_shards=2)
+        for i, op in enumerate(ops):
+            op.seq = i
+            fine.analyze(op)
+        counts = fine.result.points_per_shard
+        assert sum(counts.values()) == 1 + 4 + 4
+        # Cyclic sharding balances the two group launches evenly.
+        assert counts[0] >= 4 and counts[1] >= 4
+
+
+class TestFenceSoundness:
+    @pytest.mark.parametrize("sharding", [CYCLIC, BLOCKED, HASHED])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_every_cross_edge_covered(self, sharding, shards):
+        """The invariant behind fence elision: any precise dependence that
+        crosses shards is ordered by some coarse-stage fence."""
+        fs, cells, owned, ghost = environment()
+        ops = stencil_ops(fs, cells, owned, ghost, sharding=sharding)
+        coarse = CoarseAnalysis(shards)
+        fine = FineAnalysis(shards)
+        for i, op in enumerate(ops):
+            op.seq = i
+            coarse.analyze(op)
+            fine.analyze(op)
+        assert fine.uncovered_cross_edges(coarse.result) == []
+
+    def test_detects_missing_fence(self):
+        """Sanity-check the checker itself: removing the fences must expose
+        uncovered cross-shard edges."""
+        fs, cells, owned, ghost = environment()
+        ops = stencil_ops(fs, cells, owned, ghost)
+        coarse = CoarseAnalysis(2)
+        fine = FineAnalysis(2)
+        for i, op in enumerate(ops):
+            op.seq = i
+            coarse.analyze(op)
+            fine.analyze(op)
+        coarse.result.fences.clear()
+        assert fine.uncovered_cross_edges(coarse.result)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 6), st.integers(2, 5),
+           st.sampled_from([CYCLIC, BLOCKED, HASHED]))
+    def test_random_programs_covered(self, shards, tiles, sharding):
+        fs, cells, owned, ghost = environment(tiles)
+        ops = stencil_ops(fs, cells, owned, ghost, steps=3,
+                          sharding=sharding, tiles=tiles)
+        coarse = CoarseAnalysis(shards)
+        fine = FineAnalysis(shards)
+        for i, op in enumerate(ops):
+            op.seq = i
+            coarse.analyze(op)
+            fine.analyze(op)
+        assert fine.uncovered_cross_edges(coarse.result) == []

@@ -1,0 +1,58 @@
+"""Morton (Z-order) sharding: totality, balance, and locality."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sharding import MORTON, blocked_shard, morton_shard
+
+
+class TestTotalityAndBalance:
+    @given(st.integers(0, 63), st.integers(0, 63), st.integers(1, 32))
+    def test_total_and_in_range(self, x, y, shards):
+        s = morton_shard((x, y), 64 * 64, shards)
+        assert 0 <= s < shards
+
+    @pytest.mark.parametrize("k,shards", [(8, 4), (16, 16), (8, 2)])
+    def test_balanced_on_power_of_two_grids(self, k, shards):
+        counts = [0] * shards
+        for p in itertools.product(range(k), range(k)):
+            counts[morton_shard(p, k * k, shards)] += 1
+        assert max(counts) == min(counts) == k * k // shards
+
+    def test_1d_falls_back_to_blocked(self):
+        for p in range(16):
+            assert morton_shard(p, 16, 4) == blocked_shard(p, 16, 4)
+
+
+class TestLocality:
+    def _neighbor_cut(self, shard_fn, k, shards):
+        """Count 4-neighbor tile pairs assigned to different shards."""
+        cut = 0
+        for x, y in itertools.product(range(k), range(k)):
+            me = shard_fn((x, y), k * k, shards)
+            for dx, dy in ((1, 0), (0, 1)):
+                qx, qy = x + dx, y + dy
+                if qx < k and qy < k:
+                    if shard_fn((qx, qy), k * k, shards) != me:
+                        cut += 1
+        return cut
+
+    def test_beats_row_major_blocking_on_wide_grids(self):
+        """Z-order keeps shard regions compact: fewer cross-shard
+        neighbor pairs than blocking the row-major order."""
+
+        def row_major_blocked(p, n, s):
+            x, y = p
+            k = int(n ** 0.5)
+            return blocked_shard(x * k + y, n, s)
+
+        k, shards = 16, 16
+        z_cut = self._neighbor_cut(morton_shard, k, shards)
+        rm_cut = self._neighbor_cut(row_major_blocked, k, shards)
+        assert z_cut < rm_cut
+
+    def test_registered_as_builtin(self):
+        assert MORTON.sid == 3 and MORTON.name == "morton"
+        assert MORTON((3, 5), 64, 4) == morton_shard((3, 5), 64, 4)

@@ -1,0 +1,100 @@
+"""Sharding functions: totality, balance, memoization (paper §4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sharding import (BLOCKED, CYCLIC, HASHED, ShardingFunction,
+                                 ShardingRegistry, blocked_shard,
+                                 cyclic_shard, hashed_shard)
+
+
+ALL_FNS = [cyclic_shard, blocked_shard, hashed_shard]
+
+
+class TestFunctionProperties:
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    def test_totality_and_range(self, point, shards):
+        """Every point maps to exactly one valid shard (the only hard
+        requirements the paper places on sharding functions)."""
+        for fn in ALL_FNS:
+            s = fn(point, 10_000, shards)
+            assert 0 <= s < shards
+
+    def test_cyclic_round_robin(self):
+        assert [cyclic_shard(p, 8, 4) for p in range(8)] == \
+            [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_blocked_contiguous(self):
+        owners = [blocked_shard(p, 8, 4) for p in range(8)]
+        assert owners == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_blocked_uneven(self):
+        owners = [blocked_shard(p, 5, 2) for p in range(5)]
+        assert owners == sorted(owners)          # still contiguous
+        assert set(owners) == {0, 1}
+
+    @given(st.integers(2, 32))
+    def test_balance(self, shards):
+        """All builtin functions balance a large launch within 2x."""
+        n = shards * 50
+        for fn in ALL_FNS:
+            counts = [0] * shards
+            for p in range(n):
+                counts[fn(p, n, shards)] += 1
+            assert max(counts) <= 2 * (n // shards)
+
+    def test_multidim_points(self):
+        for fn in ALL_FNS:
+            s = fn((1, 2), 16, 4)
+            assert 0 <= s < 4
+        with pytest.raises(TypeError):
+            cyclic_shard("bad", 4, 2)
+
+
+class TestShardingFunctionWrapper:
+    def test_memoization(self):
+        calls = []
+
+        def fn(p, n, s):
+            calls.append(p)
+            return p % s
+
+        sf = ShardingFunction(77, "test", fn)
+        assert sf(3, 8, 2) == 1
+        assert sf(3, 8, 2) == 1
+        assert calls == [3]
+        assert sf.invocations == 1
+
+    def test_range_check(self):
+        sf = ShardingFunction(78, "broken", lambda p, n, s: s + 1)
+        with pytest.raises(ValueError):
+            sf(0, 4, 2)
+
+    def test_owned_points(self):
+        pts = CYCLIC.owned_points(range(8), 4, shard=1)
+        assert pts == [1, 5]
+
+    def test_identity_by_sid(self):
+        assert CYCLIC == CYCLIC
+        assert CYCLIC != BLOCKED
+        assert hash(CYCLIC) == hash(CYCLIC.sid)
+
+
+class TestRegistry:
+    def test_builtins(self):
+        reg = ShardingRegistry.with_builtins()
+        assert reg[0].name == "cyclic"       # Legion's ID 0 convention
+        assert reg[1].name == "blocked"
+        assert reg[3].name == "morton"
+        assert 2 in reg and 4 not in reg
+
+    def test_duplicate_id_rejected(self):
+        reg = ShardingRegistry.with_builtins()
+        with pytest.raises(ValueError):
+            reg.register(0, "again", cyclic_shard)
+
+    def test_custom_registration(self):
+        reg = ShardingRegistry()
+        sf = reg.register(10, "mine", lambda p, n, s: 0)
+        assert reg[10] is sf
+        assert sf(123, 8, 4) == 0

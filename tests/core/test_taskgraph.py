@@ -1,0 +1,96 @@
+"""TaskGraph structure: levels, cycles, transitive reduction."""
+
+import pytest
+
+from repro.core import TaskGraph
+
+
+def chain(n):
+    g = TaskGraph()
+    g.add_tasks(range(n))
+    for i in range(n - 1):
+        g.add_dep(i, i + 1)
+    return g
+
+
+class TestTopology:
+    def test_levels_of_chain(self):
+        g = chain(4)
+        assert g.topological_levels() == [frozenset({i}) for i in range(4)]
+        assert g.critical_path_length() == 4
+
+    def test_levels_of_diamond(self):
+        g = TaskGraph()
+        g.add_tasks("abcd")
+        g.add_deps([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        levels = g.topological_levels()
+        assert levels == [frozenset("a"), frozenset("bc"), frozenset("d")]
+
+    def test_empty(self):
+        g = TaskGraph()
+        assert g.critical_path_length() == 0
+        assert g.topological_levels() == []
+
+    def test_cycle_detection(self):
+        g = TaskGraph()
+        g.add_tasks("ab")
+        g.add_deps([("a", "b"), ("b", "a")])
+        assert not g.is_acyclic()
+        with pytest.raises(ValueError):
+            g.topological_levels()
+
+    def test_predecessors_successors(self):
+        g = chain(3)
+        assert g.predecessors(1) == {0}
+        assert g.successors(1) == {2}
+        assert g.predecessors(0) == set()
+
+    def test_in_degree(self):
+        g = TaskGraph()
+        g.add_tasks("abc")
+        g.add_deps([("a", "c"), ("b", "c")])
+        assert g.in_degree() == {"a": 0, "b": 0, "c": 2}
+
+
+class TestTransitiveReduction:
+    def test_removes_redundant_edge(self):
+        g = chain(3)
+        g.add_dep(0, 2)                        # redundant via 0->1->2
+        reduced = g.transitive_reduction()
+        assert (0, 2) not in reduced.deps
+        assert reduced.deps == {(0, 1), (1, 2)}
+
+    def test_keeps_necessary_edges(self):
+        g = TaskGraph()
+        g.add_tasks("abc")
+        g.add_deps([("a", "b"), ("a", "c")])
+        assert g.transitive_reduction().deps == {("a", "b"), ("a", "c")}
+
+    def test_deep_redundancy(self):
+        g = chain(5)
+        g.add_dep(0, 4)
+        assert (0, 4) not in g.transitive_reduction().deps
+
+    def test_reduction_preserves_reachability(self):
+        from helpers import reachability
+        g = TaskGraph()
+        g.add_tasks(range(6))
+        g.add_deps([(0, 1), (0, 2), (1, 3), (2, 3), (0, 3), (3, 4),
+                    (1, 4), (4, 5), (0, 5)])
+        assert reachability(g) == reachability(g.transitive_reduction())
+
+
+class TestEquality:
+    def test_equal(self):
+        assert chain(3) == chain(3)
+
+    def test_unequal_edges(self):
+        a, b = chain(3), chain(3)
+        b.add_dep(0, 2)
+        assert a != b
+
+    def test_unequal_tasks(self):
+        a = chain(3)
+        b = chain(3)
+        b.add_task(99)
+        assert a != b

@@ -1,0 +1,98 @@
+"""The evaluation harness: figure functions and the CLI."""
+
+import csv
+import io
+import os
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.evaluation import FIGURES
+from repro.evaluation.__main__ import main as cli_main
+from repro.evaluation.figures import (figure12a, figure14, figure16,
+                                      figure18, figure19, figure21,
+                                      socket_machine)
+
+
+class TestFigureFunctions:
+    def test_registry_complete(self):
+        assert set(FIGURES) == {"12a", "12b", "13a", "13b", "14", "15",
+                                "16", "17a", "17b", "18", "19", "20", "21",
+                                "21p"}
+        for fn in FIGURES.values():
+            assert fn.__doc__
+
+    def test_figure12a_small_sweep(self):
+        header, rows = figure12a(nodes=[1, 4])
+        assert header[0] == "nodes"
+        assert [r[0] for r in rows] == [1, 4]
+        assert all(len(r) == len(header) for r in rows)
+
+    def test_figure14_small_sweep(self):
+        header, rows = figure14(nodes=(1, 2))
+        assert len(rows) == 2 and len(header) == 7
+
+    def test_figure16_small_sweep(self):
+        _h, rows = figure16(gpu_points=(4, 8))
+        assert rows[0][2] == pytest.approx(1.0)     # baseline efficiency
+
+    def test_figure18_small_sweep(self):
+        _h, rows = figure18(gpu_points=(6, 12))
+        for _g, tf, ff, speedup, reduction in rows:
+            assert tf > ff > 0
+            assert speedup == pytest.approx(tf / ff)
+            assert reduction >= 1.0
+
+    def test_figure19_small_sweep(self):
+        _h, rows = figure19(sockets=(1, 2))
+        assert all(len(r) == 5 for r in rows)
+
+    def test_figure21_small_sweep(self):
+        _h, rows = figure21(node_points=(1, 2))
+        for row in rows:
+            assert all(v > 0 for v in row[1:])
+
+    def test_socket_machine(self):
+        m = socket_machine(7)
+        assert m.nodes == 7 and m.cpus_per_node == 20
+        assert m.gpus_per_node == 1
+
+
+class TestCLI:
+    def test_no_args_lists_figures(self):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert cli_main([]) == 0
+        assert "12a" in out.getvalue()
+
+    def test_unknown_figure_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["99"])
+
+    def test_csv_dump(self, tmp_path, monkeypatch):
+        # Shrink the sweep so the CLI test stays fast.
+        import repro.evaluation.figures as figs
+        monkeypatch.setitem(FIGURES, "12a",
+                            lambda: figs.figure12a(nodes=[1, 2]))
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert cli_main(["12a", "--csv", str(tmp_path)]) == 0
+        path = tmp_path / "figure_12a.csv"
+        assert path.exists()
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["nodes", "no-CR", "static-CR", "dynamic-CR"]
+        assert len(rows) == 3
+
+
+class TestMarkdownOutput:
+    def test_markdown_table(self, monkeypatch):
+        import repro.evaluation.figures as figs
+        monkeypatch.setitem(FIGURES, "12a",
+                            lambda: figs.figure12a(nodes=[1]))
+        out = io.StringIO()
+        with redirect_stdout(out):
+            assert cli_main(["12a", "--markdown"]) == 0
+        text = out.getvalue()
+        assert "| nodes | no-CR | static-CR | dynamic-CR |" in text
+        assert "|---|---|---|---|" in text

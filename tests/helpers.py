@@ -1,0 +1,62 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+def brute_force_point_graph(ops, num_shards):
+    """Reference O(n^2) sequential dependence analysis over point tasks.
+
+    Expands every operation into point tasks and pairwise-checks each task
+    against all predecessors — the DEP_seq ground truth the two-stage
+    pipeline must reproduce.
+    """
+    from repro.core.operation import PointTask
+    from repro.core.taskgraph import TaskGraph
+    from repro.oracle import tasks_interfere
+
+    graph = TaskGraph()
+    done = []
+    for op in ops:
+        tasks = [PointTask(op, p, op.shard_of(p, num_shards))
+                 for p in op.points()]
+        for t in tasks:
+            graph.add_task(t)
+            for prev in done:
+                if prev.op is t.op:
+                    continue
+                if tasks_interfere(prev.requirements, t.requirements):
+                    graph.add_dep(prev, t)
+        done.extend(tasks)
+    return graph
+
+
+def reachability(graph):
+    """Transitive closure of a TaskGraph as a set of (earlier, later) pairs.
+
+    Two dependence analyses are equivalent as *schedulers* iff they induce
+    the same partial order; the epoch-based analysis deliberately drops
+    transitively redundant edges (paper §2, last paragraph), so graphs are
+    compared by closure, not edge sets.
+    """
+    from collections import defaultdict
+
+    succ = defaultdict(set)
+    for a, b in graph.deps:
+        succ[a].add(b)
+    closure = set()
+    cache = {}
+
+    def reach(t):
+        if t in cache:
+            return cache[t]
+        cache[t] = set()         # cycle guard; graphs here are DAGs
+        out = set()
+        for nxt in succ[t]:
+            out.add(nxt)
+            out |= reach(nxt)
+        cache[t] = out
+        return out
+
+    for t in graph.tasks:
+        for later in reach(t):
+            closure.add((t, later))
+    return closure

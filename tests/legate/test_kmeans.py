@@ -1,0 +1,55 @@
+"""k-means on the deferred-array runtime."""
+
+import numpy as np
+import pytest
+
+from repro.legate import kmeans, make_blobs, reference_kmeans
+from repro.runtime import Runtime
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_blobs(n=36, f=2, k=3)
+
+
+class TestKMeans:
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_matches_reference(self, blobs, shards):
+        rt = Runtime(num_shards=shards)
+        centers, labels = rt.execute(kmeans, blobs, 3, 6)
+        ref_centers, ref_labels = reference_kmeans(blobs, 3, 6)
+        assert np.allclose(centers, ref_centers)
+        assert np.array_equal(labels, ref_labels)
+
+    def test_clusters_recovered(self, blobs):
+        """Points generated round-robin from 3 blobs: the labels must
+        separate them (all points of one blob share a label)."""
+        rt = Runtime(num_shards=2)
+        _centers, labels = rt.execute(kmeans, blobs, 3, 10)
+        for blob in range(3):
+            members = labels[blob::3]
+            assert len(set(members.tolist())) == 1, blob
+
+    def test_converges(self, blobs):
+        c5, _ = reference_kmeans(blobs, 3, 5)
+        c10, _ = reference_kmeans(blobs, 3, 10)
+        assert np.allclose(c5, c10, atol=1e-6)
+
+    def test_empty_cluster_keeps_center(self):
+        """A center with no members keeps its position (no NaN division)."""
+        data = np.array([[0.0, 0.0], [0.01, 0.0], [0.02, 0.0],
+                         [5.0, 5.0]])
+        rt = Runtime(num_shards=1)
+        centers, labels = rt.execute(kmeans, data, 3, 4, 2)
+        assert np.isfinite(centers).all()
+
+    def test_make_blobs_deterministic(self):
+        a = make_blobs(12, 3, 2, seed=4)
+        b = make_blobs(12, 3, 2, seed=4)
+        assert np.array_equal(a, b)
+        assert a.shape == (12, 3)
+
+    def test_dcr_validation(self, blobs):
+        rt = Runtime(num_shards=3)
+        rt.execute(kmeans, blobs, 3, 4)
+        rt.pipeline.validate()

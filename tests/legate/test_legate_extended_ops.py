@@ -1,0 +1,191 @@
+"""Extended Legate array operations against NumPy."""
+
+import numpy as np
+import pytest
+
+from repro.legate import LegateContext
+from repro.runtime import Runtime
+
+
+def run(fn, shards=2):
+    def main(ctx):
+        return fn(LegateContext(ctx, num_tiles=3))
+    return Runtime(num_shards=shards).execute(main)
+
+
+X = np.array([0.5, -1.5, 2.0, 3.5, -0.25, 1.0])
+Y = np.array([1.0, 2.0, -0.5, 3.0, 0.75, -2.0])
+
+
+class TestElementwiseExtended:
+    def test_div_array_and_scalar(self):
+        def body(lg):
+            a, b = lg.from_values(X), lg.from_values(Y)
+            return (a / b).to_numpy(), (a / 2.0).to_numpy()
+        d1, d2 = run(body)
+        assert np.allclose(d1, X / Y)
+        assert np.allclose(d2, X / 2.0)
+
+    def test_neg_abs(self):
+        def body(lg):
+            a = lg.from_values(X)
+            return (-a).to_numpy(), a.abs().to_numpy()
+        n, ab = run(body)
+        assert np.allclose(n, -X) and np.allclose(ab, np.abs(X))
+
+    def test_exp_log_roundtrip(self):
+        def body(lg):
+            a = lg.from_values(np.abs(X) + 0.1)
+            return a.exp().log().to_numpy()
+        assert np.allclose(run(body), np.abs(X) + 0.1)
+
+    def test_power_clip(self):
+        def body(lg):
+            a = lg.from_values(X)
+            return a.power(2).to_numpy(), a.clip(-1.0, 1.0).to_numpy()
+        p, c = run(body)
+        assert np.allclose(p, X ** 2)
+        assert np.allclose(c, np.clip(X, -1, 1))
+
+    def test_maximum_minimum_greater(self):
+        def body(lg):
+            a, b = lg.from_values(X), lg.from_values(Y)
+            return (a.maximum(b).to_numpy(), a.minimum(b).to_numpy(),
+                    a.greater(b).to_numpy())
+        mx, mn, gt = run(body)
+        assert np.allclose(mx, np.maximum(X, Y))
+        assert np.allclose(mn, np.minimum(X, Y))
+        assert np.allclose(gt, (X > Y).astype(float))
+
+    def test_copy_is_independent(self):
+        def body(lg):
+            a = lg.from_values(X)
+            b = a.copy()
+            a.axpy(1.0, a)        # a *= 2 effectively
+            return b.to_numpy()
+        assert np.allclose(run(body), X)
+
+
+class TestReductionsExtended:
+    def test_mean_max_min(self):
+        def body(lg):
+            a = lg.from_values(X)
+            return a.mean(), a.max(), a.min()
+        mean, mx, mn = run(body)
+        assert mean == pytest.approx(X.mean())
+        assert mx == pytest.approx(X.max())
+        assert mn == pytest.approx(X.min())
+
+    def test_norm(self):
+        def body(lg):
+            return lg.from_values(X).norm()
+        assert run(body) == pytest.approx(np.linalg.norm(X))
+
+
+class TestMatMat:
+    def test_matches_numpy(self):
+        a = np.arange(12.0).reshape(4, 3)
+        b = np.arange(6.0).reshape(3, 2) - 2.0
+
+        def body(lg):
+            return lg.from_values(a).matmat(lg.from_values(b)).to_numpy()
+        assert np.allclose(run(body), a @ b)
+
+    def test_shape_mismatch(self):
+        def body(lg):
+            return lg.from_values(np.ones((2, 3))).matmat(
+                lg.from_values(np.ones((2, 2))))
+        with pytest.raises(ValueError):
+            run(body, shards=1)
+
+    def test_chained_products(self):
+        a = np.arange(9.0).reshape(3, 3) / 10.0
+
+        def body(lg):
+            m = lg.from_values(a)
+            return m.matmat(m).matmat(m).to_numpy()
+        assert np.allclose(run(body), a @ a @ a)
+
+
+class TestReplicationOfExtendedOps:
+    def test_expression_identical_across_shards(self):
+        def body(lg):
+            a, b = lg.from_values(X), lg.from_values(Y)
+            c = (a.maximum(b).exp() / 2.0).clip(0.1, 5.0)
+            return c.norm()
+        assert run(body, shards=4) == pytest.approx(run(body, shards=1))
+
+
+class TestAxisSums:
+    def test_axis0(self):
+        a = np.arange(12.0).reshape(4, 3)
+
+        def body(lg):
+            return lg.from_values(a).sum(axis=0).to_numpy()
+        assert np.allclose(run(body), a.sum(axis=0))
+
+    def test_axis1(self):
+        a = np.arange(12.0).reshape(4, 3)
+
+        def body(lg):
+            return lg.from_values(a).sum(axis=1).to_numpy()
+        assert np.allclose(run(body), a.sum(axis=1))
+
+    def test_total_sum_unchanged(self):
+        a = np.arange(12.0).reshape(4, 3)
+        assert run(lambda lg: lg.from_values(a).sum()) == \
+            pytest.approx(a.sum())
+
+    def test_axis_on_1d_rejected(self):
+        def body(lg):
+            return lg.from_values(X).sum(axis=0)
+        with pytest.raises(ValueError):
+            run(body, shards=1)
+
+    def test_axis_sums_replicate(self):
+        a = np.arange(20.0).reshape(5, 4)
+
+        def body(lg):
+            return float(lg.from_values(a).sum(axis=0).dot(
+                lg.from_values(np.ones(4))))
+        assert run(body, shards=4) == pytest.approx(a.sum())
+
+
+class TestMoreElementwise:
+    def test_tanh_sqrt(self):
+        def body(lg):
+            a = lg.from_values(np.abs(X))
+            return a.tanh().to_numpy(), a.sqrt().to_numpy()
+        t, s = run(body)
+        assert np.allclose(t, np.tanh(np.abs(X)))
+        assert np.allclose(s, np.sqrt(np.abs(X)))
+
+    def test_where(self):
+        def body(lg):
+            a, b = lg.from_values(X), lg.from_values(Y)
+            cond = a.greater(b)
+            return a.where(cond, b).to_numpy()
+        assert np.allclose(run(body), np.where(X > Y, X, Y))
+
+
+class TestJacobiSolverDemo:
+    def test_jacobi_converges(self):
+        """A diagonally dominant system solved by Jacobi iteration entirely
+        through the deferred array API."""
+        n = 12
+        a = 4 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+        b_vec = np.arange(n, dtype=float)
+
+        def body(lg):
+            A = lg.from_values(a)
+            b = lg.from_values(b_vec)
+            dinv = lg.from_values(1.0 / np.diag(a))
+            # R = A - D as a dense matrix.
+            R = lg.from_values(a - np.diag(np.diag(a)))
+            x = lg.zeros(n)
+            for _ in range(60):
+                x = dinv * (b - R.matvec(x))
+            return x.to_numpy()
+
+        got = run(body, shards=2)
+        assert np.allclose(a @ got, b_vec, atol=1e-8)

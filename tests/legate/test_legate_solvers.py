@@ -1,0 +1,67 @@
+"""Legate solvers (Figs. 19-20 workloads) against NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.legate import (logistic_regression, make_problem,
+                          preconditioned_cg, reference_logistic_regression,
+                          reference_preconditioned_cg)
+from repro.runtime import Runtime
+
+
+def laplacian(n, shift=0.1):
+    return (2 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+            + shift * np.eye(n))
+
+
+class TestLogisticRegression:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_matches_reference(self, shards):
+        x, y = make_problem(30, 6)
+        rt = Runtime(num_shards=shards)
+        w = rt.execute(logistic_regression, x, y, 8, 0.5, 3)
+        assert np.allclose(w, reference_logistic_regression(x, y, 8, 0.5))
+
+    def test_training_reduces_loss(self):
+        x, y = make_problem(40, 5)
+        w = Runtime(num_shards=2).execute(logistic_regression, x, y, 25,
+                                          1.0, 4)
+        p = 1 / (1 + np.exp(-(x @ w)))
+        loss = -np.mean(y * np.log(p + 1e-12)
+                        + (1 - y) * np.log(1 - p + 1e-12))
+        assert loss < 0.67            # below the w=0 loss of ln 2
+
+    def test_problem_generator_deterministic(self):
+        a = make_problem(10, 3, seed=4)
+        b = make_problem(10, 3, seed=4)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+        c = make_problem(10, 3, seed=5)
+        assert not (a[0] == c[0]).all()
+
+
+class TestPreconditionedCG:
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_matches_reference(self, shards):
+        n = 20
+        a = laplacian(n)
+        b = np.sin(np.arange(n))
+        rt = Runtime(num_shards=shards)
+        x = rt.execute(preconditioned_cg, a, b, 10, 4)
+        assert np.allclose(x, reference_preconditioned_cg(a, b, 10))
+
+    def test_converges_to_solution(self):
+        n = 12
+        a = laplacian(n, shift=0.5)
+        b = np.ones(n)
+        x = Runtime(num_shards=2).execute(preconditioned_cg, a, b, 30, 3)
+        assert np.linalg.norm(a @ x - b) < 1e-8
+
+    def test_reference_residual_decreases(self):
+        n = 16
+        a = laplacian(n)
+        b = np.arange(n, dtype=float)
+        r5 = np.linalg.norm(
+            a @ reference_preconditioned_cg(a, b, 5) - b)
+        r15 = np.linalg.norm(
+            a @ reference_preconditioned_cg(a, b, 15) - b)
+        assert r15 < r5

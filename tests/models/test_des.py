@@ -1,0 +1,126 @@
+"""Cross-validation: event-driven executor vs. the list scheduler."""
+
+import pytest
+
+from repro.apps import stencil, taskbench
+from repro.models import DCRModel, ExplicitModel
+from repro.models.des import EventDrivenExecutor
+from repro.sim import DepSpec, MachineSpec, ProcKind, SimOp, SimProgram
+from repro.sim.machine import PIZ_DAINT
+
+
+def chain(points, grain, iters=6, warm=2):
+    prog = SimProgram("chain")
+    prog.work_per_iteration = 1.0
+    prev = None
+    for it in range(warm + iters):
+        s = prog.begin_iteration() if it >= warm else None
+        deps = [DepSpec(prev, "halo", 2048, (-1, 1))] if prev is not None \
+            else []
+        prev = prog.add(SimOp(f"s{it}", points, grain, deps=deps,
+                              proc_kind=ProcKind.CPU, fence=False,
+                              traced=it > 0))
+        if it >= warm:
+            prog.end_iteration(s)
+    return prog
+
+
+class TestAgreement:
+    def test_serial_chain_agrees_exactly(self):
+        """One task per processor per step: scheduling policy is
+        irrelevant, both engines must agree to float precision."""
+        m = MachineSpec("t", nodes=8, cpus_per_node=1, gpus_per_node=0)
+        model = ExplicitModel(m)
+        listed = model.run(chain(8, 1e-3))
+        des = EventDrivenExecutor(m, ExplicitModel(m)).run(chain(8, 1e-3))
+        assert des.makespan == pytest.approx(listed.makespan, rel=1e-9)
+        assert des.iteration_time == pytest.approx(listed.iteration_time,
+                                                   rel=1e-9)
+
+    def test_stencil_figure_agrees(self):
+        m = PIZ_DAINT.with_nodes(16)
+        listed = DCRModel(m).run(stencil.build_program(m))
+        des = EventDrivenExecutor(m, DCRModel(m)).run(
+            stencil.build_program(m))
+        assert des.iteration_time == pytest.approx(listed.iteration_time,
+                                                   rel=0.05)
+
+    def test_oversubscribed_within_band(self):
+        """More tasks than processors: greedy readiness order may beat or
+        trail FIFO, but both must stay within a small band — conclusions
+        do not hinge on the policy."""
+        m = MachineSpec("t", nodes=4, cpus_per_node=1, gpus_per_node=0)
+        prog_l = chain(16, 5e-4)
+        prog_d = chain(16, 5e-4)
+        listed = ExplicitModel(m).run(prog_l)
+        des = EventDrivenExecutor(m, ExplicitModel(m)).run(prog_d)
+        assert 0.66 * listed.makespan <= des.makespan \
+            <= 1.5 * listed.makespan
+
+    def test_critical_path_lower_bound(self):
+        """Neither engine can beat serial chain length x grain."""
+        m = MachineSpec("t", nodes=8, cpus_per_node=1, gpus_per_node=0)
+        grain, steps = 1e-3, 8
+        prog = chain(8, grain, iters=steps, warm=0)
+        des = EventDrivenExecutor(m, ExplicitModel(m)).run(prog)
+        assert des.makespan >= steps * grain * 0.999
+
+    def test_taskbench_parallel_copies(self):
+        m = MachineSpec("t", nodes=8, cpus_per_node=1, gpus_per_node=0)
+        listed = DCRModel(m).run(taskbench.build_program(m, 1e-4))
+        des = EventDrivenExecutor(m, DCRModel(m)).run(
+            taskbench.build_program(m, 1e-4))
+        assert 0.66 * listed.iteration_time <= des.iteration_time \
+            <= 1.5 * listed.iteration_time
+
+    def test_collective_pattern(self):
+        m = MachineSpec("t", nodes=4, cpus_per_node=1, gpus_per_node=0)
+
+        def build():
+            prog = SimProgram("reduce")
+            s = prog.begin_iteration()
+            a = prog.add(SimOp("produce", 4, 1e-4, proc_kind=ProcKind.CPU))
+            prog.add(SimOp("consume", 4, 1e-4, proc_kind=ProcKind.CPU,
+                           deps=[DepSpec(a, "all", 1e6)]))
+            prog.end_iteration(s)
+            return prog
+
+        listed = ExplicitModel(m).run(build())
+        des = EventDrivenExecutor(m, ExplicitModel(m)).run(build())
+        assert des.makespan == pytest.approx(listed.makespan, rel=0.05)
+
+
+class TestCrossValidationBreadth:
+    """The two engines agree on the real figure workloads, not just toys."""
+
+    def test_circuit(self):
+        from repro.apps import circuit
+
+        m = PIZ_DAINT.with_nodes(8)
+        listed = DCRModel(m).run(circuit.build_program(m))
+        des = EventDrivenExecutor(m, DCRModel(m)).run(
+            circuit.build_program(m))
+        assert des.iteration_time == pytest.approx(listed.iteration_time,
+                                                   rel=0.10)
+
+    def test_soleil(self):
+        from repro.apps import soleil
+        from repro.sim.machine import SIERRA
+
+        m = SIERRA.with_nodes(4)
+        listed = DCRModel(m).run(soleil.build_program(m))
+        des = EventDrivenExecutor(m, DCRModel(m)).run(
+            soleil.build_program(m))
+        assert des.iteration_time == pytest.approx(listed.iteration_time,
+                                                   rel=0.15)
+
+    def test_resnet(self):
+        from repro.apps import resnet
+        from repro.sim.machine import SUMMIT
+
+        m = SUMMIT.with_nodes(2)
+        listed = DCRModel(m).run(resnet.build_program(m))
+        des = EventDrivenExecutor(m, DCRModel(m)).run(
+            resnet.build_program(m))
+        assert des.iteration_time == pytest.approx(listed.iteration_time,
+                                                   rel=0.10)

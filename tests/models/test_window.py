@@ -1,0 +1,61 @@
+"""Bounded operation window in the DCR model."""
+
+import pytest
+
+from repro.apps import taskbench
+from repro.models import DCRModel
+from repro.sim.machine import MachineSpec
+
+
+def cluster(n=8):
+    return MachineSpec("w", nodes=n, cpus_per_node=1, gpus_per_node=0)
+
+
+def program(m, copies=4):
+    return taskbench.build_program(m, 1e-4, copies=copies, tracing=False)
+
+
+class TestWindow:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            DCRModel(cluster(), window=0)
+
+    def test_unbounded_default(self):
+        assert DCRModel(cluster()).window is None
+
+    def test_tiny_window_serializes_parallel_chains(self):
+        m = cluster()
+        unbounded = DCRModel(m, tracing=False).run(program(m))
+        throttled = DCRModel(m, tracing=False, window=1).run(program(m))
+        assert throttled.iteration_time > 1.3 * unbounded.iteration_time
+
+    def test_adequate_window_costs_nothing(self):
+        m = cluster()
+        unbounded = DCRModel(m, tracing=False).run(program(m))
+        windowed = DCRModel(m, tracing=False, window=16).run(program(m))
+        assert windowed.iteration_time <= 1.02 * unbounded.iteration_time
+
+    def test_window_monotone(self):
+        m = cluster()
+        times = [DCRModel(m, tracing=False, window=w).run(program(m))
+                 .iteration_time for w in (1, 2, 4, 16)]
+        assert all(b <= a * 1.001 for a, b in zip(times, times[1:]))
+
+    def test_window_one_exposes_analysis_even_serially(self):
+        """window=1 forbids running ahead at all, so per-op analysis lands
+        on the critical path even for a single serialized chain..."""
+        m = cluster()
+        unbounded = DCRModel(m, tracing=False).run(program(m, copies=1))
+        throttled = DCRModel(m, tracing=False, window=1).run(
+            program(m, copies=1))
+        assert throttled.iteration_time > unbounded.iteration_time
+
+    def test_window_two_re_pipelines_serial_chain(self):
+        """...while window=2 already lets op k+1's analysis overlap op k's
+        execution, restoring the unbounded time for a serial chain."""
+        m = cluster()
+        unbounded = DCRModel(m, tracing=False).run(program(m, copies=1))
+        windowed = DCRModel(m, tracing=False, window=2).run(
+            program(m, copies=1))
+        assert windowed.iteration_time == \
+            pytest.approx(unbounded.iteration_time, rel=0.02)

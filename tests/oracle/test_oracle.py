@@ -1,0 +1,104 @@
+"""The pairwise dependence oracle (paper §4.1, last paragraph)."""
+
+import pytest
+
+from repro.core.semantics import ModelTask
+from repro.oracle import (DependenceOracle, READ_ONLY, READ_WRITE,
+                          RegionRequirement, reduce_priv,
+                          requirements_conflict, tasks_interfere)
+from repro.regions import FieldSpace, IndexSpace, LogicalRegion
+
+
+@pytest.fixture
+def setup():
+    fs = FieldSpace([("state", "f8"), ("flux", "f8")])
+    cells = LogicalRegion(IndexSpace.line(16), fs, name="cells")
+    owned = cells.partition_equal(4)
+    ghost = cells.partition_ghost(owned, 1)
+    return fs, cells, owned, ghost
+
+
+class TestRequirementConflicts:
+    def test_disjoint_regions_independent(self, setup):
+        fs, _cells, owned, _ghost = setup
+        a = RegionRequirement(owned[0], fs["state"], READ_WRITE)
+        b = RegionRequirement(owned[1], fs["state"], READ_WRITE)
+        assert not requirements_conflict(a, b)
+
+    def test_different_fields_independent(self, setup):
+        fs, cells, *_ = setup
+        a = RegionRequirement(cells, fs["state"], READ_WRITE)
+        b = RegionRequirement(cells, fs["flux"], READ_WRITE)
+        assert not requirements_conflict(a, b)
+
+    def test_both_readers_independent(self, setup):
+        fs, cells, *_ = setup
+        a = RegionRequirement(cells, fs["state"], READ_ONLY)
+        b = RegionRequirement(cells, fs["state"], READ_ONLY)
+        assert not requirements_conflict(a, b)
+
+    def test_writer_on_aliasing_regions_conflicts(self, setup):
+        fs, _cells, owned, ghost = setup
+        a = RegionRequirement(owned[1], fs["state"], READ_WRITE)
+        b = RegionRequirement(ghost[0], fs["state"], READ_ONLY)
+        assert requirements_conflict(a, b)
+
+    def test_same_redop_independent(self, setup):
+        fs, cells, *_ = setup
+        a = RegionRequirement(cells, fs["state"], reduce_priv("+"))
+        b = RegionRequirement(cells, fs["state"], reduce_priv("+"))
+        assert not requirements_conflict(a, b)
+
+    def test_multi_field_overlap(self, setup):
+        fs, cells, *_ = setup
+        a = RegionRequirement(cells, [fs["state"], fs["flux"]], READ_WRITE)
+        b = RegionRequirement(cells, fs["flux"], READ_ONLY)
+        assert requirements_conflict(a, b)
+
+    def test_empty_fields_rejected(self, setup):
+        _fs, cells, *_ = setup
+        with pytest.raises(ValueError):
+            RegionRequirement(cells, [], READ_ONLY)
+
+    def test_foreign_field_rejected(self, setup):
+        _fs, cells, *_ = setup
+        other_fs = FieldSpace([("z", "f8")])
+        with pytest.raises(ValueError):
+            RegionRequirement(cells, other_fs["z"], READ_ONLY)
+
+
+class TestTaskInterference:
+    def test_any_pair_suffices(self, setup):
+        fs, cells, owned, _ghost = setup
+        a = [RegionRequirement(owned[0], fs["state"], READ_WRITE),
+             RegionRequirement(cells, fs["flux"], READ_ONLY)]
+        b = [RegionRequirement(owned[1], fs["state"], READ_WRITE),
+             RegionRequirement(cells, fs["flux"], READ_WRITE)]
+        assert tasks_interfere(a, b)     # via the flux pair
+
+    def test_no_pairs_no_interference(self, setup):
+        fs, _cells, owned, _ghost = setup
+        a = [RegionRequirement(owned[0], fs["state"], READ_WRITE)]
+        b = [RegionRequirement(owned[2], fs["state"], READ_WRITE)]
+        assert not tasks_interfere(a, b)
+
+
+class TestMemoizingOracle:
+    def test_cache_hits(self, setup):
+        fs, _cells, owned, _ghost = setup
+        t1 = ModelTask([RegionRequirement(owned[0], fs["state"], READ_WRITE)])
+        t2 = ModelTask([RegionRequirement(owned[0], fs["state"], READ_WRITE)])
+        oracle = DependenceOracle()
+        assert oracle.interfere(t1, t2)
+        assert oracle.interfere(t2, t1)      # symmetric, cached
+        assert oracle.interfere(t1, t2)
+        assert oracle.queries == 3
+        assert oracle.misses == 1
+
+    def test_independent_and_depends(self, setup):
+        fs, _cells, owned, _ghost = setup
+        t1 = ModelTask([RegionRequirement(owned[0], fs["state"], READ_WRITE)])
+        t2 = ModelTask([RegionRequirement(owned[1], fs["state"], READ_WRITE)])
+        oracle = DependenceOracle()
+        assert oracle.independent(t1, t2)
+        assert not oracle.depends(t1, t2)

@@ -1,0 +1,71 @@
+"""Property-based checks of the oracle against set-theoretic ground truth."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.oracle import (READ_ONLY, READ_WRITE, WRITE_DISCARD,
+                          RegionRequirement, reduce_priv,
+                          requirements_conflict)
+from repro.regions import FieldSpace, IndexSpace, LogicalRegion
+
+PRIVS = [READ_ONLY, READ_WRITE, WRITE_DISCARD, reduce_priv("+"),
+         reduce_priv("max")]
+
+
+@st.composite
+def requirement_pairs(draw):
+    """Two requirements over random unstructured subregions of one tree."""
+    fs = FieldSpace([("f0", "f8"), ("f1", "f8"), ("f2", "f8")])
+    root = LogicalRegion(IndexSpace.line(12), fs)
+    parts = []
+    for _ in range(2):
+        pts = draw(st.sets(st.integers(0, 11), min_size=1, max_size=8))
+        part = root.partition_by_spaces(
+            {0: IndexSpace(points=[(p,) for p in pts])})
+        parts.append(part[0])
+    reqs = []
+    for region in parts:
+        fields = draw(st.sets(st.sampled_from(["f0", "f1", "f2"]),
+                              min_size=1, max_size=3))
+        priv = draw(st.sampled_from(PRIVS))
+        reqs.append(RegionRequirement(region,
+                                      [fs[n] for n in fields], priv))
+    return reqs[0], reqs[1]
+
+
+def ground_truth(a: RegionRequirement, b: RegionRequirement) -> bool:
+    """Set-theoretic re-derivation of the §4.1 dependence test."""
+    share_points = bool(a.region.index_space.point_set()
+                        & b.region.index_space.point_set())
+    share_fields = bool(a.field_ids() & b.field_ids())
+    if not (share_points and share_fields):
+        return False
+    pa, pb = a.privilege, b.privilege
+    if not pa.writes and not pa.is_reduce and not pb.writes \
+            and not pb.is_reduce:
+        return False                       # two readers
+    if pa.is_reduce and pb.is_reduce:
+        return pa.redop != pb.redop        # same redop commutes
+    return True
+
+
+class TestOracleAgainstGroundTruth:
+    @settings(max_examples=150, deadline=None)
+    @given(requirement_pairs())
+    def test_matches_set_semantics(self, pair):
+        a, b = pair
+        assert requirements_conflict(a, b) == ground_truth(a, b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requirement_pairs())
+    def test_symmetric(self, pair):
+        a, b = pair
+        assert requirements_conflict(a, b) == requirements_conflict(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(requirement_pairs())
+    def test_self_comparison(self, pair):
+        """Self-comparison: writers conflict with themselves, readers and
+        same-operator reducers do not (the reason same-group same-redop
+        launches are well-formed)."""
+        a, _b = pair
+        assert requirements_conflict(a, a) == a.privilege.writes

@@ -1,0 +1,51 @@
+"""The privilege conflict lattice."""
+
+import pytest
+
+from repro.oracle import (READ_ONLY, READ_WRITE, WRITE_DISCARD, Privilege,
+                          PrivilegeKind, reduce_priv)
+
+
+class TestConstruction:
+    def test_reduce_requires_op(self):
+        with pytest.raises(ValueError):
+            Privilege(PrivilegeKind.REDUCE)
+
+    def test_non_reduce_rejects_op(self):
+        with pytest.raises(ValueError):
+            Privilege(PrivilegeKind.READ_ONLY, redop="+")
+
+    def test_flags(self):
+        assert READ_ONLY.reads and not READ_ONLY.writes
+        assert READ_WRITE.reads and READ_WRITE.writes
+        assert WRITE_DISCARD.writes and not WRITE_DISCARD.reads
+        red = reduce_priv("+")
+        assert red.is_reduce and not red.writes and not red.reads
+
+
+class TestConflictMatrix:
+    def test_readers_never_conflict(self):
+        assert not READ_ONLY.conflicts_with(READ_ONLY)
+
+    def test_writer_conflicts_with_everything(self):
+        for other in (READ_ONLY, READ_WRITE, WRITE_DISCARD, reduce_priv("+")):
+            assert READ_WRITE.conflicts_with(other)
+            assert other.conflicts_with(READ_WRITE)
+            assert WRITE_DISCARD.conflicts_with(other)
+
+    def test_same_redop_commutes(self):
+        assert not reduce_priv("+").conflicts_with(reduce_priv("+"))
+
+    def test_different_redops_conflict(self):
+        assert reduce_priv("+").conflicts_with(reduce_priv("max"))
+
+    def test_reduce_vs_reader(self):
+        assert reduce_priv("+").conflicts_with(READ_ONLY)
+        assert READ_ONLY.conflicts_with(reduce_priv("+"))
+
+    def test_symmetry(self):
+        privs = [READ_ONLY, READ_WRITE, WRITE_DISCARD, reduce_priv("+"),
+                 reduce_priv("min")]
+        for a in privs:
+            for b in privs:
+                assert a.conflicts_with(b) == b.conflicts_with(a)

@@ -1,0 +1,140 @@
+"""Index spaces: structured and unstructured point sets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.regions import IndexSpace, Rect
+
+
+class TestStructured:
+    def test_line(self):
+        s = IndexSpace.line(8)
+        assert s.structured and s.dim == 1 and s.volume == 8
+        assert s.contains(0) and s.contains(7) and not s.contains(8)
+
+    def test_from_extent_2d(self):
+        s = IndexSpace.from_extent(3, 4)
+        assert s.volume == 12 and s.dim == 2
+        assert s.rect == Rect((0, 0), (2, 3))
+
+    def test_identity_semantics(self):
+        a, b = IndexSpace.line(4), IndexSpace.line(4)
+        assert a != b               # fresh handle per creation, like Legion
+        assert a == a
+        assert len({a, b}) == 2
+
+    def test_point_set_materialization(self):
+        s = IndexSpace.from_extent(2, 2)
+        assert s.point_set() == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+class TestUnstructured:
+    def test_explicit_points(self):
+        s = IndexSpace(points=[(0,), (5,), (9,)])
+        assert not s.structured
+        assert s.volume == 3
+        assert s.contains(5) and not s.contains(1)
+        assert s.bounds() == Rect((0,), (9,))
+
+    def test_rect_accessor_raises(self):
+        s = IndexSpace(points=[(1,)])
+        with pytest.raises(ValueError):
+            _ = s.rect
+
+    def test_mixed_dim_points_rejected(self):
+        with pytest.raises(ValueError):
+            IndexSpace(points=[(0,), (1, 2)])
+
+    def test_empty_point_set(self):
+        s = IndexSpace(points=[])
+        assert s.empty and s.volume == 0
+
+    def test_iteration_sorted(self):
+        s = IndexSpace(points=[(5,), (1,), (3,)])
+        assert list(s) == [(1,), (3,), (5,)]
+
+    def test_exactly_one_of_rect_points(self):
+        with pytest.raises(ValueError):
+            IndexSpace()
+        with pytest.raises(ValueError):
+            IndexSpace(rect=Rect((0,), (1,)), points=[(0,)])
+
+
+class TestIntersects:
+    def test_structured_structured(self):
+        a = IndexSpace(rect=Rect((0,), (5,)))
+        b = IndexSpace(rect=Rect((5,), (9,)))
+        c = IndexSpace(rect=Rect((6,), (9,)))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_structured_unstructured(self):
+        a = IndexSpace(rect=Rect((0,), (5,)))
+        b = IndexSpace(points=[(5,), (100,)])
+        c = IndexSpace(points=[(6,), (100,)])
+        assert a.intersects(b) and b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_unstructured_unstructured(self):
+        a = IndexSpace(points=[(0,), (2,)])
+        b = IndexSpace(points=[(2,), (4,)])
+        c = IndexSpace(points=[(1,), (3,)])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_empty_never_intersects(self):
+        e = IndexSpace(points=[])
+        a = IndexSpace.line(4)
+        assert not e.intersects(a) and not a.intersects(e)
+
+    def test_dim_mismatch_is_disjoint(self):
+        a = IndexSpace.line(4)
+        b = IndexSpace.from_extent(2, 2)
+        assert not a.intersects(b)
+
+    @given(st.sets(st.integers(0, 30), max_size=8),
+           st.sets(st.integers(0, 30), max_size=8))
+    def test_intersects_matches_set_semantics(self, xs, ys):
+        a = IndexSpace(points=[(x,) for x in xs])
+        b = IndexSpace(points=[(y,) for y in ys])
+        assert a.intersects(b) == bool(xs & ys)
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = IndexSpace(points=[(0,), (1,)])
+        b = IndexSpace(points=[(1,), (2,)])
+        assert a.union(b).point_set() == {(0,), (1,), (2,)}
+
+    def test_intersection_structured_stays_structured(self):
+        a = IndexSpace(rect=Rect((0,), (7,)))
+        b = IndexSpace(rect=Rect((4,), (11,)))
+        inter = a.intersection_space(b)
+        assert inter.structured
+        assert inter.rect == Rect((4,), (7,))
+
+    def test_intersection_disjoint_is_empty(self):
+        a = IndexSpace(rect=Rect((0,), (3,)))
+        b = IndexSpace(rect=Rect((5,), (8,)))
+        assert a.intersection_space(b).empty
+
+    def test_difference_builds_interior(self):
+        owned = IndexSpace(rect=Rect((0,), (7,)))
+        boundary = IndexSpace(points=[(0,), (7,)])
+        interior = owned.difference(boundary)
+        assert interior.point_set() == {(i,) for i in range(1, 7)}
+
+    def test_dim_mismatch_rejected(self):
+        a = IndexSpace.line(4)
+        b = IndexSpace.from_extent(2, 2)
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    @given(st.sets(st.integers(0, 20), max_size=10),
+           st.sets(st.integers(0, 20), max_size=10))
+    def test_matches_set_semantics(self, xs, ys):
+        a = IndexSpace(points=[(x,) for x in xs])
+        b = IndexSpace(points=[(y,) for y in ys])
+        assert a.union(b).point_set() == {(p,) for p in xs | ys}
+        assert a.intersection_space(b).point_set() == {(p,) for p in xs & ys}
+        assert a.difference(b).point_set() == {(p,) for p in xs - ys}

@@ -1,0 +1,111 @@
+"""Unit and property tests for Rect geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.regions import Rect
+
+
+def rects(dim=2, lo=-20, hi=20):
+    coord = st.integers(lo, hi)
+    return st.tuples(
+        st.tuples(*[coord] * dim), st.tuples(*[coord] * dim)
+    ).map(lambda t: Rect(t[0], t[1]))
+
+
+class TestBasics:
+    def test_inclusive_bounds(self):
+        r = Rect((0,), (3,))
+        assert r.volume == 4
+        assert list(r) == [(0,), (1,), (2,), (3,)]
+
+    def test_empty(self):
+        r = Rect((5,), (3,))
+        assert r.empty
+        assert r.volume == 0
+        assert list(r) == []
+
+    def test_2d_volume_and_iteration(self):
+        r = Rect((0, 0), (1, 2))
+        assert r.volume == 6
+        assert (0, 2) in set(r)
+        assert (2, 0) not in set(r)
+        assert len(r) == 6
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((0,), (1, 2))
+
+    def test_contains(self):
+        r = Rect((0, 0), (4, 4))
+        assert r.contains((0, 0)) and r.contains((4, 4))
+        assert not r.contains((5, 0))
+        assert not r.contains((0,))  # wrong dimensionality
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (9, 9))
+        assert outer.contains_rect(Rect((2, 2), (5, 5)))
+        assert outer.contains_rect(Rect((3, 3), (2, 2)))  # empty
+        assert not outer.contains_rect(Rect((5, 5), (10, 5)))
+
+    def test_int_corners_promote_to_1d(self):
+        r = Rect(0, 5)
+        assert r.dim == 1 and r.volume == 6
+
+    def test_extents(self):
+        assert Rect((1, 1), (3, 5)).extents == (3, 5)
+        assert Rect((2,), (0,)).extents == (0,)
+
+    def test_slice_dim(self):
+        r = Rect((0, 0), (9, 9)).slice_dim(1, 3, 5)
+        assert r.lo == (0, 3) and r.hi == (9, 5)
+        with pytest.raises(ValueError):
+            Rect((0,), (3,)).slice_dim(1, 0, 0)
+
+    def test_to_slices(self):
+        assert Rect((1, 2), (3, 4)).to_slices() == (slice(1, 4), slice(2, 5))
+
+    def test_translated(self):
+        r = Rect((0, 0), (2, 2)).translated((5, -1))
+        assert r.lo == (5, -1) and r.hi == (7, 1)
+        with pytest.raises(ValueError):
+            Rect((0,), (1,)).translated((1, 2))
+
+
+class TestIntersection:
+    def test_overlap(self):
+        a, b = Rect((0,), (5,)), Rect((3,), (9,))
+        assert a.intersection(b) == Rect((3,), (5,))
+        assert a.overlaps(b)
+
+    def test_disjoint(self):
+        a, b = Rect((0,), (2,)), Rect((3,), (5,))
+        assert a.intersection(b).empty
+        assert not a.overlaps(b)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            Rect((0,), (1,)).intersection(Rect((0, 0), (1, 1)))
+
+    @given(rects(), rects())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(rects(), rects())
+    def test_intersection_is_exact(self, a, b):
+        """The intersection rect contains exactly the common points."""
+        inter = set(a.intersection(b))
+        assert inter == set(a) & set(b)
+
+    @given(rects())
+    def test_self_intersection(self, a):
+        assert a.intersection(a).volume == a.volume
+
+    @given(rects(), rects())
+    def test_union_bounds_contains_both(self, a, b):
+        u = a.union_bounds(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects())
+    def test_volume_matches_iteration(self, a):
+        assert a.volume == len(list(a))

@@ -1,0 +1,172 @@
+"""Regions, partitions, and region-tree structure."""
+
+import numpy as np
+import pytest
+
+from repro.regions import FieldSpace, IndexSpace, LogicalRegion, Rect
+
+
+@pytest.fixture
+def region():
+    fs = FieldSpace([("a", "f8")])
+    return LogicalRegion(IndexSpace.line(16), fs, name="r")
+
+
+class TestFieldSpace:
+    def test_fields(self):
+        fs = FieldSpace([("x", "f8"), ("y", "i4")])
+        assert fs["x"].dtype == np.dtype("f8")
+        assert fs["y"].dtype == np.dtype("i4")
+        assert "x" in fs and "z" not in fs
+
+    def test_unique_names(self):
+        fs = FieldSpace([("x", "f8")])
+        with pytest.raises(ValueError):
+            fs.add_field("x", "f8")
+
+    def test_global_field_ids(self):
+        a, b = FieldSpace([("x", "f8")]), FieldSpace([("x", "f8")])
+        assert a["x"].fid != b["x"].fid
+
+    def test_remove_field(self):
+        fs = FieldSpace([("x", "f8")])
+        fs.remove_field("x")
+        assert "x" not in fs
+
+
+class TestPartitionEqual:
+    def test_blocks(self, region):
+        part = region.partition_equal(4)
+        assert len(part) == 4
+        assert part.disjoint and part.complete
+        sizes = [sub.index_space.volume for sub in part]
+        assert sizes == [4, 4, 4, 4]
+
+    def test_uneven(self, region):
+        part = region.partition_equal(3)
+        sizes = [sub.index_space.volume for sub in part]
+        assert sum(sizes) == 16
+        assert max(sizes) - min(sizes) <= 1
+        assert part.disjoint and part.complete
+
+    def test_2d_dim_selection(self):
+        fs = FieldSpace([("a", "f8")])
+        r = LogicalRegion(IndexSpace.from_extent(8, 6), fs)
+        rows = r.partition_equal(4, dim=0)
+        cols = r.partition_equal(3, dim=1)
+        assert rows[0].index_space.rect == Rect((0, 0), (1, 5))
+        assert cols[0].index_space.rect == Rect((0, 0), (7, 1))
+
+    def test_tree_structure(self, region):
+        part = region.partition_equal(2)
+        sub = part[0]
+        assert sub.parent is part
+        assert sub.tree_id == region.tree_id
+        assert sub.depth == 1
+        assert region.is_ancestor_of(sub)
+        assert not sub.is_ancestor_of(region)
+        assert sub.root() is region
+
+
+class TestPartitionTiles:
+    def test_2d_tiles(self):
+        fs = FieldSpace([("a", "f8")])
+        r = LogicalRegion(IndexSpace.from_extent(8, 8), fs)
+        part = r.partition_tiles((2, 2))
+        assert len(part) == 4
+        assert part.disjoint and part.complete
+        assert part[(0, 0)].index_space.rect == Rect((0, 0), (3, 3))
+        assert part[(1, 1)].index_space.rect == Rect((4, 4), (7, 7))
+
+    def test_1d_tiles_use_scalar_colors(self, region):
+        part = region.partition_tiles((4,))
+        assert set(part.colors) == {0, 1, 2, 3}
+
+    def test_dim_mismatch(self, region):
+        with pytest.raises(ValueError):
+            region.partition_tiles((2, 2))
+
+
+class TestPartitionGhost:
+    def test_ghost_aliased_complete(self, region):
+        owned = region.partition_equal(4)
+        ghost = region.partition_ghost(owned, 1)
+        assert not ghost.disjoint
+        assert ghost.complete
+        # Interior ghosts grow by one on both sides, clamped at boundaries.
+        assert ghost[0].index_space.rect == Rect((0,), (4,))
+        assert ghost[1].index_space.rect == Rect((3,), (8,))
+        assert ghost[3].index_space.rect == Rect((11,), (15,))
+
+    def test_ghost_single_dim(self):
+        fs = FieldSpace([("a", "f8")])
+        r = LogicalRegion(IndexSpace.from_extent(8, 8), fs)
+        owned = r.partition_equal(2, dim=0)
+        ghost = r.partition_ghost(owned, 1, dim=0)
+        assert ghost[0].index_space.rect == Rect((0, 0), (4, 7))
+
+
+class TestPartitionBySpaces:
+    def test_escaping_subspace_rejected(self, region):
+        with pytest.raises(ValueError):
+            region.partition_by_spaces(
+                {0: IndexSpace(rect=Rect((0,), (20,)))})
+
+    def test_computed_disjointness(self, region):
+        part = region.partition_by_spaces({
+            0: IndexSpace(points=[(0,), (1,)]),
+            1: IndexSpace(points=[(2,), (3,)]),
+        })
+        assert part.disjoint and not part.complete
+        part2 = region.partition_by_spaces({
+            0: IndexSpace(points=[(0,), (1,)]),
+            1: IndexSpace(points=[(1,), (2,)]),
+        })
+        assert not part2.disjoint
+
+    def test_color_of(self, region):
+        part = region.partition_equal(4)
+        for color in part.colors:
+            assert part.color_of(part[color]) == color
+        other = region.partition_equal(2)
+        with pytest.raises(KeyError):
+            part.color_of(other[0])
+
+
+class TestPartitionProperties:
+    from hypothesis import given as _given, strategies as _st
+
+    @_given(_st.integers(1, 12), _st.integers(1, 12), _st.integers(2, 5),
+            _st.integers(2, 5))
+    def test_tiles_always_disjoint_complete(self, h, w, tx, ty):
+        from hypothesis import assume
+        assume(h >= 1 and w >= 1)
+        fs = FieldSpace([("a", "f8")])
+        r = LogicalRegion(IndexSpace.from_extent(h, w), fs)
+        part = r.partition_tiles((min(tx, h), min(ty, w)))
+        assert part.disjoint and part.complete
+        total = sum(s.index_space.volume for s in part)
+        assert total == h * w
+
+    @_given(_st.integers(4, 40), _st.integers(2, 8), _st.integers(0, 5))
+    def test_ghost_contains_base(self, n, pieces, halo):
+        fs = FieldSpace([("a", "f8")])
+        r = LogicalRegion(IndexSpace.line(n), fs)
+        base = r.partition_equal(min(pieces, n))
+        ghost = r.partition_ghost(base, halo)
+        for color in base.colors:
+            assert ghost[color].index_space.rect.contains_rect(
+                base[color].index_space.rect)
+        assert ghost.complete
+
+    @_given(_st.integers(4, 40), _st.integers(2, 8))
+    def test_equal_partition_reconstructs_parent(self, n, pieces):
+        fs = FieldSpace([("a", "f8")])
+        r = LogicalRegion(IndexSpace.line(n), fs)
+        part = r.partition_equal(min(pieces, n))
+        covered = set()
+        for sub in part:
+            pts = sub.index_space.point_set()
+            assert not (covered & pts)         # disjointness, point level
+            covered |= pts
+        assert covered == r.index_space.point_set()

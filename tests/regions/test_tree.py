@@ -1,0 +1,118 @@
+"""Region-tree queries: LCA, divergence partitions, and may-alias soundness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regions import (FieldSpace, IndexSpace, LogicalRegion,
+                           divergence_partition, lowest_common_ancestor,
+                           may_alias, upper_bound)
+
+
+@pytest.fixture
+def tree():
+    fs = FieldSpace([("a", "f8")])
+    root = LogicalRegion(IndexSpace.line(16), fs, name="root")
+    owned = root.partition_equal(4, name="owned")
+    ghost = root.partition_ghost(owned, 1, name="ghost")
+    nested = owned[0].partition_equal(2, name="nested")
+    return root, owned, ghost, nested
+
+
+class TestLCA:
+    def test_siblings(self, tree):
+        root, owned, _ghost, _nested = tree
+        assert lowest_common_ancestor(owned[0], owned[1]) is root
+
+    def test_ancestor_descendant(self, tree):
+        root, owned, _ghost, nested = tree
+        assert lowest_common_ancestor(root, owned[2]) is root
+        assert lowest_common_ancestor(owned[0], nested[1]) is owned[0]
+
+    def test_cross_tree(self, tree):
+        root, owned, *_ = tree
+        fs2 = FieldSpace([("b", "f8")])
+        other = LogicalRegion(IndexSpace.line(16), fs2)
+        assert lowest_common_ancestor(owned[0], other) is None
+        assert upper_bound(owned[0], other) is None
+
+    def test_upper_bound_is_superset(self, tree):
+        _root, owned, ghost, _nested = tree
+        ub = upper_bound(owned[1], ghost[2])
+        assert ub is not None
+        assert ub.index_space.bounds().contains_rect(
+            owned[1].index_space.bounds())
+        assert ub.index_space.bounds().contains_rect(
+            ghost[2].index_space.bounds())
+
+
+class TestDivergence:
+    def test_same_partition_siblings(self, tree):
+        _root, owned, _ghost, _nested = tree
+        assert divergence_partition(owned[0], owned[1]) is owned
+
+    def test_different_partitions(self, tree):
+        _root, owned, ghost, _nested = tree
+        assert divergence_partition(owned[0], ghost[1]) is None
+
+    def test_ancestor_has_no_divergence(self, tree):
+        root, owned, *_ = tree
+        assert divergence_partition(root, owned[0]) is None
+
+    def test_nested_divergence(self, tree):
+        _root, owned, _ghost, nested = tree
+        assert divergence_partition(nested[0], nested[1]) is nested
+        # nested[0] and owned[1] diverge at `owned`.
+        assert divergence_partition(nested[0], owned[1]) is owned
+
+
+class TestMayAlias:
+    def test_disjoint_siblings_do_not_alias(self, tree):
+        _root, owned, *_ = tree
+        assert not may_alias(owned[0], owned[1])
+
+    def test_ghost_aliases_neighbor_owned(self, tree):
+        _root, owned, ghost, _nested = tree
+        assert may_alias(ghost[0], owned[1])
+        assert may_alias(owned[1], ghost[0])       # symmetric
+        assert not may_alias(ghost[0], owned[3])   # far apart
+
+    def test_ancestor_always_aliases(self, tree):
+        root, owned, *_ = tree
+        assert may_alias(root, owned[2])
+
+    def test_self_alias(self, tree):
+        root, *_ = tree
+        assert may_alias(root, root)
+
+    def test_cross_tree_never(self, tree):
+        root, *_ = tree
+        other = LogicalRegion(IndexSpace.line(16), FieldSpace([("b", "f8")]))
+        assert not may_alias(root, other)
+
+    def test_nested_vs_other_owned(self, tree):
+        _root, owned, _ghost, nested = tree
+        assert not may_alias(nested[0], owned[1])
+        assert may_alias(nested[0], owned[0])
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_sound_against_geometry(self, data):
+        """may_alias must never report False for truly overlapping regions,
+        across randomly built two-level region trees."""
+        fs = FieldSpace([("a", "f8")])
+        root = LogicalRegion(IndexSpace.line(24), fs)
+        pieces = data.draw(st.integers(2, 5))
+        base = root.partition_equal(pieces)
+        halo = data.draw(st.integers(0, 4))
+        ghost = root.partition_ghost(base, halo)
+        parts = [base, ghost]
+        pa = parts[data.draw(st.integers(0, 1))]
+        pb = parts[data.draw(st.integers(0, 1))]
+        a = pa[data.draw(st.integers(0, pieces - 1))]
+        b = pb[data.draw(st.integers(0, pieces - 1))]
+        truly_overlap = a.index_space.intersects(b.index_space)
+        if truly_overlap:
+            assert may_alias(a, b)
+        # (False positives are allowed — the test only checks soundness —
+        # but for these concrete trees the answer is exact:)
+        assert may_alias(a, b) == truly_overlap

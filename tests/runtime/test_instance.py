@@ -1,0 +1,142 @@
+"""Data-movement tracking: exact communication volumes of real runs."""
+
+import pytest
+
+from repro.apps.stencil import stencil2d_control
+from repro.runtime import Runtime
+from repro.runtime.instance import track_movement
+
+
+def stencil_movement(shards, n, tiles, steps):
+    rt = Runtime(num_shards=shards)
+    rt.execute(stencil2d_control, n, tiles, steps)
+    return track_movement(rt)
+
+
+class TestStencilMovement:
+    def test_steady_state_is_exactly_ghost_rows(self):
+        """After the cold start (fill lives on shard 0, so step 1
+        distributes the data — exactly Fig. 10's fill-on-shard-0), each
+        step moves exactly the 6 inter-tile boundary rows of n points."""
+        n, tiles = 12, 4
+        base = stencil_movement(4, n, tiles, steps=2).total_points_moved
+        more = stencil_movement(4, n, tiles, steps=5).total_points_moved
+        per_step_rows = 2 * (tiles - 1)          # one row each direction
+        assert more - base == 3 * per_step_rows * n
+
+    def test_cold_start_distributes_from_fill_owner(self):
+        """Step 1 pulls each remote tile's data from node 0, where the
+        fill executed."""
+        report = stencil_movement(4, 12, 4, steps=1)
+        assert all(t.src_node == 0 for t in report.transfers)
+        # Tiles 1-3 pull their ghost(a) rows (5, 5, 4 rows) and their
+        # owned b tiles (3 rows each) of 12 points.
+        assert report.total_points_moved == (60 + 60 + 48) + 3 * 36
+
+    def test_single_node_moves_nothing(self):
+        assert stencil_movement(1, 12, 4, 5).total_bytes == 0
+
+    def test_steady_transfers_are_neighbor_only(self):
+        """Excluding the cold start, all traffic is between adjacent row
+        tiles; tiles 1 and 3 never talk."""
+        report = stencil_movement(4, 12, 4, steps=5)
+        assert report.bytes_between(1, 3) == 0
+        assert report.bytes_between(3, 1) == 0
+        assert report.bytes_between(1, 2) > 0
+        assert report.bytes_between(2, 1) > 0
+
+    def test_bytes_by_field_alternates_buffers(self):
+        by_field = stencil_movement(4, 12, 4, 5).bytes_by_field()
+        assert set(by_field) == {"a", "b"}        # double buffering
+
+    def test_more_shards_more_movement(self):
+        assert stencil_movement(1, 12, 4, 5).total_bytes == 0
+        assert stencil_movement(2, 12, 4, 5).total_bytes < \
+            stencil_movement(4, 12, 4, 5).total_bytes
+
+    def test_bytes_are_points_times_itemsize(self):
+        report = stencil_movement(4, 12, 4, 4)
+        assert report.total_bytes == report.total_points_moved * 8
+
+
+class TestWriterInvalidation:
+    def test_write_invalidates_remote_copies(self):
+        """Reader on node 1, then writer on node 0, then reader on node 1
+        again: the second read must re-pull."""
+        def main(ctx):
+            fs = ctx.create_field_space([("x", "f8")])
+            r = ctx.create_region(ctx.create_index_space(4), fs, "r")
+            whole = ctx.partition_equal(r, 1)
+            tiles = ctx.partition_equal(r, 2)
+            ctx.fill(r, "x", 1.0)
+
+            def writer(point, a):
+                a["x"].view[...] += 1.0
+
+            def reader(point, a):
+                return float(a["x"].view.sum())
+
+            ctx.index_launch(writer, [0], [(whole, "x", "rw")])
+            ctx.index_launch(reader, range(2), [(tiles, "x", "ro")])
+            ctx.index_launch(writer, [0], [(whole, "x", "rw")])
+            ctx.index_launch(reader, range(2), [(tiles, "x", "ro")])
+
+        rt = Runtime(num_shards=2)
+        rt.execute(main)
+        report = track_movement(rt)
+        # Shard 1's tile (2 points) is re-pulled after each write.
+        pulls_to_1 = [t for t in report.transfers if t.dst_node == 1]
+        assert sum(t.points for t in pulls_to_1) == 4
+
+    def test_read_does_not_invalidate(self):
+        """Two consecutive readers: only the first pulls."""
+        def main(ctx):
+            fs = ctx.create_field_space([("x", "f8")])
+            r = ctx.create_region(ctx.create_index_space(4), fs, "r")
+            whole = ctx.partition_equal(r, 1)
+            tiles = ctx.partition_equal(r, 2)
+            ctx.fill(r, "x", 1.0)
+            ctx.index_launch(lambda p, a: a["x"].view.__iadd__(1.0), [0],
+                             [(whole, "x", "rw")])
+            for _ in range(3):
+                ctx.index_launch(lambda p, a: None, range(2),
+                                 [(tiles, "x", "ro")])
+
+        rt = Runtime(num_shards=2)
+        rt.execute(main)
+        report = track_movement(rt)
+        pulls_to_1 = sum(t.points for t in report.transfers
+                         if t.dst_node == 1)
+        assert pulls_to_1 == 2       # one pull, cached thereafter
+
+
+class TestCoupledAppMovement:
+    def test_pennant_exchanges_boundary_points(self):
+        from repro.apps.pennant_hydro import pennant_control
+
+        rt = Runtime(num_shards=4)
+        rt.execute(pennant_control, 16, 4, 4)
+        report = track_movement(rt)
+        assert report.total_bytes > 0
+        # The staggered mesh exchanges zone pressure/viscosity and point
+        # position/velocity across tile boundaries.
+        fields = set(report.bytes_by_field())
+        assert {"p", "q"} <= fields or {"x", "u"} <= fields
+
+    def test_soleil_particles_force_wide_reads(self):
+        from repro.apps.soleil_mini import soleil_mini_control
+
+        rt = Runtime(num_shards=4)
+        rt.execute(soleil_mini_control, 16, 4, 8, 3)
+        report = track_movement(rt)
+        # Particles read the whole cell region: temperature moves a lot
+        # more than a pure halo pattern would.
+        by_field = report.bytes_by_field()
+        assert by_field.get("t", 0) > 0
+
+    def test_movement_deterministic(self):
+        rt1 = Runtime(num_shards=3)
+        rt1.execute(stencil2d_control, 12, 4, 3)
+        rt2 = Runtime(num_shards=3)
+        rt2.execute(stencil2d_control, 12, 4, 3)
+        assert track_movement(rt1).transfers == track_movement(rt2).transfers

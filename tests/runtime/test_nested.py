@@ -1,0 +1,116 @@
+"""Nested task launches and privilege subsumption."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Runtime
+from repro.runtime.nested import TaskContext, launch_with_context
+from repro.runtime.store import PrivilegeError
+
+
+def scaffold(ctx, n=8, tiles=4):
+    fs = ctx.create_field_space([("x", "f8"), ("y", "f8")])
+    r = ctx.create_region(ctx.create_index_space(n), fs, "r")
+    part = ctx.partition_equal(r, tiles, name="part")
+    ctx.fill(r, ["x", "y"], 1.0)
+    return r, part
+
+
+class TestNestedLaunch:
+    def test_child_runs_on_subregion(self):
+        def main(ctx):
+            r, part = scaffold(ctx)
+
+            def parent(tctx, arg):
+                # Launch one child per tile of the parent's region.
+                for sub in [part[0], part[2]]:
+                    tctx.launch(lambda a: a["x"].view.__iadd__(1.0),
+                                [(sub, "x", "rw")])
+                return tctx.children_launched
+
+            fut = launch_with_context(ctx, parent, [(r, "x", "rw")])
+            return ctx.get_value(fut), r
+
+        rt = Runtime(num_shards=2)
+        count, r = rt.execute(main)
+        assert count == 2
+        got = rt.store.raw(r.tree_id, r.field_space["x"])
+        assert list(got) == [2, 2, 1, 1, 2, 2, 1, 1]
+
+    def test_child_index_launch(self):
+        def main(ctx):
+            r, part = scaffold(ctx)
+
+            def parent(tctx, arg):
+                vals = tctx.index_launch(
+                    lambda p, a: float(a["x"].view.sum()) + p,
+                    range(4), [(part, "x", "ro")])
+                return vals
+
+            fut = launch_with_context(ctx, parent, [(r, "x", "ro")])
+            return ctx.get_value(fut)
+
+        assert Runtime(num_shards=1).execute(main) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_results_replicate(self):
+        def main(ctx):
+            r, part = scaffold(ctx)
+
+            def parent(tctx, arg):
+                tctx.index_launch(
+                    lambda p, a: a["x"].view.__imul__(p + 1),
+                    range(4), [(part, "x", "rw")])
+
+            launch_with_context(ctx, parent, [(r, "x", "rw")])
+            return r
+
+        rt1 = Runtime(num_shards=1)
+        r1 = rt1.execute(main)
+        rt3 = Runtime(num_shards=3)
+        r3 = rt3.execute(main)
+        assert np.array_equal(rt1.store.raw(r1.tree_id, r1.field_space["x"]),
+                              rt3.store.raw(r3.tree_id, r3.field_space["x"]))
+
+
+class TestSubsumption:
+    def _run(self, parent_priv, child_priv, child_fields="x",
+             child_region="sub"):
+        def main(ctx):
+            r, part = scaffold(ctx)
+            other = ctx.create_region(ctx.create_index_space(4),
+                                      r.field_space, "other")
+
+            def parent(tctx, arg):
+                target = part[0] if child_region == "sub" else other
+                tctx.launch(lambda a: None,
+                            [(target, child_fields, child_priv)])
+
+            launch_with_context(ctx, parent, [(r, "x", parent_priv)])
+
+        Runtime(num_shards=1).execute(main)
+
+    def test_rw_parent_grants_anything(self):
+        for child in ("ro", "rw", "wd", "red<+>"):
+            self._run("rw", child)
+
+    def test_ro_parent_rejects_writes(self):
+        self._run("ro", "ro")
+        with pytest.raises(PrivilegeError):
+            self._run("ro", "rw")
+        with pytest.raises(PrivilegeError):
+            self._run("ro", "red<+>")
+
+    def test_reduce_parent_grants_same_redop_only(self):
+        self._run("red<+>", "red<+>")
+        with pytest.raises(PrivilegeError):
+            self._run("red<+>", "red<max>")
+        with pytest.raises(PrivilegeError):
+            self._run("red<+>", "ro")
+
+    def test_foreign_region_rejected(self):
+        with pytest.raises(PrivilegeError):
+            self._run("rw", "ro", child_region="other")
+
+    def test_foreign_field_rejected(self):
+        with pytest.raises(PrivilegeError):
+            self._run("rw", "ro", child_fields="y")

@@ -1,0 +1,78 @@
+"""Discrete-event engine and serial resources."""
+
+import pytest
+
+from repro.sim import SerialResource, SimEngine
+
+
+class TestEngine:
+    def test_events_in_time_order(self):
+        eng = SimEngine()
+        log = []
+        eng.at(2.0, lambda: log.append("b"))
+        eng.at(1.0, lambda: log.append("a"))
+        eng.at(3.0, lambda: log.append("c"))
+        assert eng.run() == 3.0
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        eng = SimEngine()
+        log = []
+        for i in range(5):
+            eng.at(1.0, lambda i=i: log.append(i))
+        eng.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_after_relative_scheduling(self):
+        eng = SimEngine()
+        times = []
+        def first():
+            times.append(eng.now)
+            eng.after(0.5, lambda: times.append(eng.now))
+        eng.at(1.0, first)
+        eng.run()
+        assert times == [1.0, 1.5]
+
+    def test_past_scheduling_rejected(self):
+        eng = SimEngine()
+        eng.at(5.0, lambda: eng.at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            eng.run()
+
+    def test_run_until(self):
+        eng = SimEngine()
+        log = []
+        eng.at(1.0, lambda: log.append(1))
+        eng.at(10.0, lambda: log.append(10))
+        assert eng.run(until=5.0) == 5.0
+        assert log == [1]
+        assert eng.pending == 1
+
+    def test_event_count(self):
+        eng = SimEngine()
+        for i in range(7):
+            eng.at(float(i), lambda: None)
+        eng.run()
+        assert eng.events_processed == 7
+
+
+class TestSerialResource:
+    def test_fifo_serialization(self):
+        res = SerialResource("proc")
+        s1, e1 = res.acquire(0.0, 2.0)
+        s2, e2 = res.acquire(0.0, 3.0)
+        assert (s1, e1) == (0.0, 2.0)
+        assert (s2, e2) == (2.0, 5.0)
+
+    def test_idle_gap(self):
+        res = SerialResource()
+        res.acquire(0.0, 1.0)
+        s, e = res.acquire(10.0, 1.0)
+        assert (s, e) == (10.0, 11.0)
+
+    def test_utilization(self):
+        res = SerialResource()
+        res.acquire(0.0, 2.0)
+        res.acquire(0.0, 2.0)
+        assert res.utilization(8.0) == 0.5
+        assert res.utilization(0.0) == 0.0

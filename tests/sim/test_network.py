@@ -1,0 +1,95 @@
+"""Network cost model: links, staging, collectives."""
+
+import pytest
+
+from repro.sim import MachineSpec, NetworkModel, ProcKind
+
+
+@pytest.fixture
+def machine():
+    return MachineSpec("m", nodes=4, cpus_per_node=4, gpus_per_node=2,
+                       intra_bw=100e9, inter_bw=10e9, intra_lat=1e-6,
+                       inter_lat=5e-6, host_staging_bw=20e9,
+                       staging_overhead=50e-6)
+
+
+class TestTransfers:
+    def test_same_proc_free(self, machine):
+        net = NetworkModel(machine)
+        assert net.transfer_time(1e6, 0, 0, same_proc=True) == 0.0
+        assert net.transfer_time(0, 0, 1) == 0.0
+
+    def test_intra_vs_inter(self, machine):
+        net = NetworkModel(machine)
+        intra = net.transfer_time(1e6, 0, 0, ProcKind.CPU)
+        inter = net.transfer_time(1e6, 0, 1, ProcKind.CPU)
+        assert intra == pytest.approx(1e-6 + 1e6 / 100e9)
+        assert inter == pytest.approx(5e-6 + 1e6 / 10e9)
+        assert inter > intra
+
+    def test_gpu_staging_without_gpudirect(self, machine):
+        net = NetworkModel(machine)
+        staged = net.transfer_time(1e6, 0, 1, ProcKind.GPU)
+        direct = NetworkModel(machine.with_gpudirect(True)).transfer_time(
+            1e6, 0, 1, ProcKind.GPU)
+        assert staged > direct
+        assert staged == pytest.approx(
+            5e-6 + 1e6 / 10e9 + 2 * (1e-6 + 1e6 / 20e9))
+
+    def test_traffic_stats(self, machine):
+        net = NetworkModel(machine)
+        net.transfer_time(100.0, 0, 0, ProcKind.CPU)
+        net.transfer_time(200.0, 0, 1, ProcKind.CPU)
+        assert net.stats.intra_bytes == 100.0
+        assert net.stats.inter_bytes == 200.0
+        assert net.stats.intra_msgs == 1 and net.stats.inter_msgs == 1
+
+
+class TestCollectives:
+    def test_single_participant_free(self, machine):
+        assert NetworkModel(machine).collective_time(1e6, 1) == 0.0
+
+    def test_latency_is_logarithmic(self, machine):
+        net = NetworkModel(machine)
+        t4 = net.collective_time(0.0, 4, ProcKind.CPU)
+        t16 = net.collective_time(0.0, 16, ProcKind.CPU)
+        t256 = net.collective_time(0.0, 256, ProcKind.CPU)
+        assert t16 == 2 * t4
+        assert t256 == 4 * t4
+
+    def test_ring_bandwidth_term(self, machine):
+        net = NetworkModel(machine.with_gpudirect(True))
+        small = net.collective_time(1e6, 8)
+        big = net.collective_time(1e8, 8)
+        assert big > 50 * small
+
+    def test_staging_contention(self, machine):
+        net = NetworkModel(machine)
+        solo = net.collective_time(1e8, 8, staging_contention=1)
+        shared = net.collective_time(1e8, 8, staging_contention=4)
+        assert shared > solo
+
+    def test_bw_efficiency(self, machine):
+        net = NetworkModel(machine.with_gpudirect(True))
+        ideal = net.collective_time(1e8, 8, bw_efficiency=1.0)
+        poor = net.collective_time(1e8, 8, bw_efficiency=0.1)
+        assert poor > 5 * ideal
+
+
+class TestMachineSpec:
+    def test_proc_counts(self, machine):
+        assert machine.procs_per_node(ProcKind.GPU) == 2
+        assert machine.total_procs(ProcKind.CPU) == 16
+
+    def test_with_nodes_preserves_rest(self, machine):
+        m2 = machine.with_nodes(9)
+        assert m2.nodes == 9 and m2.inter_bw == machine.inter_bw
+
+    def test_presets_exist(self):
+        from repro.sim import (DGX1V, LASSEN, PIZ_DAINT, QUARTZ, SIERRA,
+                               SUMMIT)
+        for preset in (DGX1V, LASSEN, PIZ_DAINT, QUARTZ, SIERRA, SUMMIT):
+            assert preset.nodes >= 1
+            assert preset.inter_bw > 0
+        assert QUARTZ.gpus_per_node == 0
+        assert DGX1V.gpus_per_node == 8

@@ -1,0 +1,132 @@
+"""Workload structures: placement and pattern expansion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.workload import (DepSpec, SimOp, SimProgram, edge_sources,
+                                placement)
+
+
+class TestPlacement:
+    @given(st.integers(1, 2048), st.integers(1, 64), st.integers(1, 8))
+    def test_every_point_placed(self, points, nodes, ppn):
+        for p in range(0, points, max(1, points // 7)):
+            node, proc = placement(p, points, nodes, ppn)
+            assert 0 <= node < nodes
+            assert 0 <= proc < ppn
+
+    def test_blocked_contiguity(self):
+        nodes_of = [placement(p, 8, 4, 2)[0] for p in range(8)]
+        assert nodes_of == sorted(nodes_of)
+        assert nodes_of == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_one_point_per_proc_distinct(self):
+        total = 12
+        placements = {placement(p, total, 4, 3) for p in range(total)}
+        assert len(placements) == total
+
+
+class TestEdgeSources:
+    def test_pointwise_same_size(self):
+        d = DepSpec(0, "pointwise")
+        assert edge_sources(d, 3, 8, 8) == (3,)
+
+    def test_pointwise_scaled(self):
+        d = DepSpec(0, "pointwise")
+        assert edge_sources(d, 3, 4, 8) == (1,)
+        assert edge_sources(d, 7, 4, 8) == (3,)
+
+    def test_halo_1d_default(self):
+        d = DepSpec(0, "halo")
+        assert set(edge_sources(d, 3, 8, 8)) == {2, 3, 4}
+        assert set(edge_sources(d, 0, 8, 8)) == {0, 1}      # clamped
+
+    def test_halo_1d_custom_offsets(self):
+        d = DepSpec(0, "halo", offsets=(-2, 2))
+        assert set(edge_sources(d, 4, 8, 8)) == {2, 4, 6}
+
+    def test_halo_2d(self):
+        d = DepSpec(0, "halo", offsets=((-1, 0), (1, 0), (0, -1), (0, 1)))
+        srcs = set(edge_sources(d, 5, 9, 9, grid=(3, 3)))   # center point
+        # Row-major 3x3: point 5 = (1, 2); neighbors (0,2)=2, (2,2)=8,
+        # (1,1)=4; (1,3) is out of bounds.
+        assert srcs == {5, 2, 8, 4}
+
+    def test_all_pattern_not_expanded(self):
+        with pytest.raises(ValueError):
+            edge_sources(DepSpec(0, "all"), 0, 4, 4)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            edge_sources(DepSpec(0, "mystery"), 0, 4, 4)
+
+    @given(st.integers(1, 64), st.integers(0, 63))
+    def test_halo_sources_in_range(self, n, p):
+        if p >= n:
+            return
+        d = DepSpec(0, "halo", offsets=(-3, -1, 1, 3))
+        for s in edge_sources(d, p, n, n):
+            assert 0 <= s < n
+
+
+class TestSimProgram:
+    def test_indexing_and_iterations(self):
+        prog = SimProgram("p")
+        i0 = prog.add(SimOp("a", 4, 1e-3))
+        start = prog.begin_iteration()
+        i1 = prog.add(SimOp("b", 4, 1e-3, deps=[DepSpec(i0)]))
+        prog.end_iteration(start)
+        assert (i0, i1) == (0, 1)
+        assert prog.ops[1].index == 1
+        assert prog.iteration_ranges == [(1, 2)]
+        assert prog.total_points == 8
+
+
+class TestProgramValidation:
+    def test_all_app_programs_validate(self):
+        from repro.apps import (candle, circuit, htr, pennant, resnet,
+                                soleil, stencil, taskbench)
+        from repro.legate import cg_program, logreg_program
+        from repro.sim.machine import (DGX1V, LASSEN, PIZ_DAINT, SIERRA,
+                                       SUMMIT, MachineSpec)
+        programs = [
+            stencil.build_program(PIZ_DAINT.with_nodes(4)),
+            circuit.build_program(PIZ_DAINT.with_nodes(4)),
+            pennant.build_program(DGX1V.with_nodes(2)),
+            resnet.build_program(SUMMIT.with_nodes(2)),
+            candle.build_program(SUMMIT.with_nodes(2), search_steps=50),
+            soleil.build_program(SIERRA.with_nodes(2)),
+            htr.build_program(LASSEN.with_nodes(2)),
+            taskbench.build_program(MachineSpec("t", 4, 1, 0), 1e-4),
+            logreg_program(MachineSpec("s", 2, 20, 1)),
+            cg_program(MachineSpec("s", 2, 20, 1)),
+        ]
+        for prog in programs:
+            prog.validate()
+
+    def test_forward_dep_rejected(self):
+        prog = SimProgram("bad")
+        prog.add(SimOp("a", 2, 1e-3, deps=[DepSpec(0)]))
+        with pytest.raises(ValueError, match="backwards"):
+            prog.validate()
+
+    def test_bad_pattern_rejected(self):
+        prog = SimProgram("bad")
+        a = prog.add(SimOp("a", 2, 1e-3))
+        prog.add(SimOp("b", 2, 1e-3, deps=[DepSpec(a, "teleport")]))
+        with pytest.raises(ValueError, match="pattern"):
+            prog.validate()
+
+    def test_non_contiguous_ranges_rejected(self):
+        prog = SimProgram("bad")
+        prog.add(SimOp("a", 2, 1e-3))
+        prog.add(SimOp("b", 2, 1e-3))
+        prog.iteration_ranges = [(0, 1)]
+        with pytest.raises(ValueError, match="tail"):
+            prog.validate()
+
+    def test_zero_duration_rejected(self):
+        prog = SimProgram("bad")
+        prog.add(SimOp("a", 2, 0.0))
+        with pytest.raises(ValueError, match="duration"):
+            prog.validate()

@@ -1,0 +1,63 @@
+"""API-surface stability: every package exports what it declares."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro", "repro.regions", "repro.oracle", "repro.core", "repro.runtime",
+    "repro.sim", "repro.models", "repro.apps", "repro.legate",
+    "repro.flexflow", "repro.tools", "repro.evaluation",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), package
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} declared but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstring(package):
+    mod = importlib.import_module(package)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 10, package
+
+
+def test_top_level_surface():
+    import repro
+
+    core_names = {"Runtime", "Context", "Mapper", "DefaultMapper",
+                  "BlockedMapper", "Future", "FutureMap",
+                  "LogicalRegion", "Partition", "IndexSpace", "FieldSpace",
+                  "CounterRNG", "ControlDeterminismViolation",
+                  "CYCLIC", "BLOCKED", "HASHED", "TaskGraph"}
+    assert core_names <= set(repro.__all__)
+    assert repro.__version__
+
+
+def test_models_cover_fig1():
+    """All three approaches of Fig. 1 are constructible, plus MPI."""
+    from repro.models import (DCRModel, DaskModel, ExplicitModel,
+                              LegionNoCRModel, SCRModel, SparkModel,
+                              TensorFlowModel)
+    from repro.sim import MachineSpec
+
+    m = MachineSpec("t", nodes=2, cpus_per_node=1, gpus_per_node=1)
+    for cls in (DCRModel, DaskModel, SparkModel, TensorFlowModel,
+                LegionNoCRModel, SCRModel, ExplicitModel):
+        assert cls(m).machine is m
+
+
+def test_figure_registry_matches_benchmarks():
+    """Every paper figure has both a figure function and a bench module."""
+    import pathlib
+
+    from repro.evaluation import FIGURES
+
+    bench_dir = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+    benches = {p.stem for p in bench_dir.glob("bench_fig*.py")}
+    for fig in ("12", "13", "14", "15", "16", "17", "18", "19", "20", "21"):
+        assert any(fig in b for b in benches), fig
+        assert any(k.startswith(fig) for k in FIGURES), fig

@@ -1,0 +1,47 @@
+"""Mapper auto-tuning over the simulator."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import stencil, taskbench
+from repro.sim.machine import PIZ_DAINT, MachineSpec
+from repro.tools import tune_mapper
+
+
+class TestTuneMapper:
+    def test_prefers_blocked_on_fat_nodes(self):
+        """On a multi-GPU machine with fine grains, blocked sharding avoids
+        shipping meta-data off-node; the tuner must discover that."""
+        m = dataclasses.replace(PIZ_DAINT.with_nodes(32), gpus_per_node=4)
+        result = tune_mapper(
+            lambda: stencil.build_program(
+                m, weak=False, total_cells=32 * 8000, tracing=False),
+            m, tracings=(False,))
+        assert result.best.sharding == "blocked"
+        assert result.best_time > 0
+        assert result.speedup_over_worst() > 1.0
+
+    def test_prefers_tracing_at_fine_grain(self):
+        m = MachineSpec("t", nodes=16, cpus_per_node=1, gpus_per_node=0)
+        result = tune_mapper(
+            lambda: taskbench.build_program(m, 2e-5),
+            m, shardings=("blocked",))
+        assert result.best.tracing is True
+
+    def test_window_sweep(self):
+        m = MachineSpec("t", nodes=8, cpus_per_node=1, gpus_per_node=0)
+        result = tune_mapper(
+            lambda: taskbench.build_program(m, 1e-4, tracing=False),
+            m, shardings=("blocked",), tracings=(False,),
+            windows=(1, 8, None))
+        assert result.best.window != 1            # tiny window serializes
+        assert len(result.candidates) == 3
+
+    def test_render_lists_all(self):
+        m = MachineSpec("t", nodes=4, cpus_per_node=1, gpus_per_node=0)
+        result = tune_mapper(
+            lambda: taskbench.build_program(m, 1e-4), m)
+        text = result.render()
+        assert "<- best" in text
+        assert text.count("ms/iter") == len(result.candidates)

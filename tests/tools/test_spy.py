@@ -1,0 +1,118 @@
+"""Spy validation over functional runs, plus negative controls."""
+
+import pytest
+
+from repro.apps.circuit import circuit_control
+from repro.apps.htr_mini import htr_mini_control
+from repro.apps.pennant_hydro import pennant_control
+from repro.apps.soleil_mini import soleil_mini_control
+from repro.apps.stencil import stencil2d_control
+from repro.runtime import Runtime
+from repro.tools import validate_run
+
+
+RUNS = [
+    ("stencil", stencil2d_control, (12, 4, 4)),
+    ("circuit", circuit_control, (3, 6, 8, 3)),
+    ("pennant", pennant_control, (16, 4, 4)),
+    ("soleil", soleil_mini_control, (16, 4, 8, 3)),
+    ("htr", htr_mini_control, (16, 4, 3)),
+]
+
+
+@pytest.mark.parametrize("name,control,args", RUNS,
+                         ids=[r[0] for r in RUNS])
+def test_every_functional_app_is_clean(name, control, args):
+    rt = Runtime(num_shards=3)
+    rt.execute(control, *args)
+    report = validate_run(rt)
+    assert report.clean, report.render()
+    assert report.tasks_checked > 0
+    assert report.pairs_checked > 0
+
+
+def test_traced_run_is_clean():
+    """Trace replays drop boundary edges; the fence-aware check passes."""
+    def main(ctx):
+        fs = ctx.create_field_space([("a", "f8"), ("b", "f8")])
+        r = ctx.create_region(ctx.create_index_space(12), fs, "r")
+        owned = ctx.partition_equal(r, 3, name="owned")
+        ghost = ctx.partition_ghost(r, owned, 1, name="ghost")
+        ctx.fill(r, ["a", "b"], 1.0)
+
+        def step(point, out, gin, wf, rf):
+            out[wf].view[...] = gin[rf].view[:out[wf].view.shape[0]] + 1
+
+        for t in range(4):
+            ctx.begin_trace(5)
+            ctx.index_launch(step, range(3),
+                             [(owned, "a", "rw"), (ghost, "b", "ro")],
+                             args=("a", "b"))
+            ctx.index_launch(step, range(3),
+                             [(owned, "b", "rw"), (ghost, "a", "ro")],
+                             args=("b", "a"))
+            ctx.end_trace()
+
+    rt = Runtime(num_shards=2)
+    rt.execute(main)
+    report = validate_run(rt)
+    assert report.clean, report.render()
+
+
+class TestNegativeControls:
+    def _run(self):
+        rt = Runtime(num_shards=2)
+        rt.execute(stencil2d_control, 8, 4, 3)
+        return rt
+
+    def test_detects_missing_dependences(self):
+        rt = self._run()
+        rt.pipeline.fine_result.graph.deps.clear()
+        rt.pipeline.coarse_result.fences.clear()
+        report = validate_run(rt)
+        assert report.by_kind("missing")
+
+    def test_detects_spurious_edges(self):
+        rt = self._run()
+        tasks = sorted(rt.task_graph().tasks,
+                       key=lambda t: (t.op.seq, str(t.point)))
+        # Two point tasks of the same group launch are independent; wire
+        # a fake edge from an earlier op's point to a later independent one.
+        fill = [t for t in tasks if t.op.kind == "fill"][0]
+        # fill conflicts with everything, so pick two stencil tasks on
+        # disjoint tiles of different steps but the *same* buffer parity
+        # and non-adjacent tiles (truly independent).
+        steps = [t for t in tasks if t.op.kind == "task"]
+        import itertools
+        from repro.oracle import tasks_interfere
+        for a, b in itertools.combinations(steps, 2):
+            if a.op.seq < b.op.seq and not tasks_interfere(
+                    a.requirements, b.requirements):
+                rt.task_graph().add_dep(a, b)
+                break
+        else:
+            pytest.skip("no independent pair found")
+        report = validate_run(rt)
+        assert report.by_kind("spurious")
+
+    def test_detects_backward_edges(self):
+        rt = self._run()
+        tasks = sorted(rt.task_graph().tasks,
+                       key=lambda t: (t.op.seq, str(t.point)))
+        rt.task_graph().add_dep(tasks[-1], tasks[0])
+        report = validate_run(rt)
+        assert report.by_kind("backward") or report.by_kind("cycle")
+
+    def test_detects_cycles(self):
+        rt = self._run()
+        tasks = sorted(rt.task_graph().tasks,
+                       key=lambda t: (t.op.seq, str(t.point)))
+        a, b = tasks[0], tasks[1]
+        rt.task_graph().add_dep(a, b)
+        rt.task_graph().add_dep(b, a)
+        report = validate_run(rt)
+        assert report.by_kind("cycle")
+
+    def test_render(self):
+        rt = self._run()
+        assert "clean" in validate_run(rt).render()

@@ -1,0 +1,137 @@
+"""Tooling: analysis reports, DOT export, checkpoint/restore."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import stencil2d_control
+from repro.runtime import Runtime
+from repro.tools import (analyze_run, coarse_graph_dot, load_partitioned,
+                         load_region, save_partitioned, save_region,
+                         task_graph_dot)
+
+
+@pytest.fixture
+def finished_run():
+    rt = Runtime(num_shards=3)
+    rt.execute(stencil2d_control, 12, 4, 4)
+    return rt
+
+
+class TestAnalysisReport:
+    def test_counts_consistent(self, finished_run):
+        rep = analyze_run(finished_run)
+        assert rep.num_shards == 3
+        assert rep.point_tasks == len(finished_run.task_graph().tasks)
+        assert rep.dependences == rep.cross_shard_edges + rep.local_edges
+        assert sum(rep.points_per_shard.values()) == rep.point_tasks
+        assert rep.operations == 1 + 4      # fill + 4 stencil steps
+
+    def test_derived_metrics(self, finished_run):
+        rep = analyze_run(finished_run)
+        assert 0.0 <= rep.elision_rate <= 1.0
+        assert rep.parallelism >= 1.0
+        assert rep.load_imbalance >= 1.0
+        assert rep.critical_path >= 5       # fill + 4 dependent steps
+
+    def test_render_mentions_key_numbers(self, finished_run):
+        text = analyze_run(finished_run).render()
+        assert "cross-shard fences" in text
+        assert "elision rate" in text
+        assert "cells" in text              # fence pressure region name
+
+
+class TestDotExport:
+    def test_task_graph_dot_structure(self, finished_run):
+        dot = task_graph_dot(finished_run.task_graph())
+        assert dot.startswith("digraph tasks {") and dot.endswith("}")
+        assert "subgraph cluster_" in dot
+        assert "->" in dot
+        # Cross-shard edges are highlighted.
+        assert "color=red" in dot
+
+    def test_task_graph_size_guard(self, finished_run):
+        with pytest.raises(ValueError):
+            task_graph_dot(finished_run.task_graph(), max_tasks=2)
+
+    def test_coarse_graph_dot(self, finished_run):
+        dot = coarse_graph_dot(finished_run.coarse_result())
+        assert dot.startswith("digraph coarse {")
+        assert 'label="fence"' in dot
+
+
+class TestCheckpoint:
+    def _make_run(self, fill):
+        def main(ctx):
+            fs = ctx.create_field_space([("x", "f8"), ("y", "f8")])
+            r = ctx.create_region(ctx.create_index_space(8), fs, "ckpt_r")
+            ctx.fill(r, "x", fill)
+            ctx.fill(r, "y", -fill)
+            return r
+        return main
+
+    def test_save_then_load_roundtrip(self, tmp_path):
+        rt = Runtime(num_shards=2)
+
+        def producer(ctx):
+            r = self._make_run(7.0)(ctx)
+            from repro.tools import save_region
+            save_region(ctx, r, str(tmp_path))
+            return r
+
+        rt.execute(producer)
+
+        rt2 = Runtime(num_shards=2)
+
+        def consumer(ctx):
+            fs = ctx.create_field_space([("x", "f8"), ("y", "f8")])
+            r = ctx.create_region(ctx.create_index_space(8), fs, "ckpt_r")
+            ctx.fill(r, ["x", "y"], 0.0)
+            load_region(ctx, r, str(tmp_path))
+            return r
+
+        r2 = rt2.execute(consumer)
+        assert (rt2.store.raw(r2.tree_id, r2.field_space["x"]) == 7.0).all()
+        assert (rt2.store.raw(r2.tree_id, r2.field_space["y"]) == -7.0).all()
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        rt = Runtime(num_shards=1)
+
+        def consumer(ctx):
+            fs = ctx.create_field_space([("x", "f8")])
+            r = ctx.create_region(ctx.create_index_space(4), fs, "nope")
+            load_region(ctx, r, str(tmp_path))
+
+        with pytest.raises(FileNotFoundError):
+            rt.execute(consumer)
+
+    def test_partitioned_roundtrip(self, tmp_path):
+        rt = Runtime(num_shards=2)
+
+        def producer(ctx):
+            fs = ctx.create_field_space([("x", "f8")])
+            r = ctx.create_region(ctx.create_index_space(8), fs, "pr")
+            tiles = ctx.partition_equal(r, 4, name="ptiles")
+
+            def init(point, arg):
+                arg["x"].view[...] = float(point)
+
+            ctx.index_launch(init, range(4), [(tiles, "x", "rw")])
+            save_partitioned(ctx, tiles, "x", str(tmp_path))
+            return r
+
+        rt.execute(producer)
+        assert len(list(tmp_path.glob("*.npy"))) == 4
+
+        rt2 = Runtime(num_shards=2)
+
+        def consumer(ctx):
+            fs = ctx.create_field_space([("x", "f8")])
+            r = ctx.create_region(ctx.create_index_space(8), fs, "pr")
+            tiles = ctx.partition_equal(r, 4, name="ptiles")
+            ctx.fill(r, "x", 0.0)
+            load_partitioned(ctx, tiles, "x", str(tmp_path))
+            return r
+
+        r2 = rt2.execute(consumer)
+        got = rt2.store.raw(r2.tree_id, r2.field_space["x"])
+        assert list(got) == [0, 0, 1, 1, 2, 2, 3, 3]
