@@ -124,6 +124,92 @@ def test_ablation_tracing(benchmark):
     assert traced_busy < 0.5 * untraced_busy
 
 
+def auto_vs_manual_tracing(nodes: int = 128, iterations: int = 30):
+    """Analysis busy-time: annotated traces vs. automatic identification.
+
+    A longer run than the other ablations: the auto detector spends two
+    loop periods identifying the fragment before replays begin, so its
+    advantage shows once that warm-up is amortized.
+    """
+    m = PIZ_DAINT.with_nodes(nodes)
+    kw = dict(iterations=iterations)
+    manual = DCRModel(m, tracing=True).run(stencil.build_program(m, **kw))
+    auto = DCRModel(m, tracing="auto").run(
+        stencil.build_program(m, tracing=False, **kw))
+    untraced = DCRModel(m, tracing=False).run(
+        stencil.build_program(m, tracing=False, **kw))
+    return manual.analysis_busy, auto.analysis_busy, untraced.analysis_busy
+
+
+def test_ablation_auto_tracing(benchmark):
+    manual_busy, auto_busy, untraced_busy = run_once(
+        benchmark, auto_vs_manual_tracing)
+    print_series(
+        "Ablation: manual vs automatic tracing, analysis busy-time (s)",
+        ["manual", "auto", "untraced", "auto/manual"],
+        [(manual_busy, auto_busy, untraced_busy,
+          auto_busy / max(1e-12, manual_busy))])
+    # Auto-tracing pays only a detection-latency premium over manual
+    # annotations, and still beats no tracing by a wide margin.
+    assert auto_busy < 0.5 * untraced_busy
+    assert auto_busy <= 1.5 * manual_busy
+
+
+def traced_elision_accounting(num_shards: int = 16, iters: int = 6):
+    """Fence-elision stats parity: traced vs untraced pipelines.
+
+    Regression for the stats bug where ``fences_elided`` only mirrored the
+    live coarse counter, so elisions performed while *recording* were never
+    credited to replayed iterations.
+    """
+    from repro.core import DCRPipeline
+
+    def run(traced: bool):
+        # One region/partition shared by every iteration (fresh Operation
+        # objects each time — signatures must match across iterations).
+        fs = FieldSpace([("x", "f8")])
+        region = LogicalRegion(IndexSpace.line(num_shards * 4), fs)
+        tiles = region.partition_equal(num_shards)
+
+        def body(tag):
+            return [Operation(
+                "task",
+                [CoarseRequirement(tiles, frozenset([fs["x"]]), READ_WRITE,
+                                   IDENTITY_PROJECTION)],
+                launch_domain=list(range(num_shards)), sharding=BLOCKED,
+                name=f"step{tag}.{i}") for i in range(3)]
+
+        pipe = DCRPipeline(num_shards=num_shards)
+        for t in range(iters):
+            if traced and t >= 1:
+                pipe.begin_trace(77)
+            for op in body(t):
+                pipe.analyze(op)
+            if traced and t >= 1:
+                pipe.end_trace()
+        pipe.validate()
+        return pipe.stats
+
+    return run(True), run(False)
+
+
+def test_ablation_traced_elision_accounting(benchmark):
+    traced, untraced = run_once(benchmark, traced_elision_accounting)
+    print_series(
+        "Ablation: elision credit under tracing (counts)",
+        ["config", "elided", "traced ops", "scans saved"],
+        [("traced", traced.fences_elided, traced.traced_ops,
+          traced.scans_saved),
+         ("untraced", untraced.fences_elided, untraced.traced_ops,
+          untraced.scans_saved)])
+    assert traced.traced_ops > 0
+    assert untraced.fences_elided > 0
+    # Replayed iterations are credited the recording's elisions, so the
+    # traced run reports the same elision effectiveness as the untraced.
+    assert traced.fences_elided == untraced.fences_elided
+    assert traced.scans_saved > 0
+
+
 def sharding_choice(nodes: int = 64):
     """Fine-grained stencil on a multi-GPU machine (4 tiles per node),
     where analysis placement shows: cyclic sharding analyzes most tasks on

@@ -107,12 +107,18 @@ def build_program(machine: MachineSpec, task_granularity: float, *,
 
 
 def efficiency(machine: MachineSpec, task_granularity: float, *,
-               tracing: bool, safe: bool,
+               tracing, safe: bool,
                costs: CostModel = DEFAULT_COSTS, copies: int = 4,
-               pattern: str = "stencil_1d") -> float:
-    """Useful-work fraction achieved at the given granularity."""
+               pattern: str = "stencil_1d", steps: int = 12) -> float:
+    """Useful-work fraction achieved at the given granularity.
+
+    ``tracing`` is True (app-annotated traces), False, or ``"auto"`` — the
+    latter builds the program with **zero** trace annotations and lets the
+    model's automatic trace identifier find the repeats itself.
+    """
     prog = build_program(machine, task_granularity, copies=copies,
-                         tracing=tracing, pattern=pattern)
+                         tracing=tracing is True, pattern=pattern,
+                         steps=steps)
     model = DCRModel(machine, costs, safe_checks=safe, tracing=tracing)
     result = model.run(prog)
     if result.iteration_time <= 0:
@@ -122,19 +128,19 @@ def efficiency(machine: MachineSpec, task_granularity: float, *,
     return min(1.0, ideal / result.iteration_time)
 
 
-def metg(machine: MachineSpec, *, tracing: bool, safe: bool,
+def metg(machine: MachineSpec, *, tracing, safe: bool,
          target: float = 0.5, costs: CostModel = DEFAULT_COSTS,
          lo: float = 1e-7, hi: float = 1e-1, iters: int = 24,
-         pattern: str = "stencil_1d") -> float:
+         pattern: str = "stencil_1d", steps: int = 12) -> float:
     """METG(target): bisect the smallest granularity with efficiency >=
     ``target`` (Task Bench's metric, default 50%)."""
     if efficiency(machine, hi, tracing=tracing, safe=safe, costs=costs,
-                  pattern=pattern) < target:
+                  pattern=pattern, steps=steps) < target:
         return math.inf
     for _ in range(iters):
         mid = math.sqrt(lo * hi)
         if efficiency(machine, mid, tracing=tracing, safe=safe,
-                      costs=costs, pattern=pattern) >= target:
+                      costs=costs, pattern=pattern, steps=steps) >= target:
             hi = mid
         else:
             lo = mid

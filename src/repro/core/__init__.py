@@ -29,7 +29,8 @@ from .sharding import (BLOCKED, CYCLIC, HASHED, MORTON, ShardingFunction,
                        ShardingRegistry, blocked_shard, cyclic_shard,
                        hashed_shard, morton_shard)
 from .taskgraph import TaskGraph
-from .tracing import TraceCache, TraceMismatch
+from .tracing import (AutoTraceConfig, AutoTracer, TraceCache,
+                      TraceIdentifier, TraceMismatch, auto_replay_flags)
 
 __all__ = [
     "Collectives", "CollectiveStats",
@@ -47,5 +48,6 @@ __all__ = [
     "ShardingRegistry", "blocked_shard", "cyclic_shard", "hashed_shard",
     "morton_shard",
     "TaskGraph",
-    "TraceCache", "TraceMismatch",
+    "AutoTraceConfig", "AutoTracer", "TraceCache", "TraceIdentifier",
+    "TraceMismatch", "auto_replay_flags",
 ]

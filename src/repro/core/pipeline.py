@@ -16,10 +16,21 @@ that pipelining (`repro.models.dcr`), while this class computes the
 interleaving (that is Theorem 1's content, tested in
 ``tests/core/test_semantics_equivalence.py``).
 
-Tracing (`begin_trace`/`end_trace`) memoizes the analysis of a repeated
-program fragment (Lee et al., SC'18, used by Fig. 21): on replay the
-pipeline validates that the operation stream matches the recording and
-serves the dependence structure from the cache at O(1) cost per operation.
+Tracing memoizes the analysis of a repeated program fragment (Lee et al.,
+SC'18, used by Fig. 21) in two modes:
+
+* **explicit** — the application brackets the fragment with
+  ``begin_trace``/``end_trace``; on replay the pipeline validates that the
+  stream matches the recording and serves the dependence structure from the
+  cache at O(1) cost per operation;
+* **automatic** (``auto_trace=True``) — an :class:`~repro.core.tracing.
+  AutoTracer` identifies repeated fragments from the signature stream
+  itself and replays them with zero application annotations.
+
+Either way a divergence never raises out of :meth:`analyze`: the pipeline
+aborts the replay, evicts the stale recording, and falls back to fresh
+analysis of the offending op (``stats.trace_fallbacks`` counts these) —
+Legion's safe-fallback semantics.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from .coarse import CoarseAnalysis, CoarseResult, Fence
 from .fine import FineAnalysis, FineResult
 from .operation import Operation, PointTask
-from .tracing import TraceCache, TraceMismatch
+from .tracing import AutoTraceConfig, AutoTracer, TraceCache, TraceMismatch
 
 __all__ = ["OpRecord", "PipelineStats", "DCRPipeline"]
 
@@ -45,8 +56,17 @@ class OpRecord:
     point_tasks: List[PointTask]
     coarse_scans: int            # upper-bound pair tests for this op
     traced: bool = False         # served from a trace replay
-    # Precise in-edges of this op's point tasks (populated when recording a
-    # trace so the recorder can capture intra-trace structure).
+    # Cross-shard fences this op's coarse analysis elided (or, on a replay,
+    # the elisions the recording performed — credited so traced iterations
+    # report the same elision effectiveness as fresh ones).
+    fences_elided: int = 0
+    # Point-level epoch scans the fine stage performed for this op.
+    fine_scans: int = 0
+    # For replays: epoch scans (coarse + fine) the recording performed that
+    # this replay skipped — the memoization win, surfaced in reports.
+    scans_saved: int = 0
+    # Precise in-edges of this op's point tasks (captured for every fresh op
+    # so the trace recorder can build fragments retroactively).
     in_edges: List[Tuple[PointTask, PointTask]] = field(default_factory=list)
 
     def points_on_shard(self, shard: int) -> List[PointTask]:
@@ -61,71 +81,121 @@ class PipelineStats:
     fences_elided: int = 0
     coarse_scans: int = 0
     points: int = 0
+    trace_fallbacks: int = 0     # replays abandoned on divergence
+    scans_saved: int = 0         # epoch scans skipped thanks to replays
+    auto_traces: int = 0         # distinct fragments auto-identified
 
 
 class DCRPipeline:
     """Program-order driver for the coarse and fine analysis stages."""
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int, auto_trace: bool = False,
+                 auto_trace_config: Optional[AutoTraceConfig] = None):
         self.num_shards = num_shards
         self.coarse = CoarseAnalysis(num_shards)
         self.fine = FineAnalysis(num_shards)
         self.records: List[OpRecord] = []
         self.stats = PipelineStats()
         self._traces = TraceCache()
+        self._auto: Optional[AutoTracer] = (
+            AutoTracer(auto_trace_config) if auto_trace else None)
+        self._explicit_trace = False
         self._next_seq = 0
+
+    @property
+    def trace_cache(self) -> TraceCache:
+        return self._traces
+
+    @property
+    def auto_tracer(self) -> Optional[AutoTracer]:
+        return self._auto
 
     # -- main entry --------------------------------------------------------------
 
     def analyze(self, op: Operation) -> OpRecord:
         """Analyze one operation; returns its record."""
         op.seq = self._next_seq
-        replayed = self._traces.try_replay(op, self._next_seq, self.num_shards)
-        if replayed is not None:
-            record = replayed
-            self.stats.traced_ops += 1
-            # Replayed fences and deps still join the coarse result so the
-            # fence-coverage invariant can be checked uniformly, and traced
-            # point tasks join the global precise graph so the functional
-            # execution sees a complete ordering.
-            self.coarse.result.fences.extend(record.fences)
-            self.coarse.result.deps |= record.coarse_deps
-            # Fold the replay into both stages' epoch state so operations
-            # issued *after* the trace see the replayed work (without this,
-            # post-trace launches silently miss dependences on it).
-            self.coarse.register_replayed(op)
-            self.fine.register_replayed(op, record.point_tasks)
-            self.fine.result.graph.add_tasks(record.point_tasks)
-            for t in record.point_tasks:
-                self.fine.result.points_per_shard[t.shard] = \
-                    self.fine.result.points_per_shard.get(t.shard, 0) + 1
-            for prev, nxt in self._traces.internal_edges_for(record):
-                self.fine.result.graph.add_dep(prev, nxt)
-                if prev.shard == nxt.shard:
-                    self.fine.result.local_edges.add((prev, nxt))
-                else:
-                    self.fine.result.cross_edges.add((prev, nxt))
+        record: Optional[OpRecord] = None
+        if self._explicit_trace:
+            if self._traces.active == TraceCache.REPLAYING:
+                try:
+                    record = self._traces.try_replay(op, op.seq,
+                                                     self.num_shards)
+                except TraceMismatch:
+                    # Safe fallback (Legion): abandon the replay, evict the
+                    # stale recording so the next begin_trace re-records,
+                    # and analyze this op freshly.
+                    self._traces.abort_replay(evict=True)
+                    self.stats.trace_fallbacks += 1
+        elif self._auto is not None:
+            record = self._auto.step(self, op)
+        if record is not None:
+            self._integrate_replay(record)
         else:
-            scans_before = self.coarse.result.users_scanned
-            deps, fences = self.coarse.analyze(op)
-            point_tasks = self.fine.analyze(op)
-            record = OpRecord(
-                op=op,
-                coarse_deps=deps,
-                fences=fences,
-                point_tasks=point_tasks,
-                coarse_scans=self.coarse.result.users_scanned - scans_before,
-            )
-            record.in_edges = list(self.fine.last_op_edges)
-            self._traces.observe(record)
+            record = self._analyze_fresh(op)
+            if self._explicit_trace and \
+                    self._traces.active == TraceCache.RECORDING:
+                self._traces.observe(record)
         self._next_seq = op.seq + 1
         self.records.append(record)
         self.stats.ops += 1
         self.stats.fences += len(record.fences)
         self.stats.coarse_scans += record.coarse_scans
         self.stats.points += len(record.point_tasks)
-        self.stats.fences_elided = self.coarse.result.fences_elided
+        if self._auto is not None and not self._explicit_trace \
+                and not record.traced:
+            self._auto.after_fresh(self, record)
         return record
+
+    def _analyze_fresh(self, op: Operation) -> OpRecord:
+        scans_before = self.coarse.result.users_scanned
+        elided_before = self.coarse.result.fences_elided
+        fine_scans_before = sum(self.fine.result.scans_per_shard.values())
+        deps, fences = self.coarse.analyze(op)
+        point_tasks = self.fine.analyze(op)
+        record = OpRecord(
+            op=op,
+            coarse_deps=deps,
+            fences=fences,
+            point_tasks=point_tasks,
+            coarse_scans=self.coarse.result.users_scanned - scans_before,
+            fences_elided=self.coarse.result.fences_elided - elided_before,
+            fine_scans=(sum(self.fine.result.scans_per_shard.values())
+                        - fine_scans_before),
+        )
+        record.in_edges = list(self.fine.last_op_edges)
+        self.stats.fences_elided += record.fences_elided
+        return record
+
+    def _integrate_replay(self, record: OpRecord) -> None:
+        """Fold a trace-replayed record into the global analysis results."""
+        self.stats.traced_ops += 1
+        # Replayed elisions are credited from the recording so the
+        # tracing x elision ablation attributes them to every iteration,
+        # and the skipped epoch scans are surfaced as savings.
+        self.stats.fences_elided += record.fences_elided
+        self.stats.scans_saved += record.scans_saved
+        # Replayed fences and deps still join the coarse result so the
+        # fence-coverage invariant can be checked uniformly, and traced
+        # point tasks join the global precise graph so the functional
+        # execution sees a complete ordering.
+        self.coarse.result.fences.extend(record.fences)
+        self.coarse.result.deps |= record.coarse_deps
+        # Fold the replay into both stages' epoch state so operations
+        # issued *after* the trace see the replayed work (without this,
+        # post-trace launches silently miss dependences on it).
+        self.coarse.register_replayed(record.op)
+        self.fine.register_replayed(record.op, record.point_tasks)
+        self.fine.result.graph.add_tasks(record.point_tasks)
+        for t in record.point_tasks:
+            self.fine.result.points_per_shard[t.shard] = \
+                self.fine.result.points_per_shard.get(t.shard, 0) + 1
+        for prev, nxt in self._traces.internal_edges_for(record):
+            self.fine.result.graph.add_dep(prev, nxt)
+            if prev.shard == nxt.shard:
+                self.fine.result.local_edges.add((prev, nxt))
+            else:
+                self.fine.result.cross_edges.add((prev, nxt))
 
     def run_program(self, ops: Sequence[Operation]) -> List[OpRecord]:
         return [self.analyze(op) for op in ops]
@@ -134,10 +204,30 @@ class DCRPipeline:
 
     def begin_trace(self, trace_id: int) -> bool:
         """Start a trace; returns True when a replay is available."""
+        if self._auto is not None:
+            self._auto.suspend(self)
+        self._explicit_trace = True
         return self._traces.begin(trace_id)
 
     def end_trace(self) -> None:
+        self._explicit_trace = False
+        if self._traces.active == TraceCache.REPLAYING \
+                and not self._traces.replay_done:
+            # Short replay: the program left the trace early.  The served
+            # prefix is sound; evict the stale recording and move on
+            # instead of raising through the application (safe fallback).
+            self._traces.abort_replay(evict=True)
+            self.stats.trace_fallbacks += 1
+            return
         self._traces.end()
+
+    def note_external_fence(self) -> None:
+        """An out-of-band ordering event (e.g. an execution fence) occupies
+        a program-order slot without flowing through :meth:`analyze`: any
+        automatic replay stands down and the repeat detector forgets its
+        history so no identified fragment ever spans the event."""
+        if self._auto is not None:
+            self._auto.suspend(self)
 
     # -- results -----------------------------------------------------------------
 

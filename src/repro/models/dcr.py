@@ -8,7 +8,10 @@ analysis clock advances through the operation stream in program order:
   with an O(log N) all-gather;
 * an untraced op costs the coarse group-level charge on every shard, plus
   the fine per-point charge for the points the shard owns;
-* a traced op (Fig. 21) costs only the replay charge;
+* a traced op (Fig. 21) costs only the replay charge — either because the
+  app annotated it (``tracing=True``) or because the automatic trace
+  identifier recognized the repeated fragment (``tracing="auto"``, zero
+  app annotations);
 * control-determinism checks add a small per-call hash cost (§3/§5.5).
 
 Execution of each point task then waits for its owner shard's analysis —
@@ -25,6 +28,7 @@ from typing import List, Optional, Set
 import numpy as np
 
 from ..core.coarse import CoarseAnalysis
+from ..core.tracing import AutoTraceConfig, _op_signature, auto_replay_flags
 from ..sim.costs import CostModel, DEFAULT_COSTS
 from ..sim.machine import MachineSpec, ProcKind
 from ..sim.workload import SimOp, SimProgram
@@ -38,18 +42,26 @@ class DCRModel(ExecutionModel):
 
     def __init__(self, machine: MachineSpec, costs: CostModel = DEFAULT_COSTS,
                  shards_per: str = "node", safe_checks: bool = True,
-                 tracing: bool = True, sharding: str = "blocked",
-                 window: Optional[int] = None):
+                 tracing=True, sharding: str = "blocked",
+                 window: Optional[int] = None,
+                 auto_trace_config: Optional[AutoTraceConfig] = None):
         super().__init__(machine, costs)
         if shards_per not in ("node", "gpu"):
             raise ValueError("shards_per must be 'node' or 'gpu'")
+        if tracing not in (True, False, "auto"):
+            raise ValueError("tracing must be True, False, or 'auto'")
         if sharding not in ("blocked", "cyclic"):
             raise ValueError("sharding must be 'blocked' or 'cyclic'")
         if window is not None and window < 1:
             raise ValueError("window must be >= 1 operation")
         self.shards_per = shards_per
         self.safe_checks = safe_checks
+        # tracing=True trusts the app's per-op `traced` annotations
+        # (explicit begin/end_trace discipline); tracing="auto" ignores the
+        # annotations and derives replay status from the same repeat
+        # detector the functional pipeline uses — zero app changes.
         self.tracing = tracing
+        self.auto_trace_config = auto_trace_config
         self.sharding = sharding
         # Legion bounds how many operations the analysis may run ahead of
         # execution (the mapper-configurable window); None = unbounded.
@@ -81,6 +93,23 @@ class DCRModel(ExecutionModel):
             return positions
         return {i for i, op in enumerate(program.ops) if op.fence}
 
+    # -- automatic trace identification -----------------------------------------
+
+    def _auto_traced_flags(self, program: SimProgram) -> List[bool]:
+        """Replay status per op, derived by the repeat detector.
+
+        Ops carrying a real Operation are keyed by the same hash-consed
+        signature the functional trace cache uses; annotation-only ops fall
+        back to a (name, points) key, which is conservative (iteration-
+        numbered names never repeat, so such ops are never traced).
+        """
+        sigs = [
+            _op_signature(op.operation) if op.operation is not None
+            else ("sim", op.name, op.points, op.proc_kind.value)
+            for op in program.ops
+        ]
+        return auto_replay_flags(sigs, self.auto_trace_config)
+
     # -- analysis schedule --------------------------------------------------------
     #
     # The analysis runs incrementally (begin_run/op_ready) so the bounded
@@ -100,6 +129,8 @@ class DCRModel(ExecutionModel):
         self._clock = np.zeros(self._shards)
         self._det = (self.costs.determinism_per_call
                      if self.safe_checks else 0.0)
+        self._auto_traced = (self._auto_traced_flags(program)
+                             if self.tracing == "auto" else None)
         self._blocked_since = None
         self._busy = 0.0
 
@@ -145,7 +176,9 @@ class DCRModel(ExecutionModel):
                                    shards - 1)
             else:
                 owner = pts % shards
-            if self.tracing and op.traced:
+            traced = (self._auto_traced[op.index]
+                      if self._auto_traced is not None else op.traced)
+            if self.tracing and traced:
                 clock += c.trace_replay_per_op + det
             else:
                 clock += c.coarse_per_op + det

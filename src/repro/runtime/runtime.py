@@ -86,11 +86,17 @@ class Runtime:
 
     def __init__(self, num_shards: int = 1, mapper: Optional[Mapper] = None,
                  safe_checks: bool = True, check_batch: int = 32,
-                 timing_oracle: Optional[Callable[[int, Future], bool]] = None):
+                 timing_oracle: Optional[Callable[[int, Future], bool]] = None,
+                 auto_trace: bool = False,
+                 auto_trace_config=None):
         self.num_shards = num_shards
         self.mapper = mapper or DefaultMapper()
         self.store = RegionStore()
-        self.pipeline = DCRPipeline(num_shards)
+        # auto_trace turns on transparent trace identification: repeated
+        # fragments of the launch stream are memoized and replayed without
+        # any begin_trace/end_trace calls in the control program.
+        self.pipeline = DCRPipeline(num_shards, auto_trace=auto_trace,
+                                    auto_trace_config=auto_trace_config)
         self.monitor = DeterminismMonitor(num_shards, batch=check_batch,
                                           enabled=safe_checks)
         self.deferred = DeferredOpManager(num_shards)
@@ -512,6 +518,7 @@ class Context:
             return
         from ..core.coarse import Fence
         pipe = self.runtime.pipeline
+        pipe.note_external_fence()
         pipe.coarse.result.fences.append(
             Fence(at_seq=pipe._next_seq, region=None, fields=frozenset()))
         pipe._next_seq += 1

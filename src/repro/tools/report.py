@@ -37,11 +37,30 @@ class AnalysisReport:
     determinism_checks: int = 0
     moved_bytes: int = 0
     moved_points: int = 0
+    trace_fallbacks: int = 0      # replays abandoned on divergence
+    scans_saved: int = 0          # epoch scans skipped via trace replay
+    auto_traces: int = 0          # fragments the auto-tracer identified
+
+    #: rough per-scan cost of an epoch-list entry (operation pointer +
+    #: interval + field set) used to translate skipped scans into a
+    #: bytes-of-analysis-state-not-touched figure for reports.
+    BYTES_PER_SCAN = 48
 
     @property
     def elision_rate(self) -> float:
         total = self.fences + self.fences_elided
         return self.fences_elided / total if total else 1.0
+
+    @property
+    def trace_hit_rate(self) -> float:
+        """Fraction of operations served by trace replay."""
+        return self.traced_operations / self.operations \
+            if self.operations else 0.0
+
+    @property
+    def analysis_bytes_saved(self) -> int:
+        """Estimated bytes of epoch-list state replays never touched."""
+        return self.scans_saved * self.BYTES_PER_SCAN
 
     @property
     def parallelism(self) -> float:
@@ -64,7 +83,12 @@ class AnalysisReport:
             "===================",
             f"shards                : {self.num_shards}",
             f"operations analyzed   : {self.operations} "
-            f"({self.traced_operations} trace-replayed)",
+            f"({self.traced_operations} trace-replayed, "
+            f"{self.trace_hit_rate:.0%} hit rate)",
+            f"tracing               : {self.auto_traces} fragments "
+            f"auto-identified, {self.trace_fallbacks} replay fallbacks, "
+            f"{self.scans_saved} scans saved "
+            f"(~{self.analysis_bytes_saved} bytes of analysis)",
             f"point tasks           : {self.point_tasks}",
             f"dependences           : {self.dependences} "
             f"({self.cross_shard_edges} cross-shard, "
@@ -106,7 +130,10 @@ def analyze_run(runtime: Runtime) -> AnalysisReport:
         dependences=len(fine.graph.deps),
         critical_path=fine.graph.critical_path_length(),
         fences=len(coarse.fences),
-        fences_elided=coarse.fences_elided,
+        # Credited counter: includes elisions a trace recording performed
+        # that replayed iterations inherit (pipeline stats, not the live
+        # coarse counter, which only sees fresh analysis).
+        fences_elided=pipe.stats.fences_elided,
         fence_pressure=pressure.most_common(),
         points_per_shard=dict(fine.points_per_shard),
         cross_shard_edges=len(fine.cross_edges),
@@ -114,4 +141,7 @@ def analyze_run(runtime: Runtime) -> AnalysisReport:
         determinism_checks=runtime.monitor.checks_performed,
         moved_bytes=movement.total_bytes,
         moved_points=movement.total_points_moved,
+        trace_fallbacks=pipe.stats.trace_fallbacks,
+        scans_saved=pipe.stats.scans_saved,
+        auto_traces=pipe.stats.auto_traces,
     )

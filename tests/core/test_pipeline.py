@@ -9,7 +9,7 @@ from repro.core.operation import (CoarseRequirement, IDENTITY_PROJECTION,
                                   Operation)
 from repro.core.pipeline import DCRPipeline
 from repro.core.sharding import CYCLIC
-from repro.core.tracing import TraceMismatch
+from repro.core.tracing import TraceCache
 from repro.oracle import READ_ONLY, READ_WRITE, WRITE_DISCARD
 from repro.regions import FieldSpace, IndexSpace, LogicalRegion
 
@@ -129,7 +129,10 @@ class TestTracing:
                           if a.op.name == "add[0]" and b.op.name == "st[0]"}
         assert replay_names == original_names
 
-    def test_signature_mismatch_detected(self):
+    def test_signature_mismatch_falls_back(self):
+        """Replaying a different structure abandons the replay, evicts the
+        stale recording, and analyzes the op freshly (safe fallback) —
+        TraceMismatch never escapes :meth:`DCRPipeline.analyze`."""
         fs, _cells, owned, ghost = environment()
         pipe = DCRPipeline(num_shards=2)
         pipe.begin_trace(9)
@@ -137,16 +140,27 @@ class TestTracing:
             pipe.analyze(op)
         pipe.end_trace()
         pipe.begin_trace(9)
-        # Replaying with a *different* structure must fail loudly.
         wrong = Operation(
             "task",
             [CoarseRequirement(ghost, frozenset([fs["state"]]), READ_WRITE,
                                IDENTITY_PROJECTION)],
             launch_domain=[0, 1, 2, 3], sharding=CYCLIC, name="bad")
-        with pytest.raises(TraceMismatch):
-            pipe.analyze(wrong)
+        record = pipe.analyze(wrong)
+        pipe.end_trace()
+        assert not record.traced                 # analyzed freshly
+        assert record.point_tasks                # ...and fully
+        assert pipe.stats.trace_fallbacks == 1
+        # The stale recording was evicted: the next begin_trace re-records.
+        assert not pipe.trace_cache.has_trace(9)
+        assert pipe.begin_trace(9) is False
+        for op in step_ops(fs, owned, ghost, 1):
+            pipe.analyze(op)
+        pipe.end_trace()
+        pipe.validate()
 
-    def test_short_replay_detected_at_end(self):
+    def test_short_replay_falls_back_at_end(self):
+        """Leaving a trace before replaying every entry evicts the recording
+        instead of raising out of end_trace."""
         fs, _cells, owned, ghost = environment()
         pipe = DCRPipeline(num_shards=2)
         pipe.begin_trace(11)
@@ -155,8 +169,85 @@ class TestTracing:
         pipe.end_trace()
         pipe.begin_trace(11)
         pipe.analyze(step_ops(fs, owned, ghost, 1)[0])
-        with pytest.raises(TraceMismatch):
-            pipe.end_trace()
+        pipe.end_trace()                         # short replay: no raise
+        assert pipe.stats.trace_fallbacks == 1
+        assert not pipe.trace_cache.has_trace(11)
+        pipe.validate()
+
+    def test_mid_replay_divergence_yields_correct_graph(self):
+        """Regression (wedged-pipeline bug): a replay that diverges midway
+        must leave the pipeline IDLE and produce the same task graph as a
+        never-traced analysis of the identical op stream."""
+        fs, _cells, owned, ghost = environment()
+        pipe = DCRPipeline(num_shards=2)
+        pipe.begin_trace(13)
+        for op in step_ops(fs, owned, ghost, 0):
+            pipe.analyze(op)
+        pipe.end_trace()
+        # Second execution: first op matches (replayed), second diverges.
+        divergent = [
+            step_ops(fs, owned, ghost, 1)[0],
+            Operation("task",
+                      [CoarseRequirement(owned, frozenset([fs["state"]]),
+                                         READ_ONLY, IDENTITY_PROJECTION)],
+                      launch_domain=[0, 1, 2, 3], sharding=CYCLIC,
+                      name="diverge"),
+        ]
+        pipe.begin_trace(13)
+        recs = [pipe.analyze(op) for op in divergent]
+        pipe.end_trace()
+        assert recs[0].traced and not recs[1].traced
+        assert pipe.stats.trace_fallbacks == 1
+        assert pipe.trace_cache.active == TraceCache.IDLE
+        pipe.validate()
+
+        # Control: same stream, no tracing at all.
+        fs2, _c2, owned2, ghost2 = environment()
+        plain = DCRPipeline(num_shards=2)
+        for op in step_ops(fs2, owned2, ghost2, 0):
+            plain.analyze(op)
+        plain.analyze(step_ops(fs2, owned2, ghost2, 1)[0])
+        plain.analyze(Operation(
+            "task",
+            [CoarseRequirement(owned2, frozenset([fs2["state"]]),
+                               READ_ONLY, IDENTITY_PROJECTION)],
+            launch_domain=[0, 1, 2, 3], sharding=CYCLIC, name="diverge"))
+        plain.validate()
+        assert len(pipe.fine_result.graph.tasks) == \
+            len(plain.fine_result.graph.tasks)
+        # The diverging op orders against the replayed writer either way.
+        dep_names = {a.name for a, _b in recs[1].coarse_deps}
+        assert any(n.startswith("add[1]") or n.startswith("st[1]")
+                   for n in dep_names)
+
+    def test_replay_credits_recorded_elisions(self):
+        """Regression (satellite): fence elisions performed while recording
+        are credited to each replayed iteration, so the stats no longer
+        undercount elision effectiveness under tracing."""
+        fs, _cells, owned, ghost = environment()
+        traced = DCRPipeline(num_shards=2)
+        # Iteration 0 untraced, so the *recording* (iteration 1) runs
+        # against populated epoch state and actually elides fences.
+        for op in step_ops(fs, owned, ghost, 0):
+            traced.analyze(op)
+        for t in range(1, 4):
+            traced.begin_trace(5)
+            for op in step_ops(fs, owned, ghost, t):
+                traced.analyze(op)
+            traced.end_trace()
+
+        fs2, _c2, owned2, ghost2 = environment()
+        plain = DCRPipeline(num_shards=2)
+        for t in range(4):
+            for op in step_ops(fs2, owned2, ghost2, t):
+                plain.analyze(op)
+        assert traced.stats.traced_ops > 0
+        assert plain.stats.fences_elided > 0
+        assert traced.stats.fences_elided == plain.stats.fences_elided
+        replays = [r for r in traced.records if r.traced]
+        assert sum(r.scans_saved for r in replays) == \
+            traced.stats.scans_saved
+        assert traced.stats.scans_saved > 0
 
     def test_traces_do_not_nest(self):
         pipe = DCRPipeline(num_shards=1)
