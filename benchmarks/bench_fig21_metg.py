@@ -12,7 +12,7 @@ all of manual tracing's METG benefit (it loses only the extra warm-up
 iterations the detector needs before replays start).
 """
 
-from figutils import print_series, run_once
+from figutils import print_profile_metrics, print_series, run_once
 
 from repro.apps import taskbench
 from repro.evaluation.figures import figure21
@@ -36,6 +36,7 @@ def test_fig21_metg(benchmark):
     # METG increases with node count (longer latencies to hide).
     assert by_n[128][0] > by_n[1][0]
     assert by_n[128][2] > by_n[1][2]
+    print_profile_metrics()
 
 
 def auto_trace_metg(node_points=(4, 32), steps=24):
@@ -63,3 +64,4 @@ def test_fig21_auto_tracing(benchmark):
         # needs two loop periods of warm-up before replaying).
         assert (none - auto) >= 0.9 * (none - manual), (n, none, manual,
                                                         auto)
+    print_profile_metrics()

@@ -1,6 +1,34 @@
-"""Make the shared figure helpers importable from every bench module."""
+"""Make the shared figure helpers importable from every bench module, and
+hook the benchmark harness into the profiler: with ``REPRO_PROFILE_DIR``
+set, every bench test runs with the global profiler enabled and drops a raw
+profile + Chrome trace (named after the test) into that directory."""
 
 import os
+import re
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture(autouse=True)
+def _profile_benchmarks(request):
+    out_dir = os.environ.get("REPRO_PROFILE_DIR")
+    if not out_dir:
+        yield
+        return
+    from repro.obs import export_chrome_trace, get_profiler
+
+    prof = get_profiler()
+    prof.clear()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        os.makedirs(out_dir, exist_ok=True)
+        stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+        prof.save(os.path.join(out_dir, f"{stem}.trace.json"))
+        export_chrome_trace(prof, os.path.join(out_dir,
+                                               f"{stem}.chrome.json"))

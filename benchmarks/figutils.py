@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Sequence
 
 __all__ = ["print_series", "monotone_nonincreasing", "roughly_flat",
-           "run_once"]
+           "run_once", "print_profile_metrics"]
 
 
 def print_series(title: str, header: Sequence[str],
@@ -48,3 +48,21 @@ def run_once(benchmark, fn: Callable, *args, **kwargs):
     """Run an expensive sweep exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_profile_metrics(title: str = "profiler metrics") -> None:
+    """Print the global profiler's flat metrics dict, if any were recorded.
+
+    Benchmarks call this after their sweep so profiled sessions
+    (``REPRO_PROFILE_DIR=... pytest benchmarks/``) show the analysis
+    counters — scans, fences, collective rounds, trace replays — next to
+    the figure tables; a no-op in unprofiled runs.
+    """
+    from repro.obs import get_profiler
+
+    metrics = get_profiler().metrics.as_dict()
+    if not metrics:
+        return
+    print(f"\n=== {title} ===")
+    for name, value in sorted(metrics.items()):
+        print(f"  {name:<32} {value:g}")

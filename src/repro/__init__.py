@@ -33,6 +33,7 @@ from .runtime import (BlockedMapper, Context, DefaultMapper, Future,
                       FutureMap, Mapper, Runtime)
 from .core import (CYCLIC, BLOCKED, HASHED, ControlDeterminismViolation,
                    CounterRNG, DCRPipeline, Operation, TaskGraph)
+from .obs import Profiler, get_profiler, profiled
 
 __version__ = "1.0.0"
 
@@ -44,5 +45,6 @@ __all__ = [
     "Mapper", "Runtime",
     "CYCLIC", "BLOCKED", "HASHED", "ControlDeterminismViolation",
     "CounterRNG", "DCRPipeline", "Operation", "TaskGraph",
+    "Profiler", "get_profiler", "profiled",
     "__version__",
 ]

@@ -29,6 +29,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.events import (CAT_COARSE, CONTROL_SHARD, EV_COARSE_GROUP,
+                          EV_FENCE_ELIDE, EV_FENCE_INSERT)
+from ..obs.profiler import Profiler, get_profiler
 from ..regions import LogicalRegion, Partition, may_alias
 from .operation import CoarseRequirement, Operation
 
@@ -111,8 +114,10 @@ class CoarseAnalysis:
     shards in the simulator.
     """
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int,
+                 profiler: Optional[Profiler] = None):
         self.num_shards = num_shards
+        self.profiler = profiler if profiler is not None else get_profiler()
         self.result = CoarseResult()
         self._state: Dict[Tuple[int, int], _FieldState] = {}
 
@@ -122,6 +127,12 @@ class CoarseAnalysis:
                                               List[Fence]]:
         if op.seq < 0:
             raise ValueError("pipeline must assign op.seq before analysis")
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            t0 = prof.now_us()
+            scans0 = self.result.users_scanned
+            elided0 = self.result.fences_elided
         self.result.ops_analyzed += 1
 
         dep_ops: Dict[Operation, List[Tuple[CoarseRequirement,
@@ -152,7 +163,40 @@ class CoarseAnalysis:
             if f not in self.result.fences:
                 self.result.fences.append(f)
         self.result.deps |= new_deps
+        if profiling:
+            self._profile_op(op, new_fences, t0, scans0, elided0)
         return new_deps, new_fences
+
+    def _profile_op(self, op: Operation, fences: List[Fence], t0: float,
+                    scans0: int, elided0: int) -> None:
+        """Emit the coarse-group span and fence events (profiling only).
+
+        The coarse stage runs identically on *every* shard (that is what
+        makes its cost machine-size independent), so its span is charged to
+        each shard's timeline, exactly as the simulator charges its cost.
+        """
+        prof = self.profiler
+        dur = prof.now_us() - t0
+        scans = self.result.users_scanned - scans0
+        elided = self.result.fences_elided - elided0
+        name = op.name or op.kind
+        for shard in range(self.num_shards):
+            prof.complete(shard, CAT_COARSE, EV_COARSE_GROUP, t0, dur,
+                          op=name, seq=op.seq, scans=scans)
+        for f in fences:
+            region = f.region.name if f.region is not None else "<global>"
+            prof.instant(CONTROL_SHARD, CAT_COARSE, EV_FENCE_INSERT,
+                         at_seq=f.at_seq, region=region,
+                         fields=len(f.fields))
+            prof.metrics.count(f"coarse.fences.{region}")
+        if elided:
+            prof.instant(CONTROL_SHARD, CAT_COARSE, EV_FENCE_ELIDE,
+                         op=name, seq=op.seq, count=elided)
+        m = prof.metrics
+        m.count("coarse.ops")
+        m.count("coarse.scans", scans)
+        m.count("coarse.fences_inserted", len(fences))
+        m.count("coarse.fences_elided", elided)
 
     def register_replayed(self, op: Operation) -> None:
         """Fold a trace-replayed op into the epoch state without scanning.

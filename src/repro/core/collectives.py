@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..obs.events import CAT_COLLECTIVE
+from ..obs.profiler import Profiler, get_profiler
 
 __all__ = ["CollectiveStats", "Collectives"]
 
@@ -51,19 +54,53 @@ class Collectives:
     control determinism.
     """
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int,
+                 profiler: Optional[Profiler] = None):
         if num_shards < 1:
             raise ValueError("need at least one shard")
         self.num_shards = num_shards
+        self.profiler = profiler if profiler is not None else get_profiler()
         self.stats = CollectiveStats()
+
+    def _profile(self, kind: str, t0: float, rounds: int,
+                 messages: int) -> None:
+        """Charge the round/message schedule onto every shard's timeline.
+
+        The measured wall interval of the collective is split evenly over
+        its ``rounds`` hops, and each hop appears on each participating
+        shard — the same schedule the simulator's cost model charges, so a
+        profile of a functional run and a simulated run line up.
+        """
+        prof = self.profiler
+        dur = max(prof.now_us() - t0, 0.0)
+        m = prof.metrics
+        m.count("collectives.ops")
+        m.count("collectives.rounds", rounds)
+        m.count("collectives.messages", messages)
+        m.count(f"collectives.kind.{kind}")
+        if rounds == 0:       # single-shard degenerate case: no hops
+            return
+        hop = dur / rounds
+        for r in range(rounds):
+            ts = t0 + r * hop
+            for shard in range(self.num_shards):
+                prof.complete(shard, CAT_COLLECTIVE, f"{kind}.round{r}",
+                              ts, hop, kind=kind, round=r, of=rounds,
+                              msgs_total=messages)
 
     # -- broadcast / reduce (binomial tree) ----------------------------------
 
     def broadcast(self, value: T, root: int = 0) -> List[T]:
         """One value from ``root`` to every shard; binomial tree, log N hops."""
         n = self.num_shards
-        self.stats.record("broadcast", _log2_rounds(n), max(0, n - 1))
-        return [value for _ in range(n)]
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
+        rounds, msgs = _log2_rounds(n), max(0, n - 1)
+        self.stats.record("broadcast", rounds, msgs)
+        result = [value for _ in range(n)]
+        if prof.enabled:
+            self._profile("broadcast", t0, rounds, msgs)
+        return result
 
     def reduce(self, values: Sequence[T], op: Callable[[T, T], T],
                root: int = 0) -> T:
@@ -75,7 +112,10 @@ class Collectives:
         n = self.num_shards
         if len(values) != n:
             raise ValueError("one value per shard required")
-        self.stats.record("reduce", _log2_rounds(n), max(0, n - 1))
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
+        rounds, msgs = _log2_rounds(n), max(0, n - 1)
+        self.stats.record("reduce", rounds, msgs)
         acc: List[T] = list(values)
         dist = 1
         while dist < n:
@@ -84,6 +124,8 @@ class Collectives:
                 if j < n:
                     acc[i] = op(acc[i], acc[j])
             dist *= 2
+        if prof.enabled:
+            self._profile("reduce", t0, rounds, msgs)
         return acc[0]
 
     # -- all-gather / all-reduce (butterfly) ------------------------------------
@@ -97,9 +139,13 @@ class Collectives:
         n = self.num_shards
         if len(values) != n:
             raise ValueError("one value per shard required")
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
         rounds = _log2_rounds(n)
         self.stats.record("allgather", rounds, rounds * n)
         result = [list(values) for _ in range(n)]
+        if prof.enabled:
+            self._profile("allgather", t0, rounds, rounds * n)
         return result
 
     def allreduce(self, values: Sequence[T], op: Callable[[T, T], T]) -> List[T]:
@@ -108,21 +154,33 @@ class Collectives:
         Executes the genuine recursive-doubling schedule: in round r, shard i
         exchanges with shard ``i ^ 2^r`` and both combine.  For non-power-of-2
         shard counts the extras first fold into the main block and receive
-        the result at the end (the standard MPI approach), adding one round.
+        the result at the end (the standard MPI approach), adding **two**
+        rounds — one fold-in hop before the butterfly and one result hop
+        after it — with one message per extra shard in each; the butterfly
+        itself exchanges one message per participating shard per round.
+        The charged schedule is therefore ``log2(pow2)`` rounds of ``pow2``
+        messages plus, when ``n`` is not a power of two, 2 rounds of
+        ``n - pow2`` messages (regression-tested for n = 1, 2, 3, 5, 8 in
+        ``tests/core/test_collectives.py``).
         """
         n = self.num_shards
         if len(values) != n:
             raise ValueError("one value per shard required")
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
         acc: List[T] = list(values)
         pow2 = 1 << (n.bit_length() - 1)
         rounds = _log2_rounds(pow2)
+        msgs = rounds * pow2
         extra = n - pow2
         if extra:
+            # Fold-in hop before the butterfly + result hop after it.
             rounds += 2
+            msgs += 2 * extra
             for i in range(extra):
                 # Extra shard pow2+i folds into shard i before the butterfly.
                 acc[i] = op(acc[i], acc[pow2 + i])
-        self.stats.record("allreduce", rounds, rounds * n)
+        self.stats.record("allreduce", rounds, msgs)
         dist = 1
         while dist < pow2:
             nxt = list(acc)
@@ -136,13 +194,19 @@ class Collectives:
         if extra:
             for i in range(extra):
                 acc[pow2 + i] = acc[i]
+        if prof.enabled:
+            self._profile("allreduce", t0, rounds, msgs)
         return acc
 
     def barrier(self) -> None:
         """Synchronize all shards; an all-gather with no payload (§4.2)."""
         n = self.num_shards
-        self.stats.record("barrier", _log2_rounds(n),
-                          _log2_rounds(n) * n)
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
+        rounds = _log2_rounds(n)
+        self.stats.record("barrier", rounds, rounds * n)
+        if prof.enabled:
+            self._profile("barrier", t0, rounds, rounds * n)
 
     def fence_rounds(self) -> int:
         """Latency (in hops) of one cross-shard fence collective."""

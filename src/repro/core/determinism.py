@@ -21,6 +21,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..obs.events import CAT_DETERMINISM, CONTROL_SHARD, EV_DET_CHECK
+from ..obs.profiler import Profiler, get_profiler
 from .collectives import Collectives
 
 __all__ = ["ControlDeterminismViolation", "ShardHasher", "DeterminismMonitor"]
@@ -121,11 +123,14 @@ class DeterminismMonitor:
     """
 
     def __init__(self, num_shards: int, batch: int = 64, enabled: bool = True,
-                 collectives: Optional[Collectives] = None):
+                 collectives: Optional[Collectives] = None,
+                 profiler: Optional[Profiler] = None):
         self.hashers = [ShardHasher(i) for i in range(num_shards)]
         self.batch = max(1, batch)
         self.enabled = enabled
-        self.collectives = collectives or Collectives(num_shards)
+        self.profiler = profiler if profiler is not None else get_profiler()
+        self.collectives = collectives or Collectives(
+            num_shards, profiler=self.profiler)
         self._verified = 0
         self.checks_performed = 0
 
@@ -158,6 +163,8 @@ class DeterminismMonitor:
             self._check(remaining)
 
     def _check(self, count: int) -> None:
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
         start = self._verified
         self.checks_performed += 1
         # One all-reduce over the batch: combine (window-hash, ok) pairs.
@@ -180,3 +187,9 @@ class DeterminismMonitor:
                         seq, [h.descriptions[seq] for h in self.hashers])
             raise ControlDeterminismViolation(start, ["<window mismatch>"])
         self._verified = start + count
+        if prof.enabled:
+            prof.complete(CONTROL_SHARD, CAT_DETERMINISM, EV_DET_CHECK,
+                          t0, prof.now_us() - t0, calls=count,
+                          batch=self.checks_performed)
+            prof.count("determinism.batches")
+            prof.count("determinism.calls_checked", count)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..obs.profiler import Profiler, get_profiler
 from ..oracle import RegionRequirement, requirements_conflict
 from ..regions import LogicalRegion
 from .coarse import CoarseResult
@@ -72,8 +73,10 @@ class FineAnalysis:
     soundness check.
     """
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int,
+                 profiler: Optional[Profiler] = None):
         self.num_shards = num_shards
+        self.profiler = profiler if profiler is not None else get_profiler()
         self.result = FineResult()
         self._state: Dict[Tuple[int, int], _FieldState] = {}
         # Precise in-edges added while analyzing the most recent op, so the
@@ -98,6 +101,14 @@ class FineAnalysis:
         for task in tasks:
             self._update_point(task)
         self._retire_dominated(op, tasks)
+        prof = self.profiler
+        if prof.enabled:
+            m = prof.metrics
+            m.count("fine.points", len(tasks))
+            m.count("fine.edges", len(self.last_op_edges))
+            m.count("fine.cross_edges",
+                    sum(1 for a, b in self.last_op_edges
+                        if a.shard != b.shard))
         return tasks
 
     def register_replayed(self, op: Operation,

@@ -38,6 +38,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.events import (CAT_FINE, CAT_PIPELINE, CAT_TRACE, CONTROL_SHARD,
+                          EV_FINE_POINTS, EV_OP_ANALYZE, EV_TRACE_REPLAY)
+from ..obs.profiler import Profiler, get_profiler
 from .coarse import CoarseAnalysis, CoarseResult, Fence
 from .fine import FineAnalysis, FineResult
 from .operation import Operation, PointTask
@@ -90,13 +93,19 @@ class DCRPipeline:
     """Program-order driver for the coarse and fine analysis stages."""
 
     def __init__(self, num_shards: int, auto_trace: bool = False,
-                 auto_trace_config: Optional[AutoTraceConfig] = None):
+                 auto_trace_config: Optional[AutoTraceConfig] = None,
+                 profiler: Optional[Profiler] = None):
         self.num_shards = num_shards
-        self.coarse = CoarseAnalysis(num_shards)
-        self.fine = FineAnalysis(num_shards)
+        # The profiler is a no-op singleton when disabled: every hot-path
+        # emission below sits behind one `prof.enabled` attribute check and
+        # never influences any analysis decision (the zero-perturbation
+        # contract, tests/obs/test_zero_perturbation.py).
+        self.profiler = profiler if profiler is not None else get_profiler()
+        self.coarse = CoarseAnalysis(num_shards, profiler=self.profiler)
+        self.fine = FineAnalysis(num_shards, profiler=self.profiler)
         self.records: List[OpRecord] = []
         self.stats = PipelineStats()
-        self._traces = TraceCache()
+        self._traces = TraceCache(profiler=self.profiler)
         self._auto: Optional[AutoTracer] = (
             AutoTracer(auto_trace_config) if auto_trace else None)
         self._explicit_trace = False
@@ -114,6 +123,8 @@ class DCRPipeline:
 
     def analyze(self, op: Operation) -> OpRecord:
         """Analyze one operation; returns its record."""
+        prof = self.profiler
+        t_start = prof.now_us() if prof.enabled else 0.0
         op.seq = self._next_seq
         record: Optional[OpRecord] = None
         if self._explicit_trace:
@@ -145,13 +156,40 @@ class DCRPipeline:
         if self._auto is not None and not self._explicit_trace \
                 and not record.traced:
             self._auto.after_fresh(self, record)
+        if prof.enabled:
+            self._profile_op(record, t_start)
         return record
 
+    def _profile_op(self, record: OpRecord, t_start: float) -> None:
+        """Timeline/metrics emission for one analyzed op (profiling only)."""
+        prof = self.profiler
+        dur = prof.now_us() - t_start
+        name = record.op.name or record.op.kind
+        prof.complete(CONTROL_SHARD,
+                      CAT_TRACE if record.traced else CAT_PIPELINE,
+                      EV_TRACE_REPLAY if record.traced else EV_OP_ANALYZE,
+                      t_start, dur, op=name, seq=record.op.seq,
+                      points=len(record.point_tasks),
+                      fences=len(record.fences))
+        m = prof.metrics
+        m.count("pipeline.ops")
+        m.count("pipeline.points", len(record.point_tasks))
+        if record.traced:
+            m.count("pipeline.traced_ops")
+            m.count("pipeline.scans_saved", record.scans_saved)
+
     def _analyze_fresh(self, op: Operation) -> OpRecord:
+        prof = self.profiler
+        profiling = prof.enabled
+        if profiling:
+            shard_scans_before = dict(self.fine.result.scans_per_shard)
+            t_fine = 0.0
         scans_before = self.coarse.result.users_scanned
         elided_before = self.coarse.result.fences_elided
         fine_scans_before = sum(self.fine.result.scans_per_shard.values())
         deps, fences = self.coarse.analyze(op)
+        if profiling:
+            t_fine = prof.now_us()
         point_tasks = self.fine.analyze(op)
         record = OpRecord(
             op=op,
@@ -165,7 +203,34 @@ class DCRPipeline:
         )
         record.in_edges = list(self.fine.last_op_edges)
         self.stats.fences_elided += record.fences_elided
+        if profiling:
+            self._profile_fine_shares(record, shard_scans_before, t_fine)
         return record
+
+    def _profile_fine_shares(self, record: OpRecord,
+                             before: Dict[int, int], t_fine: float) -> None:
+        """Attribute the fine stage's measured time to shards by their
+        epoch-scan share — the per-shard cost the simulator charges —
+        falling back to an even split over point owners when no scans ran."""
+        prof = self.profiler
+        dur = prof.now_us() - t_fine
+        after = self.fine.result.scans_per_shard
+        deltas = {s: after.get(s, 0) - before.get(s, 0) for s in after
+                  if after.get(s, 0) != before.get(s, 0)}
+        owners: Dict[int, int] = {}
+        for t in record.point_tasks:
+            owners[t.shard] = owners.get(t.shard, 0) + 1
+        weights = deltas or {s: float(n) for s, n in owners.items()}
+        total = sum(weights.values())
+        name = record.op.name or record.op.kind
+        for shard, w in sorted(weights.items()):
+            share = dur * w / total if total else 0.0
+            prof.complete(shard, CAT_FINE, EV_FINE_POINTS, t_fine, share,
+                          op=name, scans=deltas.get(shard, 0),
+                          points=owners.get(shard, 0))
+            prof.metrics.count(f"fine.scans.shard{shard}",
+                               deltas.get(shard, 0))
+        prof.metrics.count("fine.ops")
 
     def _integrate_replay(self, record: OpRecord) -> None:
         """Fold a trace-replayed record into the global analysis results."""

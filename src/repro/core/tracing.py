@@ -44,6 +44,9 @@ from dataclasses import dataclass, field
 from typing import (Dict, Hashable, List, Optional, Sequence, Set, Tuple,
                     TYPE_CHECKING)
 
+from ..obs.events import (CAT_TRACE, CONTROL_SHARD, EV_TRACE_FALLBACK,
+                          EV_TRACE_RECORD, EV_TRACE_REPLAY)
+from ..obs.profiler import Profiler, get_profiler
 from .coarse import Fence
 from .operation import Operation, PointTask
 
@@ -57,6 +60,13 @@ __all__ = ["TraceMismatch", "TraceCache", "AutoTraceConfig",
 
 class TraceMismatch(RuntimeError):
     """The replayed operation stream diverged from the recording."""
+
+
+def _trace_label(trace_id: Hashable) -> str:
+    """A short, stable display label for a trace id (auto ids are long)."""
+    if isinstance(trace_id, tuple) and trace_id and trace_id[0] == "auto":
+        return f"auto[{len(trace_id[1])} sigs]"
+    return repr(trace_id)[:60]
 
 
 def _op_signature(op: Operation) -> Tuple:
@@ -124,7 +134,8 @@ class TraceCache:
 
     IDLE, RECORDING, REPLAYING = "idle", "recording", "replaying"
 
-    def __init__(self) -> None:
+    def __init__(self, profiler: Optional[Profiler] = None) -> None:
+        self.profiler = profiler if profiler is not None else get_profiler()
         self._traces: Dict[Hashable, _Recording] = {}
         self._state = self.IDLE
         self._tid: Optional[Hashable] = None
@@ -146,21 +157,32 @@ class TraceCache:
             raise RuntimeError("traces do not nest")
         self._tid = trace_id
         self._index = 0
+        prof = self.profiler
         if trace_id in self._traces:
             self._state = self.REPLAYING
             self._replay_ops = []
             self._replay_tasks = {}
             self._replay_edges = {}
             self.replays += 1
+            if prof.enabled:
+                prof.instant(CONTROL_SHARD, CAT_TRACE, EV_TRACE_REPLAY,
+                             trace=_trace_label(trace_id))
+                prof.count("trace.replays")
             return True
         self._state = self.RECORDING
         self._traces[trace_id] = _Recording()
         self._rec_ops = []
         self._rec_tasks = {}
         self.recordings += 1
+        if prof.enabled:
+            prof.count("trace.recordings")
         return False
 
     def end(self) -> None:
+        prof = self.profiler
+        if prof.enabled and self._state == self.RECORDING:
+            prof.instant(CONTROL_SHARD, CAT_TRACE, EV_TRACE_RECORD,
+                         trace=_trace_label(self._tid), ops=self._index)
         try:
             if self._state == self.REPLAYING:
                 rec = self._traces[self._tid]  # type: ignore[index]
@@ -199,6 +221,12 @@ class TraceCache:
         self.aborts += 1
         if evict:
             self._traces.pop(tid, None)
+        prof = self.profiler
+        if prof.enabled:
+            prof.instant(CONTROL_SHARD, CAT_TRACE, EV_TRACE_FALLBACK,
+                         trace=_trace_label(tid), served=served,
+                         evicted=evict)
+            prof.count("trace.fallbacks")
         return served
 
     def evict(self, trace_id: Hashable) -> None:
@@ -253,6 +281,12 @@ class TraceCache:
             rec.entries.append(self._entry_for(r, offset_of))
         self._traces[trace_id] = rec
         self.recordings += 1
+        prof = self.profiler
+        if prof.enabled:
+            prof.instant(CONTROL_SHARD, CAT_TRACE, EV_TRACE_RECORD,
+                         trace=_trace_label(trace_id), ops=len(rec.entries),
+                         retroactive=True)
+            prof.count("trace.recordings")
 
     @staticmethod
     def _entry_for(record, offset_of: Dict[int, int]) -> _TraceEntry:

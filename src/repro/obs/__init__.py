@@ -1,0 +1,28 @@
+"""``repro.obs`` — the shard-level observability subsystem.
+
+Three pieces (docs/observability.md has the guide):
+
+* :mod:`repro.obs.profiler` — per-shard timeline recorder (typed spans and
+  instants) plus lifecycle (global no-op singleton, scoped instances,
+  pluggable clocks for simulated time);
+* :mod:`repro.obs.metrics` — hierarchical counters/gauges registry;
+* :mod:`repro.obs.chrome` — Chrome trace-event JSON exporter, one pid per
+  shard, loadable in ``chrome://tracing`` or Perfetto.
+
+The event vocabulary lives in :mod:`repro.obs.events`; the CLI that turns a
+saved profile into a per-shard summary and a Chrome trace is
+``python -m repro.tools.prof``.
+"""
+
+from . import events
+from .chrome import chrome_trace_events, export_chrome_trace, shard_pid
+from .metrics import MetricsRegistry
+from .profiler import (Profiler, TimelineEvent, get_profiler, profiled,
+                       set_profiler)
+
+__all__ = [
+    "events",
+    "chrome_trace_events", "export_chrome_trace", "shard_pid",
+    "MetricsRegistry",
+    "Profiler", "TimelineEvent", "get_profiler", "profiled", "set_profiler",
+]

@@ -1,0 +1,61 @@
+"""Event taxonomy of the shard-level profiler.
+
+Every timeline event carries a *category* (one per instrumented subsystem;
+becomes a Chrome-trace thread within the shard's process) and a *name*
+(what happened).  The constants below are the complete vocabulary the
+instrumentation emits; the exporter, the ``repro.tools.prof`` CLI, and the
+schema tests all key off them, so new instrumentation should extend this
+module rather than inventing ad-hoc strings.
+
+Shards are numbered from 0; the pseudo-shard :data:`CONTROL_SHARD` holds
+events that belong to the replicated control plane as a whole (coarse-stage
+bookkeeping, trace-cache transitions, determinism batches) rather than to
+any one shard's timeline.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CONTROL_SHARD",
+    "CAT_PIPELINE", "CAT_COARSE", "CAT_FINE", "CAT_COLLECTIVE", "CAT_TRACE",
+    "CAT_DETERMINISM", "CAT_EXEC", "CAT_CONTROL", "CAT_SIM",
+    "EV_OP_ANALYZE", "EV_COARSE_GROUP", "EV_FINE_POINTS",
+    "EV_FENCE_INSERT", "EV_FENCE_ELIDE",
+    "EV_TRACE_RECORD", "EV_TRACE_REPLAY", "EV_TRACE_FALLBACK",
+    "EV_DET_CHECK", "EV_EXEC_POINT", "EV_CONTROL_REPLAY", "EV_SIM_EVENT",
+    "ANALYSIS_CATEGORIES",
+]
+
+#: Events charged to the control plane rather than one shard.
+CONTROL_SHARD = -1
+
+# -- categories (Chrome-trace threads within a shard process) ---------------
+
+CAT_PIPELINE = "pipeline"          # whole-op analysis spans
+CAT_COARSE = "coarse"              # coarse-group stage (charged to all shards)
+CAT_FINE = "fine"                  # fine point stage (per-shard share)
+CAT_COLLECTIVE = "collective"      # collective rounds (per shard, per round)
+CAT_TRACE = "trace"                # trace record / replay / fallback
+CAT_DETERMINISM = "determinism"    # hash batches and their all-reduce
+CAT_EXEC = "exec"                  # point-task execution
+CAT_CONTROL = "control"            # per-shard control-program replay
+CAT_SIM = "sim"                    # discrete-event simulator ticks
+
+#: Categories the prof CLI rolls into the per-shard "time in ..." table.
+ANALYSIS_CATEGORIES = (CAT_COARSE, CAT_FINE, CAT_COLLECTIVE, CAT_TRACE,
+                       CAT_DETERMINISM, CAT_EXEC)
+
+# -- event names ------------------------------------------------------------
+
+EV_OP_ANALYZE = "op.analyze"           # span: one operation through analysis
+EV_COARSE_GROUP = "coarse.group"       # span: coarse-group scan of one op
+EV_FINE_POINTS = "fine.points"         # span: a shard's point analysis share
+EV_FENCE_INSERT = "fence.insert"       # instant: cross-shard fence inserted
+EV_FENCE_ELIDE = "fence.elide"         # instant: fence(s) provably elided
+EV_TRACE_RECORD = "trace.record"       # instant: a fragment was recorded
+EV_TRACE_REPLAY = "trace.replay"       # instant: a replay began serving
+EV_TRACE_FALLBACK = "trace.fallback"   # instant: replay abandoned (divergence)
+EV_DET_CHECK = "determinism.check"     # span: one batched hash all-reduce
+EV_EXEC_POINT = "exec.point"           # span: one point task body
+EV_CONTROL_REPLAY = "control.replay"   # span: one shard's control program
+EV_SIM_EVENT = "sim.event"             # instant: one simulator event fired

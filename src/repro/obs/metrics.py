@@ -1,0 +1,77 @@
+"""Hierarchical counters/gauges registry for the profiler.
+
+Metric names are dot-separated paths (``"coarse.scans"``,
+``"fine.scans.shard2"``); :meth:`MetricsRegistry.rollup` sums a subtree so
+reports can show either the aggregate or the per-shard breakdown without
+the instrumentation registering both.  Counters accumulate, gauges hold the
+last value — the usual split.
+
+The registry is deliberately dumb and allocation-light: two dicts and no
+locks (the reproduction is single-threaded; the real system would use
+per-shard registries merged at export time, which :meth:`merge` models).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Flat storage of hierarchical counter/gauge names."""
+
+    __slots__ = ("counters", "gauges")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, delta: float = 1) -> None:
+        """Add ``delta`` to the counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+
+    # -- reading ------------------------------------------------------------
+
+    def rollup(self, prefix: str) -> float:
+        """Sum of all counters at or under ``prefix`` in the hierarchy."""
+        dotted = prefix + "."
+        return sum(v for k, v in self.counters.items()
+                   if k == prefix or k.startswith(dotted))
+
+    def children(self, prefix: str) -> Iterator[Tuple[str, float]]:
+        """(name, value) pairs of counters strictly under ``prefix``."""
+        dotted = prefix + "."
+        for k in sorted(self.counters):
+            if k.startswith(dotted):
+                yield k, self.counters[k]
+
+    def as_dict(self) -> Dict[str, float]:
+        """One flat dict: counters verbatim, gauges under ``gauge:``.
+
+        This is the form :class:`repro.tools.report.AnalysisReport` and the
+        benchmark harness consume; keys sort stably.
+        """
+        out = dict(sorted(self.counters.items()))
+        for k in sorted(self.gauges):
+            out[f"gauge:{k}"] = self.gauges[k]
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (counters add, gauges last-write-win)."""
+        for k, v in other.counters.items():
+            self.count(k, v)
+        self.gauges.update(other.gauges)
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges)

@@ -36,6 +36,9 @@ from ..core import (CoarseRequirement, DCRPipeline, DeferredOpManager,
                     PointTask, ProjectionFunction)
 from ..core.determinism import ControlDeterminismViolation
 from ..core.rng import CounterRNG
+from ..obs.events import (CAT_CONTROL, CAT_EXEC, EV_CONTROL_REPLAY,
+                          EV_EXEC_POINT)
+from ..obs.profiler import Profiler, get_profiler
 from ..core.sharding import ShardingFunction
 from ..oracle import (Privilege, READ_ONLY, READ_WRITE, RegionRequirement,
                       WRITE_DISCARD, reduce_priv)
@@ -88,17 +91,24 @@ class Runtime:
                  safe_checks: bool = True, check_batch: int = 32,
                  timing_oracle: Optional[Callable[[int, Future], bool]] = None,
                  auto_trace: bool = False,
-                 auto_trace_config=None):
+                 auto_trace_config=None,
+                 profiler: Optional[Profiler] = None):
         self.num_shards = num_shards
         self.mapper = mapper or DefaultMapper()
         self.store = RegionStore()
+        # One profiler spans analysis, collectives, determinism checks and
+        # execution; it is the disabled global no-op unless a live one is
+        # passed (or the global one is enabled), and never perturbs results.
+        self.profiler = profiler if profiler is not None else get_profiler()
         # auto_trace turns on transparent trace identification: repeated
         # fragments of the launch stream are memoized and replayed without
         # any begin_trace/end_trace calls in the control program.
         self.pipeline = DCRPipeline(num_shards, auto_trace=auto_trace,
-                                    auto_trace_config=auto_trace_config)
+                                    auto_trace_config=auto_trace_config,
+                                    profiler=self.profiler)
         self.monitor = DeterminismMonitor(num_shards, batch=check_batch,
-                                          enabled=safe_checks)
+                                          enabled=safe_checks,
+                                          profiler=self.profiler)
         self.deferred = DeferredOpManager(num_shards)
         self.timing_oracle = timing_oracle
         # Shard-0 logs replayed by the other shards, keyed by call order.
@@ -121,12 +131,17 @@ class Runtime:
                 "and analysis state belong to one replicated execution — "
                 "create a fresh Runtime for another run")
         self._executed = True
+        prof = self.profiler
         result: Any = None
         for shard in range(self.num_shards):
             self._current_shard = shard
             ctx = Context(self, shard)
+            if prof.enabled:
+                prof.begin(shard, CAT_CONTROL, EV_CONTROL_REPLAY)
             ret = control(ctx, *args)
             ctx._finish()
+            if prof.enabled:
+                prof.end(shard, CAT_CONTROL, EV_CONTROL_REPLAY)
             if shard == 0:
                 result = ret
         self.monitor.flush()
@@ -467,9 +482,22 @@ class Context:
         assert op.body is not None
         region_args = [RegionArg(self.runtime.store, req)
                        for req in pt.requirements]
+        prof = self.runtime.profiler
+        if not prof.enabled:
+            if op.is_group:
+                return op.body(pt.point, *region_args, *args)
+            return op.body(*region_args, *args)
+        # Profiled path: the span lands on the *owning* shard's timeline
+        # even though the functional executor runs everything on shard 0.
+        t0 = prof.now_us()
         if op.is_group:
-            return op.body(pt.point, *region_args, *args)
-        return op.body(*region_args, *args)
+            value = op.body(pt.point, *region_args, *args)
+        else:
+            value = op.body(*region_args, *args)
+        prof.complete(pt.shard, CAT_EXEC, EV_EXEC_POINT, t0,
+                      prof.now_us() - t0, op=op.name, point=str(pt.point))
+        prof.count("exec.points")
+        return value
 
     def _oracle_binding(self):
         """Bind ``is_ready`` to the *currently replaying* shard.

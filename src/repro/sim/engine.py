@@ -11,17 +11,36 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.events import CAT_SIM, CONTROL_SHARD, EV_SIM_EVENT
+from ..obs.profiler import Profiler
+
 __all__ = ["SimEngine", "SerialResource"]
 
 
 class SimEngine:
-    """Priority-queue discrete-event simulator."""
+    """Priority-queue discrete-event simulator.
 
-    def __init__(self) -> None:
+    Pass (or attach) a :class:`~repro.obs.profiler.Profiler` to profile a
+    simulated run: the engine rebinds the profiler's clock to *simulated*
+    time, so spans emitted by instrumented components running under the
+    engine line up with the cost model's timeline rather than wall clock,
+    and each processed event leaves an instant on the control track.
+    """
+
+    def __init__(self, profiler: Optional[Profiler] = None) -> None:
         self.now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        self.profiler = profiler
+        if profiler is not None:
+            self.attach_profiler(profiler)
+
+    def attach_profiler(self, profiler: Profiler) -> Profiler:
+        """Drive ``profiler`` on simulated time; returns it for chaining."""
+        self.profiler = profiler
+        profiler.set_clock(lambda: self.now, origin=0.0)
+        return profiler
 
     def at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` at absolute simulated ``time``."""
@@ -42,6 +61,11 @@ class SimEngine:
             time, _seq, fn = heapq.heappop(self._queue)
             self.now = time
             self.events_processed += 1
+            prof = self.profiler
+            if prof is not None and prof.enabled:
+                prof.instant(CONTROL_SHARD, CAT_SIM, EV_SIM_EVENT,
+                             event=getattr(fn, "__name__", "<fn>"))
+                prof.count("sim.events")
             fn()
         return self.now
 

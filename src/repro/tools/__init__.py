@@ -7,10 +7,22 @@ from .dot import coarse_graph_dot, task_graph_dot
 from .report import AnalysisReport, analyze_run
 from .spy import SpyFinding, SpyReport, validate_run
 
+#: Exposed lazily (PEP 562) so ``python -m repro.tools.prof`` does not
+#: import the CLI module twice (once here, once as ``__main__``).
+_PROF_NAMES = ("fence_pressure", "render_summary", "shard_summary")
+
+
+def __getattr__(name):
+    if name in _PROF_NAMES:
+        from . import prof
+        return getattr(prof, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "TuningResult", "tune_mapper",
     "load_partitioned", "load_region", "save_partitioned", "save_region",
     "coarse_graph_dot", "task_graph_dot",
+    "fence_pressure", "render_summary", "shard_summary",
     "AnalysisReport", "analyze_run",
     "SpyFinding", "SpyReport", "validate_run",
 ]

@@ -40,6 +40,9 @@ class AnalysisReport:
     trace_fallbacks: int = 0      # replays abandoned on divergence
     scans_saved: int = 0          # epoch scans skipped via trace replay
     auto_traces: int = 0          # fragments the auto-tracer identified
+    # Flat profiler metrics dict (repro.obs MetricsRegistry.as_dict()) when
+    # the run was profiled; empty — and absent from render() — otherwise.
+    profiler_metrics: Dict[str, float] = field(default_factory=dict)
 
     #: rough per-scan cost of an epoch-list entry (operation pointer +
     #: interval + field set) used to translate skipped scans into a
@@ -108,6 +111,10 @@ class AnalysisReport:
             lines.append("fence pressure by region:")
             for name, count in self.fence_pressure:
                 lines.append(f"  {name:<24} {count}")
+        if self.profiler_metrics:
+            lines.append("profiler metrics:")
+            for name, value in sorted(self.profiler_metrics.items()):
+                lines.append(f"  {name:<32} {value:g}")
         return "\n".join(lines)
 
 
@@ -144,4 +151,5 @@ def analyze_run(runtime: Runtime) -> AnalysisReport:
         trace_fallbacks=pipe.stats.trace_fallbacks,
         scans_saved=pipe.stats.scans_saved,
         auto_traces=pipe.stats.auto_traces,
+        profiler_metrics=runtime.profiler.metrics.as_dict(),
     )

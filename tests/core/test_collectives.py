@@ -84,3 +84,58 @@ class TestLogStructure:
         assert c.stats.by_kind == {"broadcast": 1, "allreduce": 1,
                                    "barrier": 1}
         assert c.stats.messages > 0
+
+    @pytest.mark.parametrize("n,rounds", [
+        # Butterfly over the largest power of two <= n; non-powers add one
+        # fold-in hop before and one result hop after (see the docstring).
+        (1, 0), (2, 1), (3, 1 + 2), (5, 2 + 2), (8, 3),
+    ])
+    def test_allreduce_round_counts(self, n, rounds):
+        """Regression: the charged latency matches the documented schedule
+        (the docstring once claimed non-powers-of-2 add *one* round while
+        the code charged two)."""
+        c = Collectives(n)
+        out = c.allreduce(list(range(n)), operator.add)
+        assert out == [n * (n - 1) // 2] * n
+        assert c.stats.rounds == rounds, n
+
+    @pytest.mark.parametrize("n,messages", [
+        (1, 0), (2, 1 * 2), (3, 1 * 2 + 2 * 1), (5, 2 * 4 + 2 * 1),
+        (8, 3 * 8),
+    ])
+    def test_allreduce_message_counts(self, n, messages):
+        c = Collectives(n)
+        c.allreduce([0] * n, operator.add)
+        assert c.stats.messages == messages, n
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 33])
+    def test_every_collective_is_log_rounds(self, n):
+        """All five collectives stay within O(log N) hops — and a single
+        shard costs zero rounds for every one of them."""
+        log_n = 0 if n == 1 else math.ceil(math.log2(n))
+        budgets = {
+            "broadcast": log_n,
+            "reduce": log_n,
+            "allgather": log_n,
+            "allreduce": log_n + 2,   # non-pow2 fold-in/result hops
+            "barrier": log_n,
+        }
+        for kind, budget in budgets.items():
+            c = Collectives(n)
+            if kind == "broadcast":
+                c.broadcast("v")
+            elif kind == "reduce":
+                c.reduce(list(range(n)), operator.add)
+            elif kind == "allgather":
+                c.allgather(list(range(n)))
+            elif kind == "allreduce":
+                c.allreduce(list(range(n)), operator.add)
+            else:
+                c.barrier()
+            assert c.stats.operations == 1, kind
+            if n == 1:
+                assert c.stats.rounds == 0, kind
+                assert c.stats.messages == 0, kind
+            else:
+                assert 0 < c.stats.rounds <= budget, (kind, n)
+                assert c.stats.messages > 0, (kind, n)

@@ -1,0 +1,111 @@
+"""Chrome trace-event schema: the export must load in chrome://tracing.
+
+Satellite of the profiler PR: generate a trace from a real profiled run,
+then check the invariants viewers rely on — the JSON parses, every event
+carries ``ph``/``pid``/``tid``/``name`` (and ``ts`` for non-metadata),
+timestamps are monotonically nondecreasing in file order, ``B``/``E``
+events balance per (pid, tid), and the pid/metadata layout matches the
+one-process-per-shard scheme.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (Profiler, chrome_trace_events, export_chrome_trace,
+                       shard_pid)
+from repro.obs.events import CAT_COARSE, CAT_PIPELINE, CONTROL_SHARD
+from repro.runtime import Runtime
+
+VALID_PH = {"X", "B", "E", "i", "M"}
+
+
+@pytest.fixture(scope="module")
+def profiled_run():
+    """One real profiled run shared by the schema assertions."""
+    from repro.apps.stencil import stencil2d_control
+
+    prof = Profiler().enable()
+    rt = Runtime(num_shards=3, auto_trace=True, profiler=prof)
+    rt.execute(stencil2d_control, 16, 4, 6)
+    return prof
+
+
+def test_shard_pid_mapping():
+    assert shard_pid(CONTROL_SHARD) == 0
+    assert shard_pid(0) == 1
+    assert shard_pid(7) == 8
+
+
+def test_document_parses_and_has_shape(profiled_run, tmp_path):
+    path = str(tmp_path / "run.chrome.json")
+    export_chrome_trace(profiled_run, path)
+    with open(path) as f:
+        doc = json.load(f)          # must parse from disk
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["metrics"]["pipeline.ops"] > 0
+
+
+def test_every_event_carries_required_keys(profiled_run):
+    for ev in chrome_trace_events(profiled_run):
+        assert ev["ph"] in VALID_PH, ev
+        for key in ("pid", "tid", "name"):
+            assert key in ev, (key, ev)
+        if ev["ph"] != "M":
+            assert isinstance(ev["ts"], (int, float)), ev
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0.0, ev
+        if ev["ph"] == "i":
+            assert ev["s"] == "t", ev
+
+
+def test_timestamps_monotone_in_file_order(profiled_run):
+    body = [e for e in chrome_trace_events(profiled_run) if e["ph"] != "M"]
+    ts = [e["ts"] for e in body]
+    assert all(a <= b for a, b in zip(ts, ts[1:]))
+    assert ts[0] >= 0.0
+
+
+def test_begin_end_balance_per_track(profiled_run):
+    depth = {}
+    for ev in chrome_trace_events(profiled_run):
+        track = (ev["pid"], ev["tid"])
+        if ev["ph"] == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ev["ph"] == "E":
+            depth[track] = depth.get(track, 0) - 1
+            assert depth[track] >= 0, f"E before B on track {track}"
+    assert all(d == 0 for d in depth.values()), depth
+
+
+def test_metadata_names_every_process_and_thread(profiled_run):
+    events = chrome_trace_events(profiled_run)
+    meta = [e for e in events if e["ph"] == "M"]
+    body = [e for e in events if e["ph"] != "M"]
+    named_pids = {e["pid"] for e in meta if e["name"] == "process_name"}
+    named_tracks = {(e["pid"], e["tid"]) for e in meta
+                    if e["name"] == "thread_name"}
+    assert {e["pid"] for e in body} <= named_pids
+    assert {(e["pid"], e["tid"]) for e in body} <= named_tracks
+    labels = {e["pid"]: e["args"]["name"] for e in meta
+              if e["name"] == "process_name"}
+    assert labels[0] == "control plane"
+    for pid, label in labels.items():
+        if pid > 0:
+            assert label == f"shard {pid - 1}"
+
+
+def test_metadata_precedes_body():
+    prof = Profiler().enable()
+    prof.complete(0, CAT_COARSE, "a", 1.0, 1.0)
+    prof.instant(CONTROL_SHARD, CAT_PIPELINE, "b", ts=0.0)
+    events = chrome_trace_events(prof)
+    kinds = ["M" if e["ph"] == "M" else "body" for e in events]
+    assert kinds == sorted(kinds, key=lambda k: k != "M")
+
+
+def test_export_accepts_snapshot_dict(profiled_run, tmp_path):
+    snap = profiled_run.snapshot()
+    doc = export_chrome_trace(snap, str(tmp_path / "snap.chrome.json"))
+    assert doc["traceEvents"] == chrome_trace_events(profiled_run)

@@ -1,0 +1,63 @@
+"""Unit tests for the hierarchical counters/gauges registry."""
+
+from repro.obs import MetricsRegistry
+
+
+def test_counters_accumulate_and_gauges_overwrite():
+    m = MetricsRegistry()
+    m.count("a.b")
+    m.count("a.b", 2)
+    m.gauge("g", 1.0)
+    m.gauge("g", 9.0)
+    assert m.counters["a.b"] == 3
+    assert m.gauges["g"] == 9.0
+    assert len(m) == 2
+
+
+def test_rollup_sums_subtree_only():
+    m = MetricsRegistry()
+    m.count("fine.scans.shard0", 4)
+    m.count("fine.scans.shard1", 6)
+    m.count("fine.scans", 1)        # the aggregate node itself
+    m.count("fine.scansish", 100)   # sibling with a common *string* prefix
+    assert m.rollup("fine.scans") == 11
+    assert m.rollup("fine") == 111
+    assert m.rollup("absent") == 0
+
+
+def test_children_strictly_under_prefix():
+    m = MetricsRegistry()
+    m.count("c.x", 1)
+    m.count("c.y", 2)
+    m.count("c", 9)
+    assert list(m.children("c")) == [("c.x", 1), ("c.y", 2)]
+
+
+def test_as_dict_flat_and_sorted():
+    m = MetricsRegistry()
+    m.count("b", 2)
+    m.count("a", 1)
+    m.gauge("z", 0.5)
+    d = m.as_dict()
+    assert list(d) == ["a", "b", "gauge:z"]
+    assert d["gauge:z"] == 0.5
+
+
+def test_merge_adds_counters_overwrites_gauges():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.count("n", 1)
+    a.gauge("g", 1.0)
+    b.count("n", 2)
+    b.count("m", 5)
+    b.gauge("g", 3.0)
+    a.merge(b)
+    assert a.counters == {"n": 3, "m": 5}
+    assert a.gauges == {"g": 3.0}
+
+
+def test_clear():
+    m = MetricsRegistry()
+    m.count("x")
+    m.gauge("y", 1)
+    m.clear()
+    assert len(m) == 0

@@ -1,0 +1,118 @@
+"""Unit tests for the Profiler: lifecycle, clocks, (de)serialization."""
+
+import pytest
+
+from repro.obs import Profiler, get_profiler, profiled, set_profiler
+from repro.obs.events import CAT_COARSE, CAT_PIPELINE, CONTROL_SHARD
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        prof = Profiler()
+        assert not prof.enabled
+        assert prof.events == []
+        assert len(prof.metrics) == 0
+
+    def test_enable_is_chainable_and_rebases_origin(self):
+        fake = [10.0]
+        prof = Profiler(clock=lambda: fake[0])
+        fake[0] = 25.0
+        assert prof.enable() is prof
+        # Origin moved to 25.0 at enable: "now" is 0.
+        assert prof.now_us() == 0.0
+        fake[0] = 25.5
+        assert prof.now_us() == pytest.approx(0.5e6)
+
+    def test_enable_with_events_keeps_origin(self):
+        fake = [0.0]
+        prof = Profiler(clock=lambda: fake[0]).enable()
+        prof.instant(0, CAT_PIPELINE, "e")
+        prof.disable()
+        fake[0] = 100.0
+        prof.enable()  # must NOT rebase: events already reference origin 0
+        assert prof.now_us() == pytest.approx(100e6)
+
+    def test_clear_resets_everything(self):
+        prof = Profiler().enable()
+        prof.instant(0, CAT_PIPELINE, "e")
+        prof.count("c")
+        prof.clear()
+        assert prof.events == []
+        assert len(prof.metrics) == 0
+
+
+class TestEmission:
+    def test_event_kinds(self):
+        prof = Profiler().enable()
+        prof.begin(1, CAT_COARSE, "span", ts=1.0, detail="d")
+        prof.end(1, CAT_COARSE, "span", ts=3.0)
+        prof.complete(2, CAT_COARSE, "pre", 0.5, 1.5, n=4)
+        prof.instant(CONTROL_SHARD, CAT_PIPELINE, "mark", ts=2.0)
+        phs = [e[0] for e in prof.events]
+        assert phs == ["B", "E", "X", "i"]
+        assert prof.shards() == [CONTROL_SHARD, 1, 2]
+        assert len(prof.events_for(1)) == 2
+
+    def test_complete_clamps_negative_duration(self):
+        prof = Profiler().enable()
+        prof.complete(0, CAT_COARSE, "x", 5.0, -1.0)
+        assert prof.events[0][5] == 0.0
+
+    def test_simulated_clock_injection(self):
+        now = [2.0]
+        prof = Profiler().enable()
+        prof.set_clock(lambda: now[0], origin=2.0)
+        assert prof.now_us() == 0.0
+        now[0] = 2.001
+        assert prof.now_us() == pytest.approx(1000.0)
+
+
+class TestSerialization:
+    def test_snapshot_roundtrip(self, tmp_path):
+        prof = Profiler().enable()
+        prof.complete(0, CAT_COARSE, "s", 1.0, 2.0, k="v")
+        prof.instant(1, CAT_PIPELINE, "i", ts=4.0)
+        prof.count("a.b", 3)
+        prof.gauge("g", 7.5)
+        path = str(tmp_path / "run.trace.json")
+        prof.save(path)
+        data = Profiler.load(path)
+        assert data["format"] == "repro-profile"
+        assert data["version"] == 1
+        assert len(data["events"]) == 2
+        assert data["events"][0] == {
+            "ph": "X", "shard": 0, "cat": CAT_COARSE, "name": "s",
+            "ts": 1.0, "dur": 2.0, "args": {"k": "v"}}
+        assert data["events"][1]["ph"] == "i"
+        assert "dur" not in data["events"][1]
+        assert data["metrics"] == {"a.b": 3, "gauge:g": 7.5}
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"traceEvents": []}')
+        with pytest.raises(ValueError, match="not a repro profile"):
+            Profiler.load(str(path))
+
+
+class TestGlobal:
+    def test_global_starts_disabled(self):
+        assert not get_profiler().enabled
+
+    def test_set_profiler_swaps_and_returns_previous(self):
+        mine = Profiler()
+        prev = set_profiler(mine)
+        try:
+            assert get_profiler() is mine
+        finally:
+            set_profiler(prev)
+        assert get_profiler() is prev
+
+    def test_profiled_context_restores_state(self):
+        prof = Profiler()
+        with profiled(prof) as p:
+            assert p is prof and prof.enabled
+        assert not prof.enabled
+        prof.enable()
+        with profiled(prof):
+            pass
+        assert prof.enabled  # was enabled before: stays enabled

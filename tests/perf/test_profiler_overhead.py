@@ -1,0 +1,86 @@
+"""Perf guard: the *disabled* profiler must be (nearly) free.
+
+The zero-perturbation contract has two halves.  ``tests/obs`` proves the
+*semantic* half (profiling changes no analysis decision); this module
+bounds the *cost* half: with profiling off — the default — the
+instrumentation may add only the guard checks themselves, which must stay
+under a few percent of the per-operation analysis cost on the headline
+workload shape (the alternating two-field halo chain of
+``benchmarks/bench_headline.py``'s figure sweeps).
+
+There is no uninstrumented build to diff against, so the bound is built
+from first principles: measure the cost of one ``prof.enabled`` attribute
+check, multiply by a generous over-estimate of guard sites evaluated per
+operation, and require that to be <5% of the measured per-op pipeline
+cost.  Two absolute checks back it up: a disabled profiler records
+literally nothing across a full run, and an instrumented end-to-end run
+stays within the soak budget the suite already enforces.
+"""
+
+import time
+import timeit
+
+from repro.obs import Profiler, get_profiler
+from repro.runtime import Runtime
+
+#: Upper bound on ``prof.enabled`` evaluations per analyzed operation:
+#: pipeline entry/exit, coarse, fine, trace begin/end, determinism, plus
+#: one per point task and per collective round on every shard.  Measured
+#: instrumentation density is far lower; 64 is a safe over-estimate for
+#: the 4-shard, 4-tile headline chain shape.
+GUARD_SITES_PER_OP = 64
+
+
+def _measure_guard_cost_us():
+    prof = Profiler()   # disabled
+    n = 200_000
+    t = timeit.timeit("prof.enabled", globals={"prof": prof}, number=n)
+    return t / n * 1e6
+
+
+def test_disabled_guard_under_five_percent_of_op_cost():
+    from repro.core import CoarseAnalysis
+
+    from test_perf_guards import build_chain
+
+    guard_us = _measure_guard_cost_us()
+
+    ops = build_chain(num_tiles=4, chain=300)
+    coarse = CoarseAnalysis(num_shards=4)
+    t0 = time.perf_counter()
+    for i, op in enumerate(ops):
+        op.seq = i
+        coarse.analyze(op)
+    per_op_us = (time.perf_counter() - t0) / len(ops) * 1e6
+
+    overhead_us = guard_us * GUARD_SITES_PER_OP
+    # The coarse stage alone is the *cheapest* stage an op passes through,
+    # so this is conservative twice over.
+    assert overhead_us < 0.05 * per_op_us, (
+        f"disabled-profiler guards cost ~{overhead_us:.3f}us/op "
+        f"vs {per_op_us:.1f}us/op of analysis — over the 5% budget")
+
+
+def test_disabled_profiler_records_nothing():
+    from repro.apps.stencil import stencil2d_control
+
+    prof = Profiler()   # explicitly passed but never enabled
+    rt = Runtime(num_shards=4, auto_trace=True, profiler=prof)
+    rt.execute(stencil2d_control, 16, 4, 8)
+    assert prof.events == []
+    assert len(prof.metrics) == 0
+    # The untouched global default stayed empty too.
+    assert get_profiler().events == []
+
+
+def test_instrumented_run_stays_in_soak_budget():
+    """Same shape and budget as the functional soak: instrumentation (off)
+    must not push the medium stencil over its wall-clock bound."""
+    from repro.apps.stencil import stencil2d_control
+
+    t0 = time.perf_counter()
+    rt = Runtime(num_shards=8)
+    rt.execute(stencil2d_control, 32, 8, 10)
+    elapsed = time.perf_counter() - t0
+    rt.pipeline.validate()
+    assert elapsed < 10.0

@@ -7,7 +7,7 @@ import pytest
 PACKAGES = [
     "repro", "repro.regions", "repro.oracle", "repro.core", "repro.runtime",
     "repro.sim", "repro.models", "repro.apps", "repro.legate",
-    "repro.flexflow", "repro.tools", "repro.evaluation",
+    "repro.flexflow", "repro.tools", "repro.evaluation", "repro.obs",
 ]
 
 

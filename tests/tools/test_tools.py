@@ -39,6 +39,73 @@ class TestAnalysisReport:
         assert "elision rate" in text
         assert "cells" in text              # fence pressure region name
 
+    def test_profiler_metrics_section(self, finished_run):
+        from repro.obs import Profiler
+
+        rep = analyze_run(finished_run)
+        assert rep.profiler_metrics == {}
+        assert "profiler metrics:" not in rep.render()
+
+        rt = Runtime(num_shards=3, profiler=Profiler().enable())
+        rt.execute(stencil2d_control, 12, 4, 4)
+        rep = analyze_run(rt)
+        assert rep.profiler_metrics["pipeline.ops"] == rep.operations
+        text = rep.render()
+        assert "profiler metrics:" in text
+        assert "coarse.scans" in text
+
+
+class TestAnalysisReportEdgeCases:
+    """Degenerate inputs the derived metrics must not divide-by-zero on."""
+
+    def _empty(self, **overrides):
+        from repro.tools import AnalysisReport
+
+        base = dict(num_shards=1, operations=0, traced_operations=0,
+                    point_tasks=0, dependences=0, critical_path=0,
+                    fences=0, fences_elided=0)
+        base.update(overrides)
+        return AnalysisReport(**base)
+
+    def test_load_imbalance_no_shards(self):
+        assert self._empty().load_imbalance == 1.0
+
+    def test_load_imbalance_zero_mean(self):
+        rep = self._empty(points_per_shard={0: 0, 1: 0})
+        assert rep.load_imbalance == 1.0
+
+    def test_trace_hit_rate_zero_operations(self):
+        assert self._empty().trace_hit_rate == 0.0
+
+    def test_elision_rate_zero_fences(self):
+        # Nothing inserted and nothing elided: vacuously perfect.
+        assert self._empty().elision_rate == 1.0
+
+    def test_parallelism_zero_critical_path(self):
+        assert self._empty().parallelism == 0.0
+
+    def test_render_of_empty_report_golden(self):
+        """The exact degenerate rendering — locks the format and proves
+        every derived metric survives an all-zero report."""
+        text = self._empty().render()
+        assert text == "\n".join([
+            "DCR analysis report",
+            "===================",
+            "shards                : 1",
+            "operations analyzed   : 0 (0 trace-replayed, 0% hit rate)",
+            "tracing               : 0 fragments auto-identified, "
+            "0 replay fallbacks, 0 scans saved (~0 bytes of analysis)",
+            "point tasks           : 0",
+            "dependences           : 0 (0 cross-shard, 0 shard-local)",
+            "critical path         : 0 tasks (avg parallelism 0.0)",
+            "cross-shard fences    : 0 inserted, 0 elided "
+            "(100% elision rate)",
+            "analysis load balance : 1.00x (max shard / mean)",
+            "determinism checks    : 0 batches",
+            "data moved            : 0 points / 0 bytes "
+            "(directory-tracked)",
+        ])
+
 
 class TestDotExport:
     def test_task_graph_dot_structure(self, finished_run):
