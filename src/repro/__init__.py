@@ -32,8 +32,12 @@ from .regions import (Field, FieldSpace, IndexSpace, LogicalRegion,
 from .runtime import (BlockedMapper, Context, DefaultMapper, Future,
                       FutureMap, Mapper, Runtime)
 from .core import (CYCLIC, BLOCKED, HASHED, ControlDeterminismViolation,
-                   CounterRNG, DCRPipeline, Operation, TaskGraph)
+                   CounterRNG, DCRPipeline, DivergenceDiagnosis, Operation,
+                   TaskGraph)
+from .faults import (CollectiveTimeout, FaultInjector, FaultPlan,
+                     MessageFault, PlannedCrash, PlannedFlip, ShardCrash)
 from .obs import Profiler, get_profiler, profiled
+from .resilience import (RecoveryPolicy, RecoveryReport, ResilienceConfig)
 
 __version__ = "1.0.0"
 
@@ -44,7 +48,11 @@ __all__ = [
     "BlockedMapper", "Context", "DefaultMapper", "Future", "FutureMap",
     "Mapper", "Runtime",
     "CYCLIC", "BLOCKED", "HASHED", "ControlDeterminismViolation",
-    "CounterRNG", "DCRPipeline", "Operation", "TaskGraph",
+    "CounterRNG", "DCRPipeline", "DivergenceDiagnosis", "Operation",
+    "TaskGraph",
+    "CollectiveTimeout", "FaultInjector", "FaultPlan", "MessageFault",
+    "PlannedCrash", "PlannedFlip", "ShardCrash",
     "Profiler", "get_profiler", "profiled",
+    "RecoveryPolicy", "RecoveryReport", "ResilienceConfig",
     "__version__",
 ]

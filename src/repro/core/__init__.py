@@ -13,11 +13,11 @@ Layers (bottom to top):
 * :mod:`repro.core.tracing` — memoized analysis replay (Fig. 21).
 """
 
-from .collectives import Collectives, CollectiveStats
+from .collectives import Collectives, CollectiveStats, RetryConfig
 from .coarse import CoarseAnalysis, CoarseResult, Fence
 from .deferred import DeferredOpManager
 from .determinism import (ControlDeterminismViolation, DeterminismMonitor,
-                          ShardHasher)
+                          DivergenceDiagnosis, ShardHasher)
 from .fine import FineAnalysis, FineResult
 from .operation import (CoarseRequirement, IDENTITY_PROJECTION, Operation,
                         PointTask, ProjectionFunction)
@@ -33,10 +33,11 @@ from .tracing import (AutoTraceConfig, AutoTracer, TraceCache,
                       TraceIdentifier, TraceMismatch, auto_replay_flags)
 
 __all__ = [
-    "Collectives", "CollectiveStats",
+    "Collectives", "CollectiveStats", "RetryConfig",
     "CoarseAnalysis", "CoarseResult", "Fence",
     "DeferredOpManager",
-    "ControlDeterminismViolation", "DeterminismMonitor", "ShardHasher",
+    "ControlDeterminismViolation", "DeterminismMonitor",
+    "DivergenceDiagnosis", "ShardHasher",
     "FineAnalysis", "FineResult",
     "CoarseRequirement", "IDENTITY_PROJECTION", "Operation", "PointTask",
     "ProjectionFunction",

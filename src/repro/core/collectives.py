@@ -17,28 +17,65 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from ..obs.events import CAT_COLLECTIVE
+from ..faults.injector import CollectiveTimeout, FaultInjector
+from ..obs.events import (CAT_COLLECTIVE, CAT_FAULT, CONTROL_SHARD,
+                          EV_FAULT_INJECT, EV_FAULT_RETRY)
 from ..obs.profiler import Profiler, get_profiler
 
-__all__ = ["CollectiveStats", "Collectives"]
+__all__ = ["CollectiveStats", "RetryConfig", "Collectives"]
 
 T = TypeVar("T")
 
 
 @dataclass
 class CollectiveStats:
-    """Accounting of collective usage, consumed by the simulator cost model."""
+    """Accounting of collective usage, consumed by the simulator cost model.
+
+    ``rounds`` and ``messages`` include fault-induced extras: every
+    retransmission adds one message and one (serialized) hop, every
+    duplicate delivery adds one message — so a chaos run's cost model
+    charges what was actually sent, not the fault-free schedule.
+    """
 
     operations: int = 0
     rounds: int = 0            # latency in hops, sum over operations
     messages: int = 0          # point-to-point messages, sum over operations
     by_kind: dict = field(default_factory=dict)
+    # -- fault accounting (all zero without an injector) --------------------
+    retransmissions: int = 0   # messages re-sent after a drop
+    duplicates: int = 0        # spurious second deliveries
+    delayed: int = 0           # messages that arrived late
+    timeouts: int = 0          # retry budgets exhausted
+    retry_backoff_us: float = 0.0   # total backoff latency awaited
+    delay_latency_us: float = 0.0   # total injected delivery delay
 
     def record(self, kind: str, rounds: int, messages: int) -> None:
         self.operations += 1
         self.rounds += rounds
         self.messages += messages
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Retry/backoff policy for lost collective messages.
+
+    A dropped message is retransmitted up to ``max_retries`` times; the
+    k-th retransmission waits ``backoff_us * factor**k`` microseconds
+    (k = 0 for the first retry).  The schedule depends only on the retry
+    config and the (deterministic) drop decisions, so two runs with the
+    same fault seed wait identical backoff totals.  ``delay_us`` is the
+    latency charged for an injected message delay (masked, no retry).
+    """
+
+    max_retries: int = 3
+    backoff_us: float = 50.0
+    factor: float = 2.0
+    delay_us: float = 25.0
+
+    def backoff_schedule(self, attempts: int) -> List[float]:
+        """Backoff waits for ``attempts`` consecutive retransmissions."""
+        return [self.backoff_us * self.factor ** k for k in range(attempts)]
 
 
 def _log2_rounds(n: int) -> int:
@@ -55,12 +92,76 @@ class Collectives:
     """
 
     def __init__(self, num_shards: int,
-                 profiler: Optional[Profiler] = None):
+                 profiler: Optional[Profiler] = None,
+                 injector: Optional[FaultInjector] = None,
+                 retry: Optional[RetryConfig] = None):
         if num_shards < 1:
             raise ValueError("need at least one shard")
         self.num_shards = num_shards
         self.profiler = profiler if profiler is not None else get_profiler()
+        self.injector = injector
+        self.retry = retry or RetryConfig()
         self.stats = CollectiveStats()
+
+    def _deliver(self, kind: str, rounds: int, messages: int) -> tuple:
+        """Record one collective, pushing each message past the injector.
+
+        Without an injector (or with it disabled) this is exactly
+        ``stats.record`` — no per-message loop runs.  With one, every
+        message of the schedule may be dropped (retransmitted with
+        exponential backoff, raising :class:`CollectiveTimeout` past
+        ``retry.max_retries``), delayed (masked; latency charged), or
+        duplicated (one extra message).  Returns the adjusted ``(rounds,
+        messages)`` actually charged, for the profiler's hop schedule.
+        """
+        inj = self.injector
+        if inj is None or not inj.enabled:
+            self.stats.record(kind, rounds, messages)
+            return rounds, messages
+        prof = self.profiler
+        retry = self.retry
+        op = self.stats.operations          # ordinal of this collective
+        extra_rounds = 0
+        extra_msgs = 0
+        for m in range(messages):
+            attempt = 0
+            while True:
+                event = inj.message_event(kind, op, m, attempt)
+                if event is None:
+                    break
+                if prof.enabled:
+                    prof.instant(CONTROL_SHARD, CAT_FAULT, EV_FAULT_INJECT,
+                                 site=f"msg_{event}", kind=kind, op=op,
+                                 msg=m, attempt=attempt)
+                if event == "delay":
+                    self.stats.delayed += 1
+                    self.stats.delay_latency_us += retry.delay_us
+                    break
+                if event == "dup":
+                    self.stats.duplicates += 1
+                    extra_msgs += 1
+                    break
+                # Dropped: retransmit after exponential backoff, or give up.
+                if attempt >= retry.max_retries:
+                    self.stats.timeouts += 1
+                    self.stats.record(kind, rounds + extra_rounds,
+                                      messages + extra_msgs)
+                    raise CollectiveTimeout(kind, op, m, attempt + 1)
+                backoff = retry.backoff_us * retry.factor ** attempt
+                self.stats.retry_backoff_us += backoff
+                self.stats.retransmissions += 1
+                extra_msgs += 1
+                extra_rounds += 1     # the retry hop is serialized
+                if prof.enabled:
+                    prof.instant(CONTROL_SHARD, CAT_FAULT, EV_FAULT_RETRY,
+                                 kind=kind, op=op, msg=m, attempt=attempt,
+                                 backoff_us=backoff)
+                    prof.count("faults.retransmissions")
+                attempt += 1
+        rounds += extra_rounds
+        messages += extra_msgs
+        self.stats.record(kind, rounds, messages)
+        return rounds, messages
 
     def _profile(self, kind: str, t0: float, rounds: int,
                  messages: int) -> None:
@@ -95,8 +196,8 @@ class Collectives:
         n = self.num_shards
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
-        rounds, msgs = _log2_rounds(n), max(0, n - 1)
-        self.stats.record("broadcast", rounds, msgs)
+        rounds, msgs = self._deliver("broadcast", _log2_rounds(n),
+                                     max(0, n - 1))
         result = [value for _ in range(n)]
         if prof.enabled:
             self._profile("broadcast", t0, rounds, msgs)
@@ -114,8 +215,8 @@ class Collectives:
             raise ValueError("one value per shard required")
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
-        rounds, msgs = _log2_rounds(n), max(0, n - 1)
-        self.stats.record("reduce", rounds, msgs)
+        rounds, msgs = self._deliver("reduce", _log2_rounds(n),
+                                     max(0, n - 1))
         acc: List[T] = list(values)
         dist = 1
         while dist < n:
@@ -141,11 +242,11 @@ class Collectives:
             raise ValueError("one value per shard required")
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
-        rounds = _log2_rounds(n)
-        self.stats.record("allgather", rounds, rounds * n)
+        base = _log2_rounds(n)
+        rounds, msgs = self._deliver("allgather", base, base * n)
         result = [list(values) for _ in range(n)]
         if prof.enabled:
-            self._profile("allgather", t0, rounds, rounds * n)
+            self._profile("allgather", t0, rounds, msgs)
         return result
 
     def allreduce(self, values: Sequence[T], op: Callable[[T, T], T]) -> List[T]:
@@ -180,7 +281,7 @@ class Collectives:
             for i in range(extra):
                 # Extra shard pow2+i folds into shard i before the butterfly.
                 acc[i] = op(acc[i], acc[pow2 + i])
-        self.stats.record("allreduce", rounds, msgs)
+        rounds, msgs = self._deliver("allreduce", rounds, msgs)
         dist = 1
         while dist < pow2:
             nxt = list(acc)
@@ -203,10 +304,10 @@ class Collectives:
         n = self.num_shards
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
-        rounds = _log2_rounds(n)
-        self.stats.record("barrier", rounds, rounds * n)
+        base = _log2_rounds(n)
+        rounds, msgs = self._deliver("barrier", base, base * n)
         if prof.enabled:
-            self._profile("barrier", t0, rounds, rounds * n)
+            self._profile("barrier", t0, rounds, msgs)
 
     def fence_rounds(self) -> int:
         """Latency (in hops) of one cross-shard fence collective."""

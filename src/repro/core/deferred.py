@@ -46,8 +46,26 @@ class DeferredOpManager:
         self._announce_order: List[Hashable] = []
         self._interval = min_interval
         self._cooldown = 0
+        self._active: Set[int] = set(range(num_shards))
         self.polls = 0            # polls actually performed
         self.skipped = 0          # polls suppressed by back-off
+
+    def quarantine(self, shard: int) -> None:
+        """Stop waiting for ``shard``'s announcements (DEGRADE recovery).
+
+        Consensus now requires only the surviving shards — without this a
+        quarantined shard's missing announcements would wedge every pending
+        deferred op (and the runtime's drain loop) forever.
+        """
+        self._active.discard(shard)
+        if not self._active:
+            raise ValueError("cannot quarantine the last active shard")
+
+    def restore(self, shard: int) -> None:
+        """Re-admit ``shard`` to the consensus set (RESTART rejoin)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"invalid shard {shard}")
+        self._active.add(shard)
 
     def announce(self, shard: int, key: Hashable) -> None:
         """Shard ``shard``'s collector finalized the resource named ``key``."""
@@ -70,7 +88,7 @@ class DeferredOpManager:
         self.polls += 1
         ready = [
             key for key in self._announce_order
-            if len(self._pending[key].observed_by) == self.num_shards
+            if self._active <= self._pending[key].observed_by
         ]
         for key in ready:
             del self._pending[key]

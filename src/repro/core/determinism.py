@@ -6,7 +6,11 @@ replicated task, compute a 128-bit hash capturing the call and its actual
 arguments, then verify via an (asynchronous, batched) all-reduce that all
 shards produced identical hashes.  On mismatch the runtime aborts with an
 error naming the first divergent operation — the paper reports this is
-sufficient for debugging.
+sufficient for debugging.  With ``localize=True`` the monitor goes further:
+it allgathers the per-call digests of the failed window and binary-searches
+the first divergent call, attaching a :class:`DivergenceDiagnosis` naming
+the culprit shard(s) — the foundation the recovery policies in
+:mod:`repro.resilience` build on.
 
 Hashing detail: raw Python object identities differ between shards even for
 logically identical resources, so each shard's checker *interns* runtime
@@ -18,33 +22,126 @@ numbering across shards, making the hashes comparable.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..obs.events import CAT_DETERMINISM, CONTROL_SHARD, EV_DET_CHECK
+from ..faults.injector import FaultInjector, ShardCrash
+from ..obs.events import (CAT_DETERMINISM, CONTROL_SHARD, EV_DET_CHECK,
+                          EV_DET_LOCALIZE)
 from ..obs.profiler import Profiler, get_profiler
 from .collectives import Collectives
 
-__all__ = ["ControlDeterminismViolation", "ShardHasher", "DeterminismMonitor"]
+__all__ = ["ControlDeterminismViolation", "DivergenceDiagnosis",
+           "ShardHasher", "DeterminismMonitor"]
+
+
+@dataclass(frozen=True)
+class DivergenceDiagnosis:
+    """Localized first point of control divergence (LOCALIZE output).
+
+    Produced by :meth:`DeterminismMonitor.localize_window`: after a window
+    hash mismatch, the per-call digests of the window are allgathered and
+    the first divergent call index found by binary search over per-shard
+    digest prefixes.  ``divergent_shards`` are the shards whose digest at
+    ``seq`` differs from the majority digest (ties break toward the digest
+    held by the lowest shard id).
+    """
+
+    seq: int                                  # global API-call index
+    shard_ids: Tuple[int, ...]                # shards compared, ascending
+    shard_digests: Tuple[int, ...]            # 128-bit digest at seq, per shard
+    descriptions: Tuple[str, ...]             # call description at seq, per shard
+    divergent_shards: Tuple[int, ...]         # minority shards at seq
+    majority_digest: int
+    call_counts: Tuple[int, ...]              # total calls recorded, per shard
+    window: Tuple[int, int]                   # (start, count) of failed window
+
+    def summary(self) -> str:
+        pairs = ", ".join(
+            f"shard {s}: {d!r}" for s, d in zip(self.shard_ids,
+                                                self.descriptions))
+        return (f"first divergence at API call #{self.seq} on shard(s) "
+                f"{list(self.divergent_shards)} — {pairs}")
 
 
 class ControlDeterminismViolation(RuntimeError):
-    """Raised when shards diverge in their sequence of runtime API calls."""
+    """Raised when shards diverge in their sequence of runtime API calls.
 
-    def __init__(self, seq: int, descriptions: Sequence[str]):
+    Beyond the formatted message, carries structured fields so recovery
+    policies (and tests) never have to parse strings:
+
+    * ``seq`` — first divergent (or first missing) API-call index;
+    * ``descriptions`` — per-shard call description at ``seq``;
+    * ``shard_digests`` — per-shard 128-bit digest at ``seq`` (None for the
+      unequal-count case, where the short shards made no call at ``seq``);
+    * ``shard_ids`` — which shard each entry of the parallel lists refers
+      to (defaults to 0..n-1);
+    * ``call_counts`` — per-shard total recorded calls (unequal-count case);
+    * ``diagnosis`` — full :class:`DivergenceDiagnosis` when LOCALIZE ran.
+    """
+
+    def __init__(self, seq: int, descriptions: Sequence[str],
+                 shard_digests: Optional[Sequence[int]] = None,
+                 shard_ids: Optional[Sequence[int]] = None,
+                 call_counts: Optional[Sequence[int]] = None,
+                 diagnosis: Optional[DivergenceDiagnosis] = None):
         self.seq = seq
         self.descriptions = list(descriptions)
+        self.shard_digests = list(shard_digests) if shard_digests else None
+        self.shard_ids = (list(shard_ids) if shard_ids is not None
+                          else list(range(len(self.descriptions))))
+        self.call_counts = list(call_counts) if call_counts else None
+        self.diagnosis = diagnosis
         uniq = sorted(set(self.descriptions))
-        super().__init__(
-            f"control determinism violated at API call #{seq}: shards "
-            f"disagree — {uniq}")
+        msg = (f"control determinism violated at API call #{seq}: shards "
+               f"disagree — {uniq}")
+        if self.call_counts:
+            per = ", ".join(f"shard {s}: {c} calls" for s, c in
+                            zip(self.shard_ids, self.call_counts))
+            short = [s for s, c in zip(self.shard_ids, self.call_counts)
+                     if c == min(self.call_counts)]
+            msg += f" (unequal call counts — {per}; short: {short})"
+        if diagnosis is not None:
+            msg += f"; {diagnosis.summary()}"
+        super().__init__(msg)
+
+    @property
+    def divergent_shards(self) -> Optional[List[int]]:
+        """Culprit shards when known (diagnosis or unequal counts)."""
+        if self.diagnosis is not None:
+            return list(self.diagnosis.divergent_shards)
+        if self.call_counts:
+            lo = min(self.call_counts)
+            return [s for s, c in zip(self.shard_ids, self.call_counts)
+                    if c == lo]
+        if self.shard_digests and self.shard_ids:
+            # Majority digest wins; ties break toward the lowest shard.
+            tally: Dict[int, int] = {}
+            for d in self.shard_digests:
+                tally[d] = tally.get(d, 0) + 1
+            best = max(tally.values())
+            majority = next(d for d in self.shard_digests
+                            if tally[d] == best)
+            return [s for s, d in zip(self.shard_ids, self.shard_digests)
+                    if d != majority]
+        return None
 
 
 class ShardHasher:
-    """Per-shard API-call hasher with resource interning."""
+    """Per-shard API-call hasher with resource interning.
 
-    def __init__(self, shard: int):
+    When a :class:`~repro.faults.FaultInjector` is attached, two fault
+    sites live here: ``hash_flip`` perturbs the digest (and tags the
+    description) of one call — simulating a divergent control decision
+    without changing the analyzed program — and ``shard_crash`` raises
+    :class:`~repro.faults.ShardCrash` in place of recording a call.  Both
+    are behind an ``enabled`` guard so the default path is unchanged.
+    """
+
+    def __init__(self, shard: int,
+                 injector: Optional[FaultInjector] = None):
         self.shard = shard
+        self.injector = injector
         self._intern: Dict[int, int] = {}
         self._next_local = 0
         self.calls: List[int] = []          # 128-bit hashes, in call order
@@ -90,6 +187,13 @@ class ShardHasher:
 
     def record(self, api_call: str, *args: Any, **kwargs: Any) -> int:
         """Hash one API call; returns the 128-bit digest as an int."""
+        inj = self.injector
+        faulted = False
+        if inj is not None and inj.enabled:
+            call = len(self.calls)
+            if inj.crash_call(self.shard, call):
+                raise ShardCrash(self.shard, call)
+            faulted = inj.flip_call(self.shard, call)
         h = hashlib.blake2b(digest_size=16)
         h.update(api_call.encode())
         for a in args:
@@ -98,9 +202,15 @@ class ShardHasher:
         for k in sorted(kwargs):
             h.update(b"|" + k.encode() + b"=")
             h.update(self._canon(kwargs[k]))
+        if faulted:
+            # Perturb only the digest: the analyzed call itself is intact,
+            # so recovery re-analysis reproduces the fault-free task graph
+            # (Theorem 1) while the determinism check sees a divergence.
+            h.update(b"|<fault-injected>")
         digest = int.from_bytes(h.digest(), "little")
         self.calls.append(digest)
-        self.descriptions.append(api_call)
+        self.descriptions.append(api_call + " [faulted]" if faulted
+                                 else api_call)
         return digest
 
 
@@ -120,26 +230,72 @@ class DeterminismMonitor:
     performs the collective once every ``batch`` calls are available on all
     shards (plus a final ``flush`` at task completion).  ``enabled=False``
     models the "No Safe" configurations of Fig. 21.
+
+    Recovery hooks (all optional, default off):
+
+    * ``injector`` — threaded into every :class:`ShardHasher`;
+    * ``localize=True`` — on a window mismatch, allgather per-call digests
+      and binary-search the first divergent call, raising with a full
+      :class:`DivergenceDiagnosis` instead of a bare first-difference scan;
+    * ``on_batch`` — callback ``(verified_count) -> None`` after each
+      successful check, used by the runtime for batch-boundary snapshots;
+    * ``quarantine(shard)`` / ``reset_shard(shard)`` — shrink the compared
+      shard set after DEGRADE, or re-admit a shard with a fresh hasher for
+      RESTART (it rejoins checking at the next batch boundary, once its
+      re-execution catches back up to the verified frontier).
     """
 
     def __init__(self, num_shards: int, batch: int = 64, enabled: bool = True,
                  collectives: Optional[Collectives] = None,
-                 profiler: Optional[Profiler] = None):
-        self.hashers = [ShardHasher(i) for i in range(num_shards)]
+                 profiler: Optional[Profiler] = None,
+                 injector: Optional[FaultInjector] = None,
+                 localize: bool = False,
+                 on_batch: Optional[Callable[[int], None]] = None):
+        self.injector = injector
+        self.hashers = [ShardHasher(i, injector) for i in range(num_shards)]
         self.batch = max(1, batch)
         self.enabled = enabled
+        self.localize = localize
+        self.on_batch = on_batch
         self.profiler = profiler if profiler is not None else get_profiler()
         self.collectives = collectives or Collectives(
             num_shards, profiler=self.profiler)
         self._verified = 0
         self.checks_performed = 0
+        self._active = set(range(num_shards))
 
     def hasher(self, shard: int) -> ShardHasher:
         return self.hashers[shard]
 
+    # -- shard-set management (DEGRADE / RESTART) ----------------------------
+
+    @property
+    def active_shards(self) -> List[int]:
+        return sorted(self._active)
+
+    def quarantine(self, shard: int) -> None:
+        """Stop comparing ``shard``; its recorded calls are abandoned."""
+        self._active.discard(shard)
+        if not self._active:
+            raise ValueError("cannot quarantine the last active shard")
+
+    def reset_shard(self, shard: int) -> None:
+        """Re-admit ``shard`` with a fresh hasher (RESTART rejoin).
+
+        The restarted shard replays its control stream from the beginning;
+        checks stall (``_ready() <= 0``) until it catches back up to the
+        verified frontier, i.e. it rejoins at the next batch boundary.
+        """
+        self.hashers[shard] = ShardHasher(shard, self.injector)
+        self._active.add(shard)
+
+    def _active_hashers(self) -> List[ShardHasher]:
+        return [self.hashers[s] for s in sorted(self._active)]
+
     def _ready(self) -> int:
         """Number of call slots recorded by *all* shards but not yet checked."""
-        return min(len(h.calls) for h in self.hashers) - self._verified
+        avail = min(len(h.calls) for h in self._active_hashers())
+        return max(0, avail - self._verified)
 
     def maybe_check(self) -> None:
         """Run the collective check if a full batch is ready on every shard."""
@@ -150,41 +306,134 @@ class DeterminismMonitor:
         """Check everything outstanding; also verifies equal call counts."""
         if not self.enabled:
             return
-        counts = {len(h.calls) for h in self.hashers}
-        if len(counts) > 1:
+        hashers = self._active_hashers()
+        counts = [len(h.calls) for h in hashers]
+        if len(set(counts)) > 1:
             seq = min(counts)
+            # Guard and index must agree on the *same* list: descriptions
+            # grows in lockstep with calls, so index it under its own length.
             descr = [
-                h.descriptions[seq] if seq < len(h.calls) else "<no call>"
-                for h in self.hashers
+                h.descriptions[seq] if seq < len(h.descriptions)
+                else "<no call>"
+                for h in hashers
             ]
-            raise ControlDeterminismViolation(seq, descr)
+            raise ControlDeterminismViolation(
+                seq, descr,
+                shard_ids=[h.shard for h in hashers],
+                call_counts=counts)
         remaining = self._ready()
         if remaining > 0:
             self._check(remaining)
+
+    # -- window digests & localization ---------------------------------------
+
+    def window_digest(self, shard: int, start: int, count: int) -> int:
+        """128-bit digest of one shard's calls ``[start, start+count)``."""
+        acc = hashlib.blake2b(digest_size=16)
+        for d in self.hashers[shard].calls[start:start + count]:
+            acc.update(d.to_bytes(16, "little"))
+        return int.from_bytes(acc.digest(), "little")
+
+    def localize_window(self, start: int, count: int) -> DivergenceDiagnosis:
+        """Find the first divergent call in a mismatched window (LOCALIZE).
+
+        Models the paper-faithful distributed protocol: every shard
+        contributes its per-call digests for the window via one allgather
+        (charged to :class:`Collectives` and the profiler), then each shard
+        runs the same deterministic binary search over digest prefixes —
+        window hashes are prefix-monotone, so the first index at which the
+        prefix sets diverge is the first divergent call.
+        """
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
+        shards = sorted(self._active)
+        hashers = [self.hashers[s] for s in shards]
+        # The allgather moves count 128-bit digests per shard; the payload
+        # rides the same O(log N) schedule as any allgather.  Quarantined
+        # slots are padded with the first active shard's stream so the
+        # collective keeps its fixed width without affecting the search.
+        per_call = [h.calls[start:start + count] for h in hashers]
+        pad = self.collectives.num_shards - len(per_call)
+        full = self.collectives.allgather(
+            per_call + per_call[:1] * pad)[0][:len(shards)]
+        # Binary search the first divergent call.  Individual call digests
+        # can re-coincide after a divergence, so the search runs over
+        # *chained prefix* digests (prefix[i] folds in calls [0, i]), which
+        # are monotone: once the first differing call is included, every
+        # longer prefix disagrees too.
+        prefixes: List[List[int]] = []
+        for calls in full:
+            acc = hashlib.blake2b(digest_size=16)
+            row: List[int] = []
+            for d in calls:
+                acc.update(d.to_bytes(16, "little"))
+                row.append(int.from_bytes(acc.digest(), "little"))
+            prefixes.append(row)
+        lo, hi = 0, count - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if len({row[mid] for row in prefixes}) > 1:
+                hi = mid
+            else:
+                lo = mid + 1
+        off = lo
+        seq = start + off
+        digests = [calls[off] for calls in full]
+        # Majority digest wins; ties break toward the lowest shard id's
+        # digest, so a 1-vs-1 split blames the higher shard.
+        tally: Dict[int, int] = {}
+        for d in digests:
+            tally[d] = tally.get(d, 0) + 1
+        best = max(tally.values())
+        majority = next(d for d in digests if tally[d] == best)
+        divergent = tuple(s for s, d in zip(shards, digests) if d != majority)
+        diagnosis = DivergenceDiagnosis(
+            seq=seq,
+            shard_ids=tuple(shards),
+            shard_digests=tuple(digests),
+            descriptions=tuple(h.descriptions[seq] for h in hashers),
+            divergent_shards=divergent,
+            majority_digest=majority,
+            call_counts=tuple(len(h.calls) for h in hashers),
+            window=(start, count),
+        )
+        if prof.enabled:
+            prof.complete(CONTROL_SHARD, CAT_DETERMINISM, EV_DET_LOCALIZE,
+                          t0, prof.now_us() - t0, seq=seq,
+                          shards=list(divergent), window=count)
+            prof.count("determinism.localizations")
+        return diagnosis
 
     def _check(self, count: int) -> None:
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
         start = self._verified
         self.checks_performed += 1
+        hashers = self._active_hashers()
         # One all-reduce over the batch: combine (window-hash, ok) pairs.
-        window_hashes = []
-        for h in self.hashers:
-            acc = hashlib.blake2b(digest_size=16)
-            for d in h.calls[start:start + count]:
-                acc.update(d.to_bytes(16, "little"))
-            window_hashes.append(int.from_bytes(acc.digest(), "little"))
+        window_hashes = [self.window_digest(h.shard, start, count)
+                         for h in hashers]
+        pad = self.collectives.num_shards - len(window_hashes)
         combined = self.collectives.allreduce(
-            [(w, True) for w in window_hashes],
+            [(w, True) for w in window_hashes + window_hashes[:1] * pad],
             lambda a, b: (a[0], a[1] and b[1] and a[0] == b[0]))
         if not all(ok for (_w, ok) in combined):
+            if self.localize:
+                diagnosis = self.localize_window(start, count)
+                raise ControlDeterminismViolation(
+                    diagnosis.seq, list(diagnosis.descriptions),
+                    shard_digests=list(diagnosis.shard_digests),
+                    shard_ids=list(diagnosis.shard_ids),
+                    diagnosis=diagnosis)
             # Locate the first divergent call for the error message.
             for off in range(count):
                 seq = start + off
-                digests = {h.calls[seq] for h in self.hashers}
+                digests = {h.calls[seq] for h in hashers}
                 if len(digests) > 1:
                     raise ControlDeterminismViolation(
-                        seq, [h.descriptions[seq] for h in self.hashers])
+                        seq, [h.descriptions[seq] for h in hashers],
+                        shard_digests=[h.calls[seq] for h in hashers],
+                        shard_ids=[h.shard for h in hashers])
             raise ControlDeterminismViolation(start, ["<window mismatch>"])
         self._verified = start + count
         if prof.enabled:
@@ -193,3 +442,5 @@ class DeterminismMonitor:
                           batch=self.checks_performed)
             prof.count("determinism.batches")
             prof.count("determinism.calls_checked", count)
+        if self.on_batch is not None:
+            self.on_batch(self._verified)

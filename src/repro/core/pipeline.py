@@ -36,7 +36,7 @@ Legion's safe-fallback semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..obs.events import (CAT_FINE, CAT_PIPELINE, CAT_TRACE, CONTROL_SHARD,
                           EV_FINE_POINTS, EV_OP_ANALYZE, EV_TRACE_REPLAY)
@@ -45,6 +45,9 @@ from .coarse import CoarseAnalysis, CoarseResult, Fence
 from .fine import FineAnalysis, FineResult
 from .operation import Operation, PointTask
 from .tracing import AutoTraceConfig, AutoTracer, TraceCache, TraceMismatch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
 
 __all__ = ["OpRecord", "PipelineStats", "DCRPipeline"]
 
@@ -94,18 +97,21 @@ class DCRPipeline:
 
     def __init__(self, num_shards: int, auto_trace: bool = False,
                  auto_trace_config: Optional[AutoTraceConfig] = None,
-                 profiler: Optional[Profiler] = None):
+                 profiler: Optional[Profiler] = None,
+                 injector: Optional["FaultInjector"] = None):
         self.num_shards = num_shards
         # The profiler is a no-op singleton when disabled: every hot-path
         # emission below sits behind one `prof.enabled` attribute check and
         # never influences any analysis decision (the zero-perturbation
-        # contract, tests/obs/test_zero_perturbation.py).
+        # contract, tests/obs/test_zero_perturbation.py).  The injector
+        # follows the same discipline (None by default, `enabled` gates).
         self.profiler = profiler if profiler is not None else get_profiler()
+        self.injector = injector
         self.coarse = CoarseAnalysis(num_shards, profiler=self.profiler)
         self.fine = FineAnalysis(num_shards, profiler=self.profiler)
         self.records: List[OpRecord] = []
         self.stats = PipelineStats()
-        self._traces = TraceCache(profiler=self.profiler)
+        self._traces = TraceCache(profiler=self.profiler, injector=injector)
         self._auto: Optional[AutoTracer] = (
             AutoTracer(auto_trace_config) if auto_trace else None)
         self._explicit_trace = False

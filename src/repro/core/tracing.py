@@ -44,13 +44,15 @@ from dataclasses import dataclass, field
 from typing import (Dict, Hashable, List, Optional, Sequence, Set, Tuple,
                     TYPE_CHECKING)
 
-from ..obs.events import (CAT_TRACE, CONTROL_SHARD, EV_TRACE_FALLBACK,
+from ..obs.events import (CAT_FAULT, CAT_TRACE, CONTROL_SHARD,
+                          EV_FAULT_INJECT, EV_TRACE_FALLBACK,
                           EV_TRACE_RECORD, EV_TRACE_REPLAY)
 from ..obs.profiler import Profiler, get_profiler
 from .coarse import Fence
 from .operation import Operation, PointTask
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injector import FaultInjector
     from .pipeline import DCRPipeline, OpRecord
 
 __all__ = ["TraceMismatch", "TraceCache", "AutoTraceConfig",
@@ -134,8 +136,10 @@ class TraceCache:
 
     IDLE, RECORDING, REPLAYING = "idle", "recording", "replaying"
 
-    def __init__(self, profiler: Optional[Profiler] = None) -> None:
+    def __init__(self, profiler: Optional[Profiler] = None,
+                 injector: Optional["FaultInjector"] = None) -> None:
         self.profiler = profiler if profiler is not None else get_profiler()
+        self.injector = injector
         self._traces: Dict[Hashable, _Recording] = {}
         self._state = self.IDLE
         self._tid: Optional[Hashable] = None
@@ -178,11 +182,39 @@ class TraceCache:
             prof.count("trace.recordings")
         return False
 
+    def _maybe_corrupt(self, trace_id: Hashable) -> None:
+        """``trace_corrupt`` fault site: damage one entry of a recording.
+
+        Mangles the stored signature of a deterministic victim entry, so
+        the *next* replay of this trace hits a signature mismatch and takes
+        the safe fallback path (abort + evict + fresh analysis) — the same
+        machinery that guards against genuinely stale recordings.
+        """
+        inj = self.injector
+        if inj is None or not inj.enabled:
+            return
+        rec = self._traces.get(trace_id)
+        if rec is None:
+            return
+        victim = inj.corrupt_recording(self.recordings - 1, len(rec.entries))
+        if victim is None:
+            return
+        entry = rec.entries[victim]
+        entry.signature = ("__corrupted__",) + tuple(entry.signature)
+        prof = self.profiler
+        if prof.enabled:
+            prof.instant(CONTROL_SHARD, CAT_FAULT, EV_FAULT_INJECT,
+                         site="trace_corrupt", trace=_trace_label(trace_id),
+                         entry=victim)
+            prof.count("faults.trace_corruptions")
+
     def end(self) -> None:
         prof = self.profiler
         if prof.enabled and self._state == self.RECORDING:
             prof.instant(CONTROL_SHARD, CAT_TRACE, EV_TRACE_RECORD,
                          trace=_trace_label(self._tid), ops=self._index)
+        if self._state == self.RECORDING:
+            self._maybe_corrupt(self._tid)
         try:
             if self._state == self.REPLAYING:
                 rec = self._traces[self._tid]  # type: ignore[index]
@@ -287,6 +319,7 @@ class TraceCache:
                          trace=_trace_label(trace_id), ops=len(rec.entries),
                          retroactive=True)
             prof.count("trace.recordings")
+        self._maybe_corrupt(trace_id)
 
     @staticmethod
     def _entry_for(record, offset_of: Dict[int, int]) -> _TraceEntry:

@@ -1,0 +1,180 @@
+"""The fault injector: deterministic decisions from a :class:`FaultPlan`.
+
+Instrumented components (hasher, collectives, trace cache) hold an optional
+injector reference and consult it behind an ``inj is not None and
+inj.enabled`` guard — the same zero-perturbation discipline the profiler
+uses, so a run without an injector (the default) takes no new branches in
+any decision path.
+
+Determinism: every probabilistic decision is ``threefry2x64(seed, H(site,
+indices))`` — a pure function of the plan and the site coordinates, never
+of evaluation order or wall clock.  Divergence-class faults (``hash_flip``,
+``shard_crash``, ``trace_corrupt``) additionally fire **at most once per
+key** per injector, so a recovery re-execution of the same control program
+does not re-trip the fault it is recovering from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Set, Tuple
+
+from ..core.rng import threefry2x64
+from .plan import FaultPlan, MessageFault
+
+__all__ = ["ShardCrash", "CollectiveTimeout", "FaultInjector"]
+
+
+class ShardCrash(RuntimeError):
+    """A shard's control replay died mid-batch (injected or escalated)."""
+
+    def __init__(self, shard: int, seq: int, reason: str = "injected fault"):
+        self.shard = shard
+        self.seq = seq
+        self.reason = reason
+        super().__init__(
+            f"shard {shard} crashed at API call #{seq} ({reason})")
+
+
+class CollectiveTimeout(RuntimeError):
+    """A collective message exceeded its retry budget."""
+
+    def __init__(self, kind: str, op: int, msg: int, attempts: int):
+        self.kind = kind
+        self.op = op
+        self.msg = msg
+        self.attempts = attempts
+        super().__init__(
+            f"collective {kind} #{op}: message {msg} lost after "
+            f"{attempts} transmissions (retry budget exhausted)")
+
+
+#: Domain-separation stream for fault draws (arbitrary non-zero constant).
+_FAULT_STREAM = 0xFA17
+
+
+def _site_counter(site: str, indices: Tuple[int, ...]) -> Tuple[int, int]:
+    """Collapse (site, indices) into a 128-bit Threefry counter."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(site.encode())
+    for i in indices:
+        h.update(b"|" + str(i).encode())
+    d = h.digest()
+    return (int.from_bytes(d[:8], "little"), int.from_bytes(d[8:], "little"))
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into per-site go/no-go decisions."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan or FaultPlan()
+        self._fired: Set[Tuple] = set()     # one-shot keys already consumed
+        # Injection log: (site, indices) of every fault that fired, in
+        # firing order — consumed by diagnosis reports and tests.
+        self.injected: list = []
+        # Plain attribute, not a property: ``inj.enabled`` is evaluated on
+        # every guarded site, so it must cost one attribute load — the
+        # same discipline as ``Profiler.enabled``.  Plans are declared up
+        # front and never mutated after the injector is built.
+        self.enabled: bool = self.plan.any_faults
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultInjector"]:
+        plan = FaultPlan.from_env()
+        return cls(plan) if plan is not None else None
+
+    # -- decision machinery ---------------------------------------------------
+
+    def _uniform(self, site: str, *indices: int) -> float:
+        word, _ = threefry2x64((self.plan.seed, _FAULT_STREAM),
+                               _site_counter(site, indices))
+        return (word >> 11) * (1.0 / (1 << 53))
+
+    def _rate_hit(self, site: str, *indices: int) -> bool:
+        rate = self.plan.rates.get(site, 0.0)
+        return rate > 0.0 and self._uniform(site, *indices) < rate
+
+    def _fire_once(self, key: Tuple) -> bool:
+        """Consume a one-shot key; False if it already fired."""
+        if key in self._fired:
+            return False
+        self._fired.add(key)
+        self.injected.append(key)
+        return True
+
+    # -- site: hash_flip ------------------------------------------------------
+
+    def flip_call(self, shard: int, call: int) -> bool:
+        """Should ``shard``'s API call number ``call`` be perturbed?"""
+        for f in self.plan.flips:
+            if f.shard == shard and f.call == call:
+                return self._fire_once(("hash_flip", shard, call))
+        if self._rate_hit("hash_flip", shard, call):
+            return self._fire_once(("hash_flip", shard, call))
+        return False
+
+    # -- site: shard_crash ----------------------------------------------------
+
+    def crash_call(self, shard: int, call: int) -> bool:
+        """Should ``shard`` crash instead of recording call ``call``?"""
+        for c in self.plan.crashes:
+            if c.shard == shard and c.call == call:
+                return self._fire_once(("shard_crash", shard, call))
+        if self._rate_hit("shard_crash", shard, call):
+            return self._fire_once(("shard_crash", shard, call))
+        return False
+
+    # -- site: collective messages -------------------------------------------
+
+    def _planned_message(self, kind: str, op: int,
+                         msg: int) -> Optional[MessageFault]:
+        for mf in self.plan.message_faults:
+            if mf.op == op and mf.msg == msg and mf.kind in ("", kind):
+                return mf
+        return None
+
+    def message_event(self, kind: str, op: int, msg: int,
+                      attempt: int) -> Optional[str]:
+        """Fault affecting transmission ``attempt`` of one message, if any.
+
+        Returns one of :data:`~repro.faults.plan.MESSAGE_EVENTS` or None.
+        Planned faults take precedence; probabilistic drops re-roll per
+        attempt (so ``p^k`` odds of ``k`` consecutive losses), while delay
+        and duplication only apply to the first transmission.
+        """
+        planned = self._planned_message(kind, op, msg)
+        if planned is not None:
+            if planned.event == "drop":
+                if attempt < planned.attempts:
+                    self.injected.append(("msg_drop", kind, op, msg, attempt))
+                    return "drop"
+                return None
+            if attempt == 0:
+                self.injected.append(
+                    (f"msg_{planned.event}", kind, op, msg, 0))
+                return planned.event
+            return None
+        if self._rate_hit("msg_drop", op, msg, attempt):
+            self.injected.append(("msg_drop", kind, op, msg, attempt))
+            return "drop"
+        if attempt == 0:
+            for event in ("delay", "dup"):
+                if self._rate_hit(f"msg_{event}", op, msg):
+                    self.injected.append((f"msg_{event}", kind, op, msg, 0))
+                    return event
+        return None
+
+    # -- site: trace_corrupt --------------------------------------------------
+
+    def corrupt_recording(self, ordinal: int, entries: int) -> Optional[int]:
+        """Entry index to corrupt in recording number ``ordinal``, or None."""
+        if entries <= 0:
+            return None
+        hit = ordinal in self.plan.trace_corruptions \
+            or self._rate_hit("trace_corrupt", ordinal)
+        if hit and self._fire_once(("trace_corrupt", ordinal)):
+            # Deterministic victim entry within the recording.
+            word, _ = threefry2x64((self.plan.seed, _FAULT_STREAM),
+                                   _site_counter("trace_victim", (ordinal,)))
+            return word % entries
+        return None

@@ -19,10 +19,14 @@ __all__ = [
     "CONTROL_SHARD",
     "CAT_PIPELINE", "CAT_COARSE", "CAT_FINE", "CAT_COLLECTIVE", "CAT_TRACE",
     "CAT_DETERMINISM", "CAT_EXEC", "CAT_CONTROL", "CAT_SIM",
+    "CAT_FAULT", "CAT_RESILIENCE",
     "EV_OP_ANALYZE", "EV_COARSE_GROUP", "EV_FINE_POINTS",
     "EV_FENCE_INSERT", "EV_FENCE_ELIDE",
     "EV_TRACE_RECORD", "EV_TRACE_REPLAY", "EV_TRACE_FALLBACK",
-    "EV_DET_CHECK", "EV_EXEC_POINT", "EV_CONTROL_REPLAY", "EV_SIM_EVENT",
+    "EV_DET_CHECK", "EV_DET_LOCALIZE",
+    "EV_EXEC_POINT", "EV_CONTROL_REPLAY", "EV_SIM_EVENT",
+    "EV_FAULT_INJECT", "EV_FAULT_RETRY", "EV_SHARD_CRASH",
+    "EV_QUARANTINE", "EV_RECOVERY", "EV_SNAPSHOT",
     "ANALYSIS_CATEGORIES",
 ]
 
@@ -40,10 +44,12 @@ CAT_DETERMINISM = "determinism"    # hash batches and their all-reduce
 CAT_EXEC = "exec"                  # point-task execution
 CAT_CONTROL = "control"            # per-shard control-program replay
 CAT_SIM = "sim"                    # discrete-event simulator ticks
+CAT_FAULT = "fault"                # injected faults, retries, crashes
+CAT_RESILIENCE = "resilience"      # quarantine / recovery / snapshots
 
 #: Categories the prof CLI rolls into the per-shard "time in ..." table.
 ANALYSIS_CATEGORIES = (CAT_COARSE, CAT_FINE, CAT_COLLECTIVE, CAT_TRACE,
-                       CAT_DETERMINISM, CAT_EXEC)
+                       CAT_DETERMINISM, CAT_EXEC, CAT_FAULT, CAT_RESILIENCE)
 
 # -- event names ------------------------------------------------------------
 
@@ -56,6 +62,13 @@ EV_TRACE_RECORD = "trace.record"       # instant: a fragment was recorded
 EV_TRACE_REPLAY = "trace.replay"       # instant: a replay began serving
 EV_TRACE_FALLBACK = "trace.fallback"   # instant: replay abandoned (divergence)
 EV_DET_CHECK = "determinism.check"     # span: one batched hash all-reduce
+EV_DET_LOCALIZE = "determinism.localize"  # span: window allgather + bisect
 EV_EXEC_POINT = "exec.point"           # span: one point task body
 EV_CONTROL_REPLAY = "control.replay"   # span: one shard's control program
 EV_SIM_EVENT = "sim.event"             # instant: one simulator event fired
+EV_FAULT_INJECT = "fault.inject"       # instant: an injected fault fired
+EV_FAULT_RETRY = "fault.retry"         # instant: one message retransmission
+EV_SHARD_CRASH = "fault.crash"         # instant: a shard's replay died
+EV_QUARANTINE = "resilience.quarantine"  # instant: shard removed from set
+EV_RECOVERY = "resilience.recover"     # span: one recovery attempt
+EV_SNAPSHOT = "resilience.snapshot"    # instant: region snapshot captured

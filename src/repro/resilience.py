@@ -1,0 +1,148 @@
+"""Recovery policies for control-plane faults.
+
+The paper's control-determinism check (§3.2) *detects* divergence among
+control replicas; its only remedy is an abort.  Theorem 1 licenses far
+more: DEP_rep ≡ DEP_seq means **any** shard subset (down to one) can
+recompute the identical task graph, so a diverged or crashed shard is
+recoverable, not fatal.  This module defines the policy vocabulary and the
+reporting machinery; :class:`repro.runtime.runtime.Runtime` implements the
+policies themselves:
+
+* **ABORT** — today's behavior: raise the (now structured)
+  :class:`~repro.core.determinism.ControlDeterminismViolation` or
+  :class:`~repro.faults.ShardCrash`.
+* **LOCALIZE** — on a window-hash mismatch, allgather the per-call digests
+  of the failed window, binary-search the first divergent call, and raise
+  a violation carrying a full :class:`~repro.core.determinism.
+  DivergenceDiagnosis` (shard, seq, both call descriptions).
+* **DEGRADE** — quarantine the divergent shard, re-shard its points onto
+  the survivors (:meth:`~repro.core.sharding.ShardingFunction.
+  with_quarantine`), and replay the program through fresh analysis on the
+  surviving replicas; the recovered task graph is identical to a
+  fault-free run, and the re-verified call-stream prefix is checked
+  against the originally verified window digests.
+* **RESTART** — recover from a region snapshot (``tools.checkpoint``): a
+  crashed *replica* is restored from the latest consistent snapshot and
+  rejoins checking at the next batch boundary; a crashed or diverged
+  *driver* restarts the epoch from its initial state (full re-execution,
+  which Theorem 1 makes equivalent).
+
+Every recovery action produces a :class:`RecoveryReport`; with
+``report_dir`` set the reports are also written as JSON (the CI chaos tier
+uploads them on failure).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from .core.determinism import (ControlDeterminismViolation,
+                               DivergenceDiagnosis)
+from .faults.injector import ShardCrash
+
+__all__ = ["RecoveryPolicy", "ResilienceConfig", "RecoveryReport",
+           "identify_culprits", "diagnosis_to_dict"]
+
+
+class RecoveryPolicy(Enum):
+    """What the runtime does when the control plane fails."""
+
+    ABORT = "abort"
+    LOCALIZE = "localize"
+    DEGRADE = "degrade"
+    RESTART = "restart"
+
+
+@dataclass
+class ResilienceConfig:
+    """Recovery configuration carried by a :class:`~repro.runtime.runtime.
+    Runtime`.
+
+    ``max_recoveries`` bounds how many recovery attempts a single
+    ``execute`` may make before giving up and re-raising (guards against a
+    fault the policy cannot actually clear).  ``checkpoint_dir`` mirrors
+    every snapshot to disk via :func:`repro.tools.checkpoint.
+    save_store_snapshot`; ``report_dir`` persists recovery reports as JSON.
+    """
+
+    policy: RecoveryPolicy = RecoveryPolicy.ABORT
+    max_recoveries: int = 2
+    checkpoint_dir: Optional[str] = None
+    report_dir: Optional[str] = None
+
+    @classmethod
+    def from_env(cls, env: Optional[Dict[str, str]] = None
+                 ) -> Optional["ResilienceConfig"]:
+        """Config from ``REPRO_FAULT_POLICY`` etc., or None when unset."""
+        e = os.environ if env is None else env
+        raw = e.get("REPRO_FAULT_POLICY", "").strip().lower()
+        if not raw:
+            return None
+        try:
+            policy = RecoveryPolicy(raw)
+        except ValueError:
+            names = [p.value for p in RecoveryPolicy]
+            raise ValueError(
+                f"REPRO_FAULT_POLICY={raw!r} is not one of {names}")
+        return cls(
+            policy=policy,
+            max_recoveries=int(e.get("REPRO_FAULT_MAX_RECOVERIES", "2")),
+            checkpoint_dir=e.get("REPRO_FAULT_CHECKPOINT_DIR") or None,
+            report_dir=e.get("REPRO_FAULT_REPORT_DIR") or None,
+        )
+
+
+def diagnosis_to_dict(d: Optional[DivergenceDiagnosis]
+                      ) -> Optional[Dict[str, Any]]:
+    """JSON-safe rendering of a diagnosis (digests as hex strings)."""
+    if d is None:
+        return None
+    out = asdict(d)
+    out["shard_digests"] = [f"{x:032x}" for x in d.shard_digests]
+    out["majority_digest"] = f"{d.majority_digest:032x}"
+    return out
+
+
+@dataclass
+class RecoveryReport:
+    """One recovery decision, structured for tooling and CI artifacts."""
+
+    policy: str                       # RecoveryPolicy value
+    action: str                       # abort|localize|quarantine|restart|
+    #                                   restart-replica|exhausted
+    failure: str                      # str() of the triggering exception
+    culprit_shards: List[int]
+    seq: Optional[int] = None         # failing API-call index, when known
+    attempt: int = 0                  # 1-based recovery attempt number
+    diagnosis: Optional[Dict[str, Any]] = None
+    injected: List[List[str]] = field(default_factory=list)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, default=str)
+
+    def write(self, directory: str, ordinal: int) -> str:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"fault_report_{ordinal:03d}.json")
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+        return path
+
+
+def identify_culprits(failure: BaseException) -> List[int]:
+    """The shard(s) a failure implicates, best effort.
+
+    Crashes name their shard directly; determinism violations carry either
+    a LOCALIZE diagnosis (minority shards at the first divergent call) or,
+    for the unequal-count case, the shards that recorded fewest calls.
+    """
+    if isinstance(failure, ShardCrash):
+        return [failure.shard]
+    if isinstance(failure, ControlDeterminismViolation):
+        culprits = failure.divergent_shards
+        return list(culprits) if culprits else []
+    return []

@@ -33,8 +33,9 @@ def _issue(ctx: Context, kind: str, region: LogicalRegion, field_name: str,
     f = region.field_space[field_name]
     priv = READ_WRITE if writes_region else READ_ONLY
     op = Operation(kind, [CoarseRequirement(region, frozenset([f]), priv)],
-                   owner_shard=0, name=f"{kind}({region.name}.{field_name})")
-    if ctx.shard == 0:
+                   owner_shard=ctx.runtime._effective_owner(0),
+                   name=f"{kind}({region.name}.{field_name})")
+    if ctx.is_driver:
         ctx.runtime.pipeline.analyze(op)
 
 
@@ -43,13 +44,13 @@ def attach_array(ctx: Context, region: LogicalRegion, field_name: str,
     """Associate an external allocation with ``region.field``: copy it in.
 
     Only the *shape* of the attachment is control (and hashed); the array
-    contents are data — shard 0 may already have mutated them through an
+    contents are data — the driver may already have mutated them through an
     earlier attach by the time later shards replay this call.
     """
     ctx._record("attach_array", region, field_name,
                 list(array.shape), str(array.dtype))
     _issue(ctx, "attach", region, field_name, writes_region=True)
-    if ctx.shard == 0:
+    if ctx.is_driver:
         f = region.field_space[field_name]
         dst = ctx.runtime.store.raw(region.tree_id, f)
         rect = region.index_space.rect
@@ -61,7 +62,7 @@ def detach_array(ctx: Context, region: LogicalRegion, field_name: str,
     """Flush the region's contents back into the external allocation."""
     ctx._record("detach_array", region, field_name)
     _issue(ctx, "detach", region, field_name, writes_region=False)
-    if ctx.shard == 0:
+    if ctx.is_driver:
         f = region.field_space[field_name]
         src = ctx.runtime.store.raw(region.tree_id, f)
         rect = region.index_space.rect
@@ -73,7 +74,7 @@ def attach_file(ctx: Context, region: LogicalRegion, field_name: str,
     """Read a ``.npy`` file into the region; performed by one owner shard."""
     ctx._record("attach_file", region, field_name, path)
     _issue(ctx, "attach", region, field_name, writes_region=True)
-    if ctx.shard == 0:
+    if ctx.is_driver:
         data = np.load(path)
         f = region.field_space[field_name]
         dst = ctx.runtime.store.raw(region.tree_id, f)
@@ -86,7 +87,7 @@ def detach_file(ctx: Context, region: LogicalRegion, field_name: str,
     """Write the region's contents to a ``.npy`` file and detach."""
     ctx._record("detach_file", region, field_name, path)
     _issue(ctx, "detach", region, field_name, writes_region=False)
-    if ctx.shard == 0:
+    if ctx.is_driver:
         f = region.field_space[field_name]
         src = ctx.runtime.store.raw(region.tree_id, f)
         rect = region.index_space.rect
@@ -102,7 +103,7 @@ def attach_file_group(ctx: Context, partition: Partition, field_name: str,
     for color in colors:
         sub = partition[color]
         _issue(ctx, "attach", sub, field_name, writes_region=True)
-        if ctx.shard == 0:
+        if ctx.is_driver:
             data = np.load(path_of(color))
             f = sub.field_space[field_name]
             dst = ctx.runtime.store.raw(sub.tree_id, f)
@@ -119,7 +120,7 @@ def detach_file_group(ctx: Context, partition: Partition, field_name: str,
     for color in colors:
         sub = partition[color]
         _issue(ctx, "detach", sub, field_name, writes_region=False)
-        if ctx.shard == 0:
+        if ctx.is_driver:
             f = sub.field_space[field_name]
             src = ctx.runtime.store.raw(sub.tree_id, f)
             rect = sub.index_space.rect

@@ -31,14 +31,20 @@ from typing import (Any, Callable, Dict, Hashable, Iterable, List, Optional,
 
 import numpy as np
 
-from ..core import (CoarseRequirement, DCRPipeline, DeferredOpManager,
-                    DeterminismMonitor, IDENTITY_PROJECTION, Operation,
-                    PointTask, ProjectionFunction)
+from ..core import (CoarseRequirement, Collectives, DCRPipeline,
+                    DeferredOpManager, DeterminismMonitor,
+                    IDENTITY_PROJECTION, Operation, PointTask,
+                    ProjectionFunction)
 from ..core.determinism import ControlDeterminismViolation
 from ..core.rng import CounterRNG
-from ..obs.events import (CAT_CONTROL, CAT_EXEC, EV_CONTROL_REPLAY,
-                          EV_EXEC_POINT)
+from ..faults.injector import FaultInjector, ShardCrash
+from ..obs.events import (CAT_CONTROL, CAT_EXEC, CAT_FAULT, CAT_RESILIENCE,
+                          CONTROL_SHARD, EV_CONTROL_REPLAY, EV_EXEC_POINT,
+                          EV_QUARANTINE, EV_RECOVERY, EV_SHARD_CRASH,
+                          EV_SNAPSHOT)
 from ..obs.profiler import Profiler, get_profiler
+from ..resilience import (RecoveryPolicy, RecoveryReport, ResilienceConfig,
+                          diagnosis_to_dict, identify_culprits)
 from ..core.sharding import ShardingFunction
 from ..oracle import (Privilege, READ_ONLY, READ_WRITE, RegionRequirement,
                       WRITE_DISCARD, reduce_priv)
@@ -92,7 +98,9 @@ class Runtime:
                  timing_oracle: Optional[Callable[[int, Future], bool]] = None,
                  auto_trace: bool = False,
                  auto_trace_config=None,
-                 profiler: Optional[Profiler] = None):
+                 profiler: Optional[Profiler] = None,
+                 injector: Optional[FaultInjector] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         self.num_shards = num_shards
         self.mapper = mapper or DefaultMapper()
         self.store = RegionStore()
@@ -100,30 +108,77 @@ class Runtime:
         # execution; it is the disabled global no-op unless a live one is
         # passed (or the global one is enabled), and never perturbs results.
         self.profiler = profiler if profiler is not None else get_profiler()
+        # Fault injection + recovery: both default to the environment
+        # (REPRO_FAULT_SEED / REPRO_FAULT_POLICY) and are None in normal
+        # runs — the same zero-perturbation discipline as the profiler.
+        self.injector = injector if injector is not None \
+            else FaultInjector.from_env()
+        self.resilience = resilience if resilience is not None \
+            else ResilienceConfig.from_env()
+        self._safe_checks = safe_checks
+        self._check_batch = check_batch
+        self._auto_trace = auto_trace
+        self._auto_trace_config = auto_trace_config
+        # The driver shard performs effects; replicas replay against its
+        # logs.  Normally shard 0 — recovery re-elects min(active) when the
+        # driver itself is quarantined.
+        self.driver_shard = 0
+        self.quarantined: set = set()
+        self.reports: List[RecoveryReport] = []
+        self._recoveries = 0
+        self._latest_snapshot: Optional[Dict[str, Any]] = None
+        self._prefix_expectation: Optional[Tuple[int, int, int]] = None
+        self._sharding_cache: Dict[Tuple[int, frozenset], ShardingFunction] \
+            = {}
+        # One collectives instance spans determinism checks and recovery
+        # localization, so CollectiveStats accumulates retransmission and
+        # backoff accounting across the whole run (including retries).
+        self.collectives = Collectives(num_shards, profiler=self.profiler,
+                                       injector=self.injector)
         # auto_trace turns on transparent trace identification: repeated
         # fragments of the launch stream are memoized and replayed without
         # any begin_trace/end_trace calls in the control program.
         self.pipeline = DCRPipeline(num_shards, auto_trace=auto_trace,
                                     auto_trace_config=auto_trace_config,
-                                    profiler=self.profiler)
-        self.monitor = DeterminismMonitor(num_shards, batch=check_batch,
-                                          enabled=safe_checks,
-                                          profiler=self.profiler)
+                                    profiler=self.profiler,
+                                    injector=self.injector)
+        self.monitor = self._make_monitor()
         self.deferred = DeferredOpManager(num_shards)
         self.timing_oracle = timing_oracle
-        # Shard-0 logs replayed by the other shards, keyed by call order.
+        # Driver logs replayed by the other shards, keyed by call order.
         self._resources: List[Any] = []
         self._futures: List[Union[Future, FutureMap]] = []
         self._deferred_keys: Dict[int, Any] = {}
         self.executed_points: int = 0
+        self._result: Any = None
+
+    def _make_monitor(self) -> DeterminismMonitor:
+        policy = self.resilience.policy if self.resilience is not None \
+            else None
+        monitor = DeterminismMonitor(
+            self.num_shards, batch=self._check_batch,
+            enabled=self._safe_checks, collectives=self.collectives,
+            profiler=self.profiler, injector=self.injector,
+            localize=policy is not None and policy is not
+            RecoveryPolicy.ABORT,
+            on_batch=(self._take_batch_snapshot
+                      if self.resilience is not None else None))
+        for s in self.quarantined:
+            monitor.quarantine(s)
+        return monitor
 
     # -- replicated execution ------------------------------------------------------
 
     def execute(self, control: Callable[..., Any], *args: Any) -> Any:
         """Run ``control(ctx, *args)`` replicated across all shards.
 
-        Returns shard 0's return value.  Raises
-        :class:`ControlDeterminismViolation` if any shard diverges.
+        Returns the driver shard's return value.  Raises
+        :class:`ControlDeterminismViolation` if any shard diverges —
+        unless a :class:`~repro.resilience.ResilienceConfig` with a
+        recovering policy (DEGRADE/RESTART) is attached, in which case the
+        runtime quarantines or restarts the failed shard and completes the
+        program on the survivors (Theorem 1 guarantees the identical task
+        graph).
         """
         if getattr(self, "_executed", False):
             raise RuntimeError(
@@ -131,23 +186,294 @@ class Runtime:
                 "and analysis state belong to one replicated execution — "
                 "create a fresh Runtime for another run")
         self._executed = True
+        if self.resilience is None:
+            return self._execute_replicated(control, args)
+        while True:
+            try:
+                result = self._execute_replicated(control, args)
+            except (ControlDeterminismViolation, ShardCrash) as failure:
+                self._handle_failure(failure)
+                continue
+            self._verify_recovered_prefix()
+            return result
+
+    def _execute_replicated(self, control: Callable[..., Any],
+                            args: Tuple[Any, ...]) -> Any:
+        """One replicated execution epoch over the active shard set."""
+        res = self.resilience
         prof = self.profiler
-        result: Any = None
+        self._result = None
         for shard in range(self.num_shards):
-            self._current_shard = shard
-            ctx = Context(self, shard)
-            if prof.enabled:
-                prof.begin(shard, CAT_CONTROL, EV_CONTROL_REPLAY)
-            ret = control(ctx, *args)
-            ctx._finish()
-            if prof.enabled:
-                prof.end(shard, CAT_CONTROL, EV_CONTROL_REPLAY)
-            if shard == 0:
-                result = ret
+            if shard in self.quarantined:
+                continue
+            try:
+                self._run_shard(shard, control, args)
+            except ShardCrash as crash:
+                if prof.enabled:
+                    prof.instant(shard, CAT_FAULT, EV_SHARD_CRASH,
+                                 seq=crash.seq, reason=crash.reason)
+                    prof.count("faults.crashes")
+                if (res is not None
+                        and res.policy is RecoveryPolicy.RESTART
+                        and shard != self.driver_shard
+                        and self._recoveries < res.max_recoveries):
+                    # A crashed *replica* can rejoin in place: the driver's
+                    # effects are unaffected, so restore the shard's region
+                    # view from the latest snapshot, reset its hasher, and
+                    # re-run its replay — it rejoins determinism checking
+                    # at the next batch boundary.
+                    self._recoveries += 1
+                    self._restart_replica(shard, crash, control, args)
+                else:
+                    raise
         self.monitor.flush()
         self._drain_deferred()
         self.pipeline.validate()
-        return result
+        return self._result
+
+    def _run_shard(self, shard: int, control: Callable[..., Any],
+                   args: Tuple[Any, ...]) -> None:
+        prof = self.profiler
+        self._current_shard = shard
+        ctx = Context(self, shard)
+        if prof.enabled:
+            prof.begin(shard, CAT_CONTROL, EV_CONTROL_REPLAY)
+        try:
+            ret = control(ctx, *args)
+            ctx._finish()
+        finally:
+            if prof.enabled:
+                prof.end(shard, CAT_CONTROL, EV_CONTROL_REPLAY)
+        if shard == self.driver_shard:
+            self._result = ret
+            if self.resilience is not None:
+                # The post-driver snapshot is the latest consistent state a
+                # restarted replica can be recovered from.
+                self._take_snapshot("driver-complete",
+                                    verified=self.monitor._verified)
+
+    # -- recovery ------------------------------------------------------------
+
+    def _report(self, action: str, failure: BaseException,
+                culprits: Sequence[int], **details: Any) -> RecoveryReport:
+        res = self.resilience
+        rep = RecoveryReport(
+            policy=res.policy.value if res is not None else "none",
+            action=action,
+            failure=str(failure),
+            culprit_shards=list(culprits),
+            seq=getattr(failure, "seq", None),
+            attempt=self._recoveries,
+            diagnosis=diagnosis_to_dict(getattr(failure, "diagnosis", None)),
+            injected=[[str(x) for x in key]
+                      for key in (self.injector.injected
+                                  if self.injector is not None else [])],
+            details=dict(details),
+        )
+        self.reports.append(rep)
+        if res is not None and res.report_dir:
+            rep.write(res.report_dir, len(self.reports))
+        return rep
+
+    def _handle_failure(self, failure: BaseException) -> None:
+        """Apply the configured policy; raises unless a retry should run."""
+        res = self.resilience
+        assert res is not None
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
+        culprits = identify_culprits(failure)
+        self._recoveries += 1
+        policy = res.policy
+        if policy is RecoveryPolicy.ABORT:
+            self._report("abort", failure, culprits)
+            raise failure
+        if policy is RecoveryPolicy.LOCALIZE:
+            # Detection already ran the localization protocol (the monitor
+            # was built with localize=True); the violation carries the
+            # diagnosis — report it and surface the structured error.
+            self._report("localize", failure, culprits)
+            raise failure
+        if self._recoveries > res.max_recoveries:
+            self._report("exhausted", failure, culprits,
+                         max_recoveries=res.max_recoveries)
+            raise failure
+        if policy is RecoveryPolicy.DEGRADE:
+            if not culprits:
+                self._report("abort", failure, culprits,
+                             reason="no culprit shard identified")
+                raise failure
+            survivors = [s for s in range(self.num_shards)
+                         if s not in self.quarantined and s not in culprits]
+            if not survivors:
+                self._report("abort", failure, culprits,
+                             reason="quarantine would leave no survivors")
+                raise failure
+            self._capture_prefix_expectation(exclude=set(culprits))
+            for s in culprits:
+                self._quarantine(s)
+            self._report("quarantine", failure, culprits,
+                         quarantined=sorted(self.quarantined),
+                         driver_shard=self.driver_shard)
+            self._reset_epoch()
+        else:  # RESTART: re-execute the epoch with the full shard set.
+            self._capture_prefix_expectation(exclude=set())
+            self._report("restart", failure, culprits,
+                         had_snapshot=self._latest_snapshot is not None)
+            self._reset_epoch()
+        if prof.enabled:
+            prof.complete(CONTROL_SHARD, CAT_RESILIENCE, EV_RECOVERY, t0,
+                          prof.now_us() - t0, action=policy.value,
+                          shards=list(culprits), attempt=self._recoveries)
+            prof.count("resilience.recoveries")
+
+    def _quarantine(self, shard: int) -> None:
+        self.quarantined.add(shard)
+        if self.driver_shard in self.quarantined:
+            self.driver_shard = min(
+                s for s in range(self.num_shards)
+                if s not in self.quarantined)
+        prof = self.profiler
+        if prof.enabled:
+            prof.instant(shard, CAT_RESILIENCE, EV_QUARANTINE,
+                         new_driver=self.driver_shard)
+            prof.count("resilience.quarantined")
+
+    def _reset_epoch(self) -> None:
+        """Fresh analysis/storage state for a clean re-execution.
+
+        Theorem 1 (DEP_rep ≡ DEP_seq) licenses this: any active shard
+        subset recomputes the identical task graph from the same control
+        program, so recovery re-analysis converges to the fault-free
+        result.  Cumulative accounting (collectives stats, injector log,
+        recovery reports, executed-point counter) survives the reset.
+        """
+        self.store = RegionStore()
+        self.pipeline = DCRPipeline(
+            self.num_shards, auto_trace=self._auto_trace,
+            auto_trace_config=self._auto_trace_config,
+            profiler=self.profiler, injector=self.injector)
+        self.monitor = self._make_monitor()
+        self.deferred = DeferredOpManager(self.num_shards)
+        for s in self.quarantined:
+            self.deferred.quarantine(s)
+        self._resources = []
+        self._futures = []
+        self._deferred_keys = {}
+        self._latest_snapshot = None
+        self._result = None
+
+    def _restart_replica(self, shard: int, crash: ShardCrash,
+                         control: Callable[..., Any],
+                         args: Tuple[Any, ...]) -> None:
+        """RESTART a crashed replica in place (driver effects are intact)."""
+        prof = self.profiler
+        t0 = prof.now_us() if prof.enabled else 0.0
+        snap = self._latest_snapshot
+        if snap is not None:
+            # Recover the shard's region view from the latest consistent
+            # checkpoint.  Storage is shared in the functional runtime and
+            # the snapshot postdates the driver's effects, so the restore
+            # is value-identical — but it exercises the exact machinery a
+            # distributed shard restart would use.
+            self.store.restore(snap["snap"])
+        self.monitor.reset_shard(shard)
+        self.deferred.restore(shard)
+        self._report("restart-replica", crash, [shard],
+                     snapshot=None if snap is None else snap["tag"])
+        if prof.enabled:
+            prof.complete(shard, CAT_RESILIENCE, EV_RECOVERY, t0,
+                          prof.now_us() - t0, action="restart-replica",
+                          shards=[shard], attempt=self._recoveries)
+            prof.count("resilience.recoveries")
+        self._run_shard(shard, control, args)
+
+    def _capture_prefix_expectation(self, exclude: set) -> None:
+        """Remember a survivor's digest of the verified call prefix.
+
+        After recovery re-executes, the new run's stream over the same
+        prefix must hash identically — the observable form of the ISSUE's
+        "replay the unverified suffix" guarantee (the verified prefix is
+        re-derived bit-identically; only the unverified suffix was ever in
+        doubt).
+        """
+        m = self.monitor
+        verified = m._verified
+        if verified <= 0:
+            self._prefix_expectation = None
+            return
+        witness = next(
+            (s for s in m.active_shards
+             if s not in exclude and len(m.hashers[s].calls) >= verified),
+            None)
+        if witness is None:
+            self._prefix_expectation = None
+            return
+        self._prefix_expectation = (
+            m.window_digest(witness, 0, verified), verified, witness)
+
+    def _verify_recovered_prefix(self) -> None:
+        exp = self._prefix_expectation
+        if exp is None:
+            return
+        self._prefix_expectation = None
+        digest, verified, witness = exp
+        m = self.monitor
+        for s in m.active_shards:
+            if len(m.hashers[s].calls) >= verified:
+                got = m.window_digest(s, 0, verified)
+                if got != digest:
+                    raise RuntimeError(
+                        f"recovery diverged from the verified prefix: "
+                        f"shard {s}'s first {verified} calls hash "
+                        f"{got:032x}, original shard {witness} hashed "
+                        f"{digest:032x}")
+                return
+
+    # -- snapshots -----------------------------------------------------------
+
+    def _take_batch_snapshot(self, verified: int) -> None:
+        self._take_snapshot(f"batch@{verified}", verified=verified)
+
+    def _take_snapshot(self, tag: str, verified: Optional[int] = None) -> None:
+        self._latest_snapshot = {
+            "snap": self.store.snapshot(), "tag": tag, "verified": verified}
+        res = self.resilience
+        if res is not None and res.checkpoint_dir:
+            from ..tools.checkpoint import save_store_snapshot
+            save_store_snapshot(self.store, res.checkpoint_dir)
+        prof = self.profiler
+        if prof.enabled:
+            prof.instant(CONTROL_SHARD, CAT_RESILIENCE, EV_SNAPSHOT, tag=tag)
+            prof.count("resilience.snapshots")
+
+    # -- quarantine-aware placement -------------------------------------------
+
+    def _effective_sharding(self, base: ShardingFunction) -> ShardingFunction:
+        """The sharding actually applied: remapped around quarantined shards.
+
+        The *base* function (what the mapper selected) is what every shard
+        hashes — the quarantine remap is a pure, shared function of the
+        quarantine set, so hashing the base keeps recovered runs' call
+        streams bit-identical to the original (prefix verification relies
+        on this).
+        """
+        if not self.quarantined:
+            return base
+        key = (base.sid, frozenset(self.quarantined))
+        derived = self._sharding_cache.get(key)
+        if derived is None:
+            derived = base.with_quarantine(self.quarantined)
+            self._sharding_cache[key] = derived
+        return derived
+
+    def _effective_owner(self, owner_shard: int) -> int:
+        """Individual-launch owner, remapped off quarantined shards."""
+        owner = owner_shard % self.num_shards
+        if owner not in self.quarantined:
+            return owner
+        survivors = [s for s in range(self.num_shards)
+                     if s not in self.quarantined]
+        return survivors[owner % len(survivors)]
 
     def _drain_deferred(self) -> None:
         """Insert finalizer-deferred deletions once all shards concur (§4.3)."""
@@ -196,6 +522,12 @@ class Context:
         self._fut_cursor = 0
         self._in_finalizer = False
 
+    @property
+    def is_driver(self) -> bool:
+        """Whether this shard performs effects (normally shard 0; recovery
+        re-elects the lowest surviving shard when 0 is quarantined)."""
+        return self.shard == self.runtime.driver_shard
+
     # -- internal plumbing ------------------------------------------------------------
 
     def _record(self, call: str, *args: Any) -> None:
@@ -203,16 +535,17 @@ class Context:
         self.runtime.monitor.maybe_check()
 
     def _intern_resource(self, call: str, factory: Callable[[], Any]) -> Any:
-        """Create on shard 0, replay by creation order on other shards."""
+        """Create on the driver, replay by creation order on other shards."""
         log = self.runtime._resources
-        if self.shard == 0:
+        if self.is_driver:
             obj = factory()
             log.append(obj)
         else:
             if self._res_cursor >= len(log):
                 raise ControlDeterminismViolation(
                     self._res_cursor,
-                    [f"shard {self.shard} issued extra {call}"])
+                    [f"shard {self.shard} issued extra {call}"],
+                    shard_ids=[self.shard])
             obj = log[self._res_cursor]
         self._res_cursor += 1
         return obj
@@ -220,14 +553,15 @@ class Context:
     def _intern_future(self, factory: Callable[[], Union[Future, FutureMap]]
                        ) -> Union[Future, FutureMap]:
         log = self.runtime._futures
-        if self.shard == 0:
+        if self.is_driver:
             fut = factory()
             log.append(fut)
         else:
             if self._fut_cursor >= len(log):
                 raise ControlDeterminismViolation(
                     self._fut_cursor,
-                    [f"shard {self.shard} issued an extra launch"])
+                    [f"shard {self.shard} issued an extra launch"],
+                    shard_ids=[self.shard])
             fut = log[self._fut_cursor]
         self._fut_cursor += 1
         return fut
@@ -363,9 +697,10 @@ class Context:
         op = Operation(
             "fill",
             [CoarseRequirement(region, fobjs, WRITE_DISCARD)],
-            owner_shard=0, name=f"fill({region.name})")
+            owner_shard=self.runtime._effective_owner(0),
+            name=f"fill({region.name})")
         op.fill_value = value
-        if self.shard == 0:
+        if self.is_driver:
             self.runtime.pipeline.analyze(op)
             for n in names:
                 self.runtime.store.fill(region, region.field_space[n], value)
@@ -424,7 +759,8 @@ class Context:
             op = Operation(
                 "task",
                 [CoarseRequirement(t, fl, p, pr) for t, fl, p, pr in norm],
-                owner_shard=owner_shard, name=fn.__name__, body=fn, cost=cost)
+                owner_shard=self.runtime._effective_owner(owner_shard),
+                name=fn.__name__, body=fn, cost=cost)
             op.body_args = tuple(args) + tuple(f.get() for f in future_args)
             record = self.runtime.pipeline.analyze(op)
             value = self._execute_point(op, record.point_tasks[0],
@@ -461,8 +797,9 @@ class Context:
             op = Operation(
                 "task",
                 [CoarseRequirement(t, fl, p, pr) for t, fl, p, pr in norm],
-                launch_domain=domain, sharding=sharding, name=fn.__name__,
-                body=fn, cost=cost)
+                launch_domain=domain,
+                sharding=self.runtime._effective_sharding(sharding),
+                name=fn.__name__, body=fn, cost=cost)
             op.body_args = tuple(args) + tuple(f.get() for f in future_args)
             record = self.runtime.pipeline.analyze(op)
             futures: Dict[Hashable, Future] = {}
@@ -476,7 +813,7 @@ class Context:
 
     def _execute_point(self, op: Operation, pt: PointTask,
                        args: Sequence[Any]) -> Any:
-        if self.shard != 0:  # pragma: no cover - only shard 0 executes
+        if not self.is_driver:  # pragma: no cover - only the driver executes
             return None
         self.runtime.executed_points += 1
         assert op.body is not None
@@ -542,7 +879,7 @@ class Context:
         already honors program order.
         """
         self._record("execution_fence")
-        if self.shard != 0:
+        if not self.is_driver:
             return
         from ..core.coarse import Fence
         pipe = self.runtime.pipeline
@@ -556,13 +893,13 @@ class Context:
     def begin_trace(self, trace_id: int) -> None:
         """Start capturing (or replaying) a trace of the following launches."""
         self._record("begin_trace", trace_id)
-        if self.shard == 0:
+        if self.is_driver:
             self.runtime.pipeline.begin_trace(trace_id)
 
     def end_trace(self) -> None:
         """Finish the current trace capture/replay."""
         self._record("end_trace")
-        if self.shard == 0:
+        if self.is_driver:
             self.runtime.pipeline.end_trace()
 
     # -- deletions & finalizers (§4.3) ----------------------------------------------------------
@@ -584,7 +921,7 @@ class Context:
             self.runtime.deferred.announce(self.shard, region.uid)
             return
         self._record("delete_region", region)
-        if self.shard == 0:
+        if self.is_driver:
             self.runtime._apply_deletion(region)
 
     def delete_field(self, region: LogicalRegion, field_name: str) -> None:
@@ -596,5 +933,5 @@ class Context:
             self.runtime.deferred.announce(self.shard, key)
             return
         self._record("delete_field", region, field_name)
-        if self.shard == 0:
+        if self.is_driver:
             self.runtime._apply_deletion(("field", region, f))

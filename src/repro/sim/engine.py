@@ -11,10 +11,23 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
-from ..obs.events import CAT_SIM, CONTROL_SHARD, EV_SIM_EVENT
+from ..obs.events import (CAT_FAULT, CAT_SIM, CONTROL_SHARD, EV_FAULT_INJECT,
+                          EV_RECOVERY, EV_SIM_EVENT)
 from ..obs.profiler import Profiler
 
-__all__ = ["SimEngine", "SerialResource"]
+__all__ = ["SimEngine", "SerialResource", "recovery_latency"]
+
+
+def recovery_latency(stats, hop_latency: float = 4e-6) -> float:
+    """Simulated seconds a run lost to injected message faults.
+
+    Derived from :class:`~repro.core.collectives.CollectiveStats`: each
+    retransmission costs one extra network hop, and the retry backoff and
+    delivery delays are charged at face value (they are recorded in
+    microseconds).
+    """
+    return (stats.retransmissions * hop_latency
+            + (stats.retry_backoff_us + stats.delay_latency_us) * 1e-6)
 
 
 class SimEngine:
@@ -32,6 +45,8 @@ class SimEngine:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        self.faults_injected = 0
+        self.fault_time = 0.0
         self.profiler = profiler
         if profiler is not None:
             self.attach_profiler(profiler)
@@ -68,6 +83,43 @@ class SimEngine:
                 prof.count("sim.events")
             fn()
         return self.now
+
+    def inject_fault(self, kind: str, at: float, recovery_latency: float,
+                     on_recovered: Optional[Callable[[], None]] = None
+                     ) -> None:
+        """Model a fault at simulated time ``at`` that costs
+        ``recovery_latency`` seconds before the system resumes.
+
+        The fault and its recovery become ordinary queue events, so
+        instrumented components see the stall in simulated time exactly as
+        a real run would; ``fault_time`` accumulates the total stall for
+        reporting (e.g. degraded-METG sweeps).
+        """
+        if recovery_latency < 0:
+            raise ValueError("recovery latency must be non-negative")
+
+        def _fault() -> None:
+            self.faults_injected += 1
+            self.fault_time += recovery_latency
+            prof = self.profiler
+            if prof is not None and prof.enabled:
+                prof.instant(CONTROL_SHARD, CAT_FAULT, EV_FAULT_INJECT,
+                             site=kind, at=self.now)
+                prof.count("sim.faults")
+
+            def _recover() -> None:
+                prof = self.profiler
+                if prof is not None and prof.enabled:
+                    prof.complete(CONTROL_SHARD, CAT_FAULT, EV_RECOVERY,
+                                  prof.now_us() - recovery_latency * 1e6,
+                                  recovery_latency * 1e6, site=kind)
+                if on_recovered is not None:
+                    on_recovered()
+
+            self.after(recovery_latency, _recover)
+
+        _fault.__name__ = f"fault:{kind}"
+        self.at(at, _fault)
 
     @property
     def pending(self) -> int:

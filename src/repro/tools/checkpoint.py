@@ -19,17 +19,58 @@ from ..runtime.attach import detach_file, attach_file
 from ..runtime.runtime import Context
 
 __all__ = ["save_region", "load_region", "save_partitioned",
-           "load_partitioned"]
+           "load_partitioned", "save_store_snapshot", "load_store_snapshot"]
 
 
 def _field_path(directory: str, region_name: str, field_name: str) -> str:
     return os.path.join(directory, f"{region_name}.{field_name}.npy")
 
 
+# -- whole-store snapshots (resilience checkpoints) --------------------------
+
+def _store_field_path(directory: str, tree_id: int, fid: int) -> str:
+    return os.path.join(directory, f"tree{tree_id}.f{fid}.npy")
+
+
+def save_store_snapshot(store, directory: str) -> int:
+    """Mirror every allocated field array of a :class:`~repro.runtime.store.
+    RegionStore` to ``directory`` (one ``.npy`` per field plus an offsets
+    index).  Used by the RESTART recovery policy's batch-boundary
+    checkpoints; returns the number of arrays written."""
+    os.makedirs(directory, exist_ok=True)
+    arrays, offsets = store.snapshot()
+    for (tree_id, fid), arr in arrays.items():
+        np.save(_store_field_path(directory, tree_id, fid), arr)
+    import json
+    with open(os.path.join(directory, "offsets.json"), "w") as fh:
+        json.dump({str(t): list(o) for t, o in offsets.items()}, fh)
+    return len(arrays)
+
+
+def load_store_snapshot(store, directory: str) -> int:
+    """Restore a :func:`save_store_snapshot` checkpoint into ``store``.
+
+    Only fields present in the checkpoint are replaced; returns the number
+    of arrays restored."""
+    import json
+    with open(os.path.join(directory, "offsets.json")) as fh:
+        offsets = {int(t): tuple(o) for t, o in json.load(fh).items()}
+    arrays = {}
+    for fname in sorted(os.listdir(directory)):
+        if not (fname.startswith("tree") and fname.endswith(".npy")):
+            continue
+        stem = fname[len("tree"):-len(".npy")]
+        tree_str, fid_str = stem.split(".f")
+        arrays[(int(tree_str), int(fid_str))] = np.load(
+            os.path.join(directory, fname))
+    store.restore((arrays, offsets))
+    return len(arrays)
+
+
 def save_region(ctx: Context, region: LogicalRegion, directory: str) -> None:
     """Checkpoint every field of ``region`` into ``directory``."""
     ctx._record("save_region", region, directory)
-    if ctx.shard == 0:
+    if ctx.is_driver:
         os.makedirs(directory, exist_ok=True)
     for f in sorted(region.field_space.fields, key=lambda f: f.name):
         detach_file(ctx, region, f.name,
@@ -41,7 +82,7 @@ def load_region(ctx: Context, region: LogicalRegion, directory: str) -> None:
     ctx._record("load_region", region, directory)
     for f in sorted(region.field_space.fields, key=lambda f: f.name):
         path = _field_path(directory, region.name, f.name)
-        if ctx.shard == 0 and not os.path.exists(path):
+        if ctx.is_driver and not os.path.exists(path):
             raise FileNotFoundError(
                 f"checkpoint is missing field file {path}")
         attach_file(ctx, region, f.name, path)
@@ -52,7 +93,7 @@ def save_partitioned(ctx: Context, partition: Partition, field_name: str,
     """Parallel checkpoint: one file per subregion (group detach)."""
     from ..runtime.attach import detach_file_group
     ctx._record("save_partitioned", partition, field_name, directory)
-    if ctx.shard == 0:
+    if ctx.is_driver:
         os.makedirs(directory, exist_ok=True)
     detach_file_group(
         ctx, partition, field_name,

@@ -1,0 +1,154 @@
+"""Collective delivery under injected message loss (faults tentpole).
+
+Every message of a collective schedule passes the injector: drops are
+retransmitted with exponential backoff up to the retry budget (then
+:class:`CollectiveTimeout`), delays are masked but charged as latency,
+duplicates add one message.  All adjustments land in
+:class:`CollectiveStats` so the simulator's cost model — and the chaos
+tier's reports — charge what was actually sent.
+"""
+
+import pytest
+
+from repro.core.collectives import Collectives, RetryConfig
+from repro.faults import (CollectiveTimeout, FaultInjector, FaultPlan,
+                          MessageFault)
+from repro.obs import Profiler
+
+
+def make(num_shards=4, plan=None, retry=None, profiler=None):
+    inj = FaultInjector(plan) if plan is not None else None
+    return Collectives(num_shards, profiler=profiler, injector=inj,
+                       retry=retry)
+
+
+class TestRetry:
+    def test_drop_is_retransmitted_and_masked(self):
+        plan = FaultPlan(seed=1, message_faults=[
+            MessageFault(kind="allreduce", op=0, msg=0, attempts=2)])
+        coll = make(plan=plan)
+        clean = Collectives(4)
+        assert (coll.allreduce([1, 2, 3, 4], lambda a, b: a + b)
+                == clean.allreduce([1, 2, 3, 4], lambda a, b: a + b))
+        assert coll.stats.retransmissions == 2
+        assert coll.stats.timeouts == 0
+        # Two extra messages and two extra (serialized) hops are charged.
+        assert coll.stats.messages == clean.stats.messages + 2
+        assert coll.stats.rounds == clean.stats.rounds + 2
+
+    def test_exponential_backoff_accounting(self):
+        retry = RetryConfig(max_retries=3, backoff_us=50.0, factor=2.0)
+        plan = FaultPlan(seed=1, message_faults=[
+            MessageFault(kind="allgather", op=0, msg=1, attempts=3)])
+        coll = make(plan=plan, retry=retry)
+        coll.allgather([10, 20, 30, 40])
+        # Retransmissions 0, 1, 2 wait 50, 100, 200 us respectively.
+        assert coll.stats.retry_backoff_us == pytest.approx(50 + 100 + 200)
+        assert retry.backoff_schedule(3) == [50.0, 100.0, 200.0]
+
+    def test_retry_budget_exhaustion_raises_timeout(self):
+        retry = RetryConfig(max_retries=3)
+        plan = FaultPlan(seed=1, message_faults=[
+            MessageFault(kind="allreduce", op=0, msg=0, attempts=10)])
+        coll = make(plan=plan, retry=retry)
+        with pytest.raises(CollectiveTimeout) as ei:
+            coll.allreduce([1, 2, 3, 4], max)
+        # Initial transmission + max_retries retransmissions all lost.
+        assert ei.value.attempts == retry.max_retries + 1
+        assert ei.value.kind == "allreduce"
+        assert coll.stats.timeouts == 1
+        # The lost transmissions were still charged before the raise.
+        assert coll.stats.retransmissions == retry.max_retries
+
+    def test_delay_is_masked_but_charged(self):
+        retry = RetryConfig(delay_us=25.0)
+        plan = FaultPlan(seed=1, message_faults=[
+            MessageFault(kind="reduce", op=0, msg=0, event="delay")])
+        coll = make(plan=plan, retry=retry)
+        assert coll.reduce([1, 2, 3, 4], lambda a, b: a + b) == 10
+        assert coll.stats.delayed == 1
+        assert coll.stats.delay_latency_us == pytest.approx(25.0)
+        assert coll.stats.retransmissions == 0
+
+    def test_duplicate_adds_one_message(self):
+        plan = FaultPlan(seed=1, message_faults=[
+            MessageFault(kind="broadcast", op=0, msg=0, event="dup")])
+        coll = make(plan=plan)
+        clean = Collectives(4)
+        assert coll.broadcast(7) == clean.broadcast(7)
+        assert coll.stats.duplicates == 1
+        assert coll.stats.messages == clean.stats.messages + 1
+        assert coll.stats.rounds == clean.stats.rounds  # dup is not a hop
+
+    def test_planned_op_index_matches_operation_ordinal(self):
+        """A fault on op=1 leaves op 0 untouched."""
+        plan = FaultPlan(seed=1, message_faults=[
+            MessageFault(kind="barrier", op=1, msg=0, attempts=1)])
+        coll = make(plan=plan)
+        coll.barrier()
+        assert coll.stats.retransmissions == 0
+        coll.barrier()
+        assert coll.stats.retransmissions == 1
+
+
+class TestDeterminism:
+    def _chaos_run(self, seed):
+        plan = FaultPlan(seed=seed, rates={"msg_drop": 0.05,
+                                           "msg_delay": 0.05,
+                                           "msg_dup": 0.05})
+        coll = make(num_shards=8, plan=plan)
+        for i in range(10):
+            coll.allreduce(list(range(8)), lambda a, b: a + b)
+            coll.allgather(list(range(8)))
+            coll.barrier()
+        s = coll.stats
+        return (s.retransmissions, s.duplicates, s.delayed, s.timeouts,
+                s.retry_backoff_us, s.delay_latency_us, s.rounds, s.messages)
+
+    def test_same_seed_same_fault_schedule(self):
+        assert self._chaos_run(42) == self._chaos_run(42)
+
+    def test_different_seed_different_schedule(self):
+        # 30 collectives x 0.05 rates: astronomically unlikely to collide.
+        assert self._chaos_run(1) != self._chaos_run(2)
+
+    def test_results_survive_chaos(self):
+        """Masked faults never change collective results."""
+        plan = FaultPlan(seed=3, rates={"msg_delay": 0.2, "msg_dup": 0.2})
+        coll = make(num_shards=8, plan=plan)
+        clean = Collectives(8)
+        vals = list(range(8))
+        assert (coll.allreduce(vals, lambda a, b: a + b)
+                == clean.allreduce(vals, lambda a, b: a + b))
+        assert coll.allgather(vals) == clean.allgather(vals)
+        assert coll.stats.duplicates + coll.stats.delayed > 0
+
+
+class TestObservability:
+    def test_retry_events_reach_profiler(self):
+        prof = Profiler(enabled=True)
+        plan = FaultPlan(seed=1, message_faults=[
+            MessageFault(kind="allreduce", op=0, msg=0, attempts=2)])
+        coll = make(plan=plan, profiler=prof)
+        coll.allreduce([1, 2, 3, 4], max)
+        retries = [e for e in prof.events if e[3] == "fault.retry"]
+        assert len(retries) == 2
+        assert all(e[2] == "fault" for e in retries)
+
+    def test_no_injector_zero_fault_stats(self):
+        coll = Collectives(4)
+        coll.allreduce([1, 2, 3, 4], max)
+        coll.barrier()
+        s = coll.stats
+        assert (s.retransmissions, s.duplicates, s.delayed, s.timeouts) \
+            == (0, 0, 0, 0)
+        assert s.retry_backoff_us == 0.0 and s.delay_latency_us == 0.0
+
+    def test_disabled_injector_is_fast_path(self):
+        coll = make(plan=FaultPlan(seed=5))   # no faults -> disabled
+        assert not coll.injector.enabled
+        clean = Collectives(4)
+        coll.allreduce([1, 2, 3, 4], max)
+        clean.allreduce([1, 2, 3, 4], max)
+        assert coll.stats.rounds == clean.stats.rounds
+        assert coll.stats.messages == clean.stats.messages

@@ -165,3 +165,136 @@ class TestCanonicalEncodingProperties:
         a = ShardHasher(0).record("op", *args)
         b = ShardHasher(1).record("op", *reversed(args))
         assert a != b
+
+
+class TestStructuredViolation:
+    """Satellite: violations carry enough structure to act on (resilience)."""
+
+    def test_flush_count_mismatch_is_structured(self):
+        mon = DeterminismMonitor(3, batch=100)
+        for shard in range(3):
+            mon.hasher(shard).record("a")
+            mon.hasher(shard).record("b")
+        mon.hasher(1).record("c")           # shards 0 and 2 stop short
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.flush()
+        v = exc.value
+        assert v.seq == 2
+        assert v.call_counts == [2, 3, 2]
+        assert v.shard_ids == [0, 1, 2]
+        # The shards that recorded fewest calls are the likely culprits.
+        assert v.divergent_shards == [0, 2]
+        assert "<no call>" in v.descriptions
+
+    def test_flush_count_guard_indexes_safely(self):
+        """The count guard must not IndexError when the shortest shard has
+        recorded fewer calls than the divergence point (regression)."""
+        mon = DeterminismMonitor(2, batch=100)
+        mon.hasher(0).record("only-on-zero")
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.flush()
+        assert exc.value.descriptions == ["only-on-zero", "<no call>"]
+
+    def test_batch_violation_carries_digests(self):
+        mon = DeterminismMonitor(2, batch=1)
+        mon.hasher(0).record("launch", 1)
+        mon.hasher(1).record("launch", 2)
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.maybe_check()
+        v = exc.value
+        assert v.shard_ids == [0, 1]
+        assert v.shard_digests is not None
+        assert len(set(v.shard_digests)) == 2
+
+
+class TestLocalization:
+    """LOCALIZE: one allgather + binary search pins the divergent call."""
+
+    def _diverge_at(self, num_shards, culprit, idx, total, localize=True):
+        mon = DeterminismMonitor(num_shards, batch=total, localize=localize)
+        for shard in range(num_shards):
+            for call in range(total):
+                if shard == culprit and call == idx:
+                    mon.hasher(shard).record("call", call, "divergent")
+                else:
+                    mon.hasher(shard).record("call", call)
+        return mon
+
+    def test_diagnosis_names_call_and_shard(self):
+        mon = self._diverge_at(3, culprit=1, idx=5, total=12)
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.maybe_check()
+        d = exc.value.diagnosis
+        assert d is not None
+        assert d.seq == 5
+        assert d.divergent_shards == (1,)
+        assert d.majority_digest == mon.hasher(0).calls[5]
+        assert d.window == (0, 12)
+        assert "shard 1" in d.summary()
+
+    def test_recoincident_digests_still_localized(self):
+        """Calls after the divergence hash identically again, so the
+        search must run on prefix digests, not raw call digests
+        (regression: raw digests are not prefix-monotone)."""
+        mon = self._diverge_at(3, culprit=2, idx=0, total=10)
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.flush()
+        d = exc.value.diagnosis
+        assert d.seq == 0 and d.divergent_shards == (2,)
+
+    def test_divergence_at_window_end(self):
+        mon = self._diverge_at(2, culprit=1, idx=7, total=8)
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.flush()
+        assert exc.value.diagnosis.seq == 7
+
+    def test_localize_off_keeps_plain_violation(self):
+        mon = self._diverge_at(2, culprit=1, idx=3, total=6, localize=False)
+        with pytest.raises(ControlDeterminismViolation) as exc:
+            mon.flush()
+        assert exc.value.diagnosis is None
+        assert exc.value.seq == 3
+
+    def test_localization_charged_to_collectives(self):
+        mon = self._diverge_at(3, culprit=1, idx=2, total=6)
+        before = mon.collectives.stats.by_kind.get("allgather", 0)
+        with pytest.raises(ControlDeterminismViolation):
+            mon.flush()
+        assert mon.collectives.stats.by_kind["allgather"] == before + 1
+
+
+class TestShardSetManagement:
+    """Quarantine/reset used by the DEGRADE and RESTART policies."""
+
+    def test_quarantined_shard_is_not_compared(self):
+        mon = DeterminismMonitor(3, batch=2)
+        mon.quarantine(2)
+        for shard in (0, 1):
+            mon.hasher(shard).record("a")
+            mon.hasher(shard).record("b")
+        mon.flush()                          # shard 2 recorded nothing: fine
+        assert mon.checks_performed == 1
+        assert mon.active_shards == [0, 1]
+
+    def test_cannot_quarantine_last_shard(self):
+        mon = DeterminismMonitor(2)
+        mon.quarantine(0)
+        with pytest.raises(ValueError):
+            mon.quarantine(1)
+
+    def test_reset_shard_stalls_checks_until_caught_up(self):
+        mon = DeterminismMonitor(2, batch=2)
+        for shard in (0, 1):
+            for call in ("a", "b"):
+                mon.hasher(shard).record(call)
+        mon.maybe_check()
+        assert mon.checks_performed == 1
+        mon.reset_shard(1)                   # fresh hasher, 0 calls
+        mon.maybe_check()                    # must not underflow or raise
+        assert mon.checks_performed == 1
+        for call in ("a", "b"):
+            mon.hasher(1).record(call)       # replica replays from scratch
+        mon.hasher(0).record("c")
+        mon.hasher(1).record("c")
+        mon.flush()                          # only call "c" is new to check
+        assert mon.checks_performed == 2

@@ -84,3 +84,48 @@ def test_instrumented_run_stays_in_soak_budget():
     elapsed = time.perf_counter() - t0
     rt.pipeline.validate()
     assert elapsed < 10.0
+
+
+def test_disabled_injector_within_guard_budget():
+    """The fault injector follows the same discipline: with no injector
+    (or a disabled one) every site is one ``inj is None / inj.enabled``
+    check, bounded by the same <5% guard budget as the profiler — and a
+    disabled injector run must match the no-injector wall clock closely
+    on an end-to-end workload."""
+    from repro.apps.stencil import stencil2d_control
+    from repro.faults import FaultInjector, FaultPlan
+
+    inj = FaultInjector(FaultPlan(seed=1))   # empty plan: disabled
+    n = 200_000
+    t = timeit.timeit("inj is not None and inj.enabled",
+                      globals={"inj": inj}, number=n)
+    guard_us = t / n * 1e6
+
+    # Reuse the profiler budget math: the injector adds strictly fewer
+    # guard sites than the profiler (hasher, collectives, trace cache).
+    overhead_us = guard_us * GUARD_SITES_PER_OP
+
+    def once(injector):
+        t0 = time.perf_counter()
+        rt = Runtime(num_shards=4, injector=injector)
+        rt.execute(stencil2d_control, 16, 4, 8)
+        return time.perf_counter() - t0
+
+    base = min(once(None) for _ in range(3))
+    faulted = min(once(FaultInjector(FaultPlan(seed=1))) for _ in range(3))
+    # Per-op budget: same coarse-stage yardstick as the profiler test.
+    from repro.core import CoarseAnalysis
+    from test_perf_guards import build_chain
+    ops = build_chain(num_tiles=4, chain=300)
+    coarse = CoarseAnalysis(num_shards=4)
+    t0 = time.perf_counter()
+    for i, op in enumerate(ops):
+        op.seq = i
+        coarse.analyze(op)
+    per_op_us = (time.perf_counter() - t0) / len(ops) * 1e6
+    assert overhead_us < 0.05 * per_op_us, (
+        f"disabled-injector guards cost ~{overhead_us:.3f}us/op "
+        f"vs {per_op_us:.1f}us/op of analysis — over the 5% budget")
+    # End-to-end sanity: generous 25% wall-clock envelope (noise-tolerant;
+    # the per-op bound above is the real guard).
+    assert faulted < base * 1.25 + 0.05, (base, faulted)

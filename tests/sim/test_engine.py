@@ -76,3 +76,51 @@ class TestSerialResource:
         res.acquire(0.0, 2.0)
         assert res.utilization(8.0) == 0.5
         assert res.utilization(0.0) == 0.0
+
+
+class TestFaultInjection:
+    def test_fault_and_recovery_accounting(self):
+        eng = SimEngine()
+        recovered_at = []
+        eng.inject_fault("msg_drop", at=0.5, recovery_latency=0.25,
+                         on_recovered=lambda: recovered_at.append(eng.now))
+        end = eng.run()
+        assert end == pytest.approx(0.75)
+        assert eng.faults_injected == 1
+        assert eng.fault_time == pytest.approx(0.25)
+        assert recovered_at == [pytest.approx(0.75)]
+
+    def test_fault_stall_accumulates(self):
+        eng = SimEngine()
+        eng.inject_fault("shard_crash", at=0.0, recovery_latency=0.1)
+        eng.inject_fault("msg_drop", at=1.0, recovery_latency=0.3)
+        eng.run()
+        assert eng.faults_injected == 2
+        assert eng.fault_time == pytest.approx(0.4)
+
+    def test_negative_recovery_latency_rejected(self):
+        eng = SimEngine()
+        with pytest.raises(ValueError):
+            eng.inject_fault("msg_drop", at=0.0, recovery_latency=-1.0)
+
+    def test_fault_events_on_simulated_clock(self):
+        from repro.obs import Profiler
+        eng = SimEngine(Profiler(enabled=True))
+        eng.inject_fault("msg_drop", at=0.5, recovery_latency=0.25)
+        eng.run()
+        inject = [e for e in eng.profiler.events if e[3] == "fault.inject"]
+        recover = [e for e in eng.profiler.events
+                   if e[3] == "resilience.recover"]
+        assert inject[0][4] == pytest.approx(0.5e6)     # us, sim time
+        assert recover[0][5] == pytest.approx(0.25e6)   # duration
+
+    def test_recovery_latency_from_collective_stats(self):
+        from repro.core.collectives import CollectiveStats
+        from repro.sim import recovery_latency
+        stats = CollectiveStats()
+        stats.retransmissions = 3
+        stats.retry_backoff_us = 150.0
+        stats.delay_latency_us = 25.0
+        assert recovery_latency(stats, hop_latency=4e-6) \
+            == pytest.approx(3 * 4e-6 + 175e-6)
+        assert recovery_latency(CollectiveStats()) == 0.0
