@@ -54,3 +54,225 @@ def test_headline_claims(benchmark):
     assert got >= 0.90
     paper, got = by_claim["Pennant DCR / MPI+GPUDirect"]
     assert 0.75 <= got <= 1.02
+
+
+# -- indexed-analysis performance baseline (BENCH_headline.json) ---------------
+#
+# The dependence-analysis hot paths (coarse epochs, fine point epochs, the
+# fence store) are indexed; this baseline times them against the naive
+# list-scan reference in tests/helpers.py on a stencil sweep, proves the
+# products are byte-identical, and records the speedups in
+# BENCH_headline.json.  CI re-runs a reduced sweep and fails if the
+# measured speedup regresses by more than 20% against the committed
+# baseline (relative speedup, not raw wall-clock, so the guard is stable
+# across runner hardware).
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_TESTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir, "tests")
+DEFAULT_REPORT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "BENCH_headline.json")
+
+
+def _naive_helpers():
+    if _TESTS_DIR not in sys.path:
+        sys.path.insert(0, _TESTS_DIR)
+    import helpers
+    return helpers
+
+
+def analysis_sweep(num_ops=256, tiles=8):
+    """Stencil program for the analysis baseline: fill + (add, stencil)*."""
+    from repro.core.operation import (CoarseRequirement, IDENTITY_PROJECTION,
+                                      Operation)
+    from repro.core.sharding import CYCLIC
+    from repro.oracle import READ_ONLY, READ_WRITE, WRITE_DISCARD
+    from repro.regions import FieldSpace, IndexSpace, LogicalRegion
+
+    fs = FieldSpace([("state", "f8"), ("flux", "f8")])
+    cells = LogicalRegion(IndexSpace.line(4 * tiles), fs, name="cells")
+    owned = cells.partition_equal(tiles, name="owned")
+    ghost = cells.partition_ghost(owned, 1, name="ghost")
+    state = frozenset([fs["state"]])
+    flux = frozenset([fs["flux"]])
+    dom = list(range(tiles))
+    ops = [Operation("fill", [CoarseRequirement(cells, state | flux,
+                                                WRITE_DISCARD)], name="fill")]
+    for t in range(max(1, (num_ops - 1) // 2)):
+        ops.append(Operation(
+            "task", [CoarseRequirement(owned, state, READ_WRITE,
+                                       IDENTITY_PROJECTION)],
+            launch_domain=dom, sharding=CYCLIC, name=f"add[{t}]"))
+        ops.append(Operation(
+            "task", [CoarseRequirement(owned, flux, READ_WRITE,
+                                       IDENTITY_PROJECTION),
+                     CoarseRequirement(ghost, state, READ_ONLY,
+                                       IDENTITY_PROJECTION)],
+            launch_domain=dom, sharding=CYCLIC, name=f"st[{t}]"))
+    for i, op in enumerate(ops):
+        op.seq = i
+    return ops
+
+
+def _run_indexed(ops, shards):
+    from repro.core.coarse import CoarseAnalysis
+    from repro.core.fine import FineAnalysis
+    from repro.regions import clear_region_caches
+
+    clear_region_caches()
+    coarse = CoarseAnalysis(shards)
+    fine = FineAnalysis(shards)
+    for op in ops:
+        coarse.analyze(op)
+        fine.analyze(op)
+    return coarse, fine
+
+
+def _naive_uncovered(helpers, ncoarse, nfine):
+    """Validation pass over the naive products: linear fence walks."""
+    from repro.oracle import requirements_conflict_uncached
+
+    fences = list(ncoarse.result.fences)
+    bad = []
+    for prev, task in nfine.result.cross_edges:
+        covered = False
+        for preq in prev.requirements:
+            for nreq in task.requirements:
+                if requirements_conflict_uncached(preq, nreq):
+                    if helpers.naive_covers_cross_edge(
+                            fences, prev.op.seq, task.op.seq, nreq.region,
+                            nreq.fields | preq.fields):
+                        covered = True
+        if not covered:
+            bad.append((prev, task))
+    return bad
+
+
+def bench_analysis(num_ops=256, shards=4, tiles=8, repeats=3):
+    """Time indexed vs naive coarse+fine analysis (+ soundness validation)
+    on the same sweep; returns the report dict for BENCH_headline.json."""
+    helpers = _naive_helpers()
+    ops = analysis_sweep(num_ops, tiles)
+
+    best = {"indexed_analyze": float("inf"), "indexed_validate": float("inf"),
+            "naive_analyze": float("inf"), "naive_validate": float("inf")}
+    coarse = fine = ncoarse = nfine = None
+    uncovered = nuncovered = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        coarse, fine = _run_indexed(ops, shards)
+        t1 = time.perf_counter()
+        uncovered = fine.uncovered_cross_edges(coarse.result)
+        t2 = time.perf_counter()
+        best["indexed_analyze"] = min(best["indexed_analyze"], t1 - t0)
+        best["indexed_validate"] = min(best["indexed_validate"], t2 - t1)
+
+        t0 = time.perf_counter()
+        ncoarse, nfine = helpers.run_naive_analysis(ops, shards)
+        t1 = time.perf_counter()
+        nuncovered = _naive_uncovered(helpers, ncoarse, nfine)
+        t2 = time.perf_counter()
+        best["naive_analyze"] = min(best["naive_analyze"], t1 - t0)
+        best["naive_validate"] = min(best["naive_validate"], t2 - t1)
+
+    assert uncovered == [] and nuncovered == []
+    digest = helpers.analysis_digest(coarse.result, fine.result)
+    ndigest = helpers.analysis_digest(ncoarse.result, nfine.result)
+    itotal = best["indexed_analyze"] + best["indexed_validate"]
+    ntotal = best["naive_analyze"] + best["naive_validate"]
+    return {
+        "schema": 1,
+        "config": {"num_ops": len(ops), "tiles": tiles, "shards": shards,
+                   "repeats": repeats},
+        "indexed_s": {"analyze": best["indexed_analyze"],
+                      "validate": best["indexed_validate"], "total": itotal},
+        "naive_s": {"analyze": best["naive_analyze"],
+                    "validate": best["naive_validate"], "total": ntotal},
+        "speedup": {
+            "analyze": best["naive_analyze"] / best["indexed_analyze"],
+            "validate": best["naive_validate"] / best["indexed_validate"],
+            "total": ntotal / itotal,
+        },
+        "products": {
+            "fences": len(coarse.result.fences),
+            "deps": len(coarse.result.deps),
+            "fences_elided": coarse.result.fences_elided,
+            "cross_edges": len(fine.result.cross_edges),
+            "digest": digest,
+            "digests_match": digest == ndigest,
+        },
+    }
+
+
+def test_analysis_baseline_smoke():
+    """Cheap pytest entry: the baseline machinery runs and the indexed and
+    naive products agree byte-for-byte on a reduced sweep."""
+    report = bench_analysis(num_ops=24, shards=2, tiles=4, repeats=1)
+    assert report["products"]["digests_match"]
+    assert report["products"]["fences"] > 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Analysis performance baseline (BENCH_headline.json)")
+    ap.add_argument("--ops", type=int, default=256,
+                    help="sweep size in operations (default: 256)")
+    ap.add_argument("--shards", type=int, default=4)
+    ap.add_argument("--tiles", type=int, default=8)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--output", metavar="PATH",
+                    help="write the JSON report to PATH")
+    ap.add_argument("--check-baseline", metavar="PATH",
+                    help="fail if total speedup regressed >20%% vs PATH")
+    ap.add_argument("--min-speedup", type=float,
+                    help="fail if total speedup is below this")
+    args = ap.parse_args(argv)
+
+    report = bench_analysis(args.ops, args.shards, args.tiles, args.repeats)
+    sp = report["speedup"]
+    print(f"analysis sweep: {report['config']['num_ops']} ops, "
+          f"{args.shards} shards, {args.tiles} tiles")
+    print(f"  analyze : naive {report['naive_s']['analyze']*1e3:8.2f} ms  "
+          f"indexed {report['indexed_s']['analyze']*1e3:8.2f} ms  "
+          f"speedup {sp['analyze']:.2f}x")
+    print(f"  validate: naive {report['naive_s']['validate']*1e3:8.2f} ms  "
+          f"indexed {report['indexed_s']['validate']*1e3:8.2f} ms  "
+          f"speedup {sp['validate']:.2f}x")
+    print(f"  total   : speedup {sp['total']:.2f}x   "
+          f"(products identical: {report['products']['digests_match']})")
+
+    failed = False
+    if not report["products"]["digests_match"]:
+        print("FAIL: indexed and naive analysis products differ")
+        failed = True
+    if args.min_speedup is not None and sp["total"] < args.min_speedup:
+        print(f"FAIL: total speedup {sp['total']:.2f}x < "
+              f"required {args.min_speedup:.2f}x")
+        failed = True
+    if args.check_baseline:
+        with open(args.check_baseline) as fh:
+            base = json.load(fh)
+        floor = 0.8 * base["speedup"]["total"]
+        if sp["total"] < floor:
+            print(f"FAIL: total speedup {sp['total']:.2f}x regressed >20% "
+                  f"vs baseline {base['speedup']['total']:.2f}x "
+                  f"(floor {floor:.2f}x)")
+            failed = True
+        else:
+            print(f"baseline check: {sp['total']:.2f}x vs committed "
+                  f"{base['speedup']['total']:.2f}x (floor {floor:.2f}x) OK")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

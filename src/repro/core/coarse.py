@@ -22,31 +22,38 @@ For each discovered group-level dependence the stage decides whether a
 * otherwise a fence scoped to the conflicting region and fields is inserted
   at the later operation's position, implemented at run time as a no-payload
   all-gather (§4.2).
+
+Scaling note: the epoch lists are *bucketed* by (privilege, bound-region
+uid) and every containment/alias decision is memoized (`repro.regions.
+cache`), so a scan makes one cached decision per distinct bound instead of
+one tree walk per entry; fences live in a :class:`FenceStore` whose per-tree
+seq-sorted index answers :meth:`CoarseResult.covers_cross_edge` by binary
+search instead of a walk over every fence.  The bucketed implementation is
+*observationally identical* to the naive per-entry scan — same dependences
+in the same order, same fences, same ``users_scanned`` counts — a property
+pinned by the differential tests (tests/core/test_indexed_equivalence.py
+against the reference implementations in tests/helpers.py).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..obs.events import (CAT_COARSE, CONTROL_SHARD, EV_COARSE_GROUP,
                           EV_FENCE_ELIDE, EV_FENCE_INSERT)
 from ..obs.profiler import Profiler, get_profiler
-from ..regions import LogicalRegion, Partition, may_alias
+from ..regions import (LogicalRegion, Partition, cached_may_alias,
+                       cached_region_contains)
 from .operation import CoarseRequirement, Operation
 
-__all__ = ["Fence", "CoarseResult", "CoarseAnalysis"]
+__all__ = ["Fence", "FenceStore", "CoarseResult", "CoarseAnalysis"]
 
 
 def _region_contains(outer: LogicalRegion, inner: LogicalRegion) -> bool:
     """True when ``outer`` provably covers every point of ``inner``."""
-    if outer.tree_id != inner.tree_id:
-        return False
-    if outer.is_ancestor_of(inner):
-        return True
-    if outer.index_space.structured and inner.index_space.structured:
-        return outer.index_space.rect.contains_rect(inner.index_space.rect)
-    return inner.index_space.point_set() <= outer.index_space.point_set()
+    return cached_region_contains(outer, inner)
 
 
 @dataclass(frozen=True)
@@ -56,7 +63,8 @@ class Fence:
     Orders the fine-stage analysis of all prior operations touching
     ``region``/``fields`` (on every shard) before any later one.  A fence
     with ``region is None`` is a *global* analysis fence covering every
-    region tree (used as the entry precondition of trace replays).
+    region tree (used as the entry precondition of trace replays, and as
+    the sound scope when one dependence spans multiple region trees).
     """
 
     at_seq: int
@@ -64,12 +72,128 @@ class Fence:
     fields: frozenset
 
 
+# Sorts after every real (at_seq, tick, fence) triple with the same at_seq,
+# so bisect_right((s, _AFTER)) finds the first entry with at_seq > s.
+_AFTER = float("inf")
+
+
+class FenceStore:
+    """Deduplicated, insertion-ordered fence set with positional indexes.
+
+    Presents the ``List[Fence]`` API the rest of the system grew up with
+    (``append``/``extend``/``clear``/iteration/``len``/``==`` against
+    lists), while maintaining:
+
+    * a set for O(1) dedupe and membership (``add`` returns whether the
+      fence was new — the pipeline's replay integration relies on this);
+    * a seq-sorted list per region tree plus one for global fences, so a
+      "is some fence in (earlier, later] that aliases this region?" query
+      bisects to the candidate window instead of scanning every fence.
+
+    Soundness of the index: a fence is immutable and its position never
+    changes, so insertion-time bucketing is final.
+    """
+
+    __slots__ = ("_fences", "_set", "_by_tree", "_global", "_tick")
+
+    def __init__(self, fences: Sequence[Fence] = ()) -> None:
+        self._fences: List[Fence] = []
+        self._set: Set[Fence] = set()
+        # tree_id -> sorted [(at_seq, tick, fence)]; tick breaks seq ties.
+        self._by_tree: Dict[int, List[Tuple[int, int, Fence]]] = {}
+        self._global: List[int] = []          # sorted at_seqs of global fences
+        self._tick = 0
+        for f in fences:
+            self.add(f)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add(self, fence: Fence) -> bool:
+        """Insert unless an identical fence exists; True when inserted."""
+        if fence in self._set:
+            return False
+        self._set.add(fence)
+        self._fences.append(fence)
+        if fence.region is None:
+            insort(self._global, fence.at_seq)
+        else:
+            self._tick += 1
+            insort(self._by_tree.setdefault(fence.region.tree_id, []),
+                   (fence.at_seq, self._tick, fence))
+        return True
+
+    def append(self, fence: Fence) -> None:
+        self.add(fence)
+
+    def extend(self, fences: Sequence[Fence]) -> None:
+        for f in fences:
+            self.add(f)
+
+    def clear(self) -> None:
+        self._fences.clear()
+        self._set.clear()
+        self._by_tree.clear()
+        self._global.clear()
+
+    # -- queries ------------------------------------------------------------------
+
+    def covers(self, earlier_seq: int, later_seq: int,
+               region: LogicalRegion, fields: frozenset) -> bool:
+        """Any fence in (earlier_seq, later_seq] whose scope orders the
+        given data?  O(log F) bisects to the candidate window; global
+        fences cover everything, scoped ones need a field overlap and a
+        (memoized) alias with their region."""
+        g = self._global
+        if g and bisect_right(g, earlier_seq) < bisect_right(g, later_seq):
+            return True
+        entries = self._by_tree.get(region.tree_id)
+        if not entries:
+            return False
+        lo = bisect_right(entries, (earlier_seq, _AFTER))
+        hi = bisect_right(entries, (later_seq, _AFTER))
+        for i in range(lo, hi):
+            f = entries[i][2]
+            if (f.fields & fields) and cached_may_alias(f.region, region):
+                return True
+        return False
+
+    def positions(self) -> List[int]:
+        return sorted({f.at_seq for f in self._fences})
+
+    # -- list-compatible protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Fence]:
+        return iter(self._fences)
+
+    def __len__(self) -> int:
+        return len(self._fences)
+
+    def __bool__(self) -> bool:
+        return bool(self._fences)
+
+    def __contains__(self, fence: object) -> bool:
+        return fence in self._set
+
+    def __getitem__(self, index):
+        return self._fences[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FenceStore):
+            return self._fences == other._fences
+        if isinstance(other, (list, tuple)):
+            return self._fences == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FenceStore({self._fences!r})"
+
+
 @dataclass
 class CoarseResult:
     """Everything the coarse stage produced for one program."""
 
     deps: Set[Tuple[Operation, Operation]] = field(default_factory=set)
-    fences: List[Fence] = field(default_factory=list)
+    fences: FenceStore = field(default_factory=FenceStore)
     fences_elided: int = 0
     users_scanned: int = 0          # pairwise upper-bound tests performed
     ops_analyzed: int = 0
@@ -85,24 +209,120 @@ class CoarseResult:
         aliasing its scope (each shard's fine stage runs in program order and
         the fence is a global all-gather at position p).
         """
-        for f in self.fences:
-            if earlier_seq < f.at_seq <= later_seq:
-                if f.region is None:
-                    return True
-                if (f.fields & fields) and may_alias(f.region, region):
-                    return True
-        return False
+        return self.fences.covers(earlier_seq, later_seq, region, fields)
+
+
+class _Epoch:
+    """One epoch list, bucketed by (privilege, bound-region uid).
+
+    Entries are (insertion index, op, requirement) triples.  All entries of
+    a bucket share the decision inputs of the naive per-entry loop —
+    privilege and bound region — so a scan makes *one* memoized
+    conflict+alias decision per bucket and then emits the bucket's entries.
+    Matches are re-sorted by insertion index so dependence pairs appear in
+    exactly the order the naive scan would have produced them (the fence
+    scope starts from ``pairs[0]``, so order is observable).
+    """
+
+    __slots__ = ("_buckets", "_members", "_op_counts", "_next", "_size")
+
+    def __init__(self) -> None:
+        # (privilege, bound uid) -> (bound region, [(idx, op, req), ...])
+        self._buckets: Dict[Tuple, Tuple[LogicalRegion, List[Tuple]]] = {}
+        self._members: Set[Tuple] = set()      # (id(op), req) for dedupe
+        self._op_counts: Dict[int, int] = {}   # id(op) -> live entry count
+        self._next = 0
+        self._size = 0
+
+    def add(self, op: Operation, req: CoarseRequirement,
+            bound: LogicalRegion, unique: bool = False) -> None:
+        key = (id(op), req)
+        if unique and key in self._members:
+            return
+        self._members.add(key)
+        bkey = (req.privilege, bound.uid)
+        slot = self._buckets.get(bkey)
+        if slot is None:
+            slot = (bound, [])
+            self._buckets[bkey] = slot
+        slot[1].append((self._next, op, req))
+        self._next += 1
+        self._size += 1
+        self._op_counts[id(op)] = self._op_counts.get(id(op), 0) + 1
+
+    def match(self, op: Operation, privilege,
+              bound: LogicalRegion, reduce_only: bool = False
+              ) -> Tuple[int, List[Tuple]]:
+        """(entries scanned, matches in insertion order) — exactly what the
+        naive loop over (op, req) pairs reports for the same epoch."""
+        if id(op) in self._op_counts:
+            return self._match_with_self(op, privilege, bound, reduce_only)
+        scanned = 0
+        matched: List[Tuple] = []
+        for (bpriv, _uid), (bregion, entries) in self._buckets.items():
+            if reduce_only and not bpriv.is_reduce:
+                continue
+            scanned += len(entries)
+            if not bpriv.conflicts_with(privilege):
+                continue
+            if not cached_may_alias(bregion, bound):
+                continue
+            matched.extend(entries)
+        matched.sort()
+        return scanned, [(e[1], e[2]) for e in matched]
+
+    def _match_with_self(self, op, privilege, bound, reduce_only):
+        """Slow path preserving the naive same-op skip semantics (the op
+        under analysis is normally never in the epochs; this guards the
+        invariant rather than assuming it)."""
+        scanned = 0
+        matched: List[Tuple] = []
+        for (bpriv, _uid), (bregion, entries) in self._buckets.items():
+            if reduce_only and not bpriv.is_reduce:
+                continue
+            live = [e for e in entries if e[1] is not op]
+            scanned += len(live)
+            if not bpriv.conflicts_with(privilege):
+                continue
+            if not cached_may_alias(bregion, bound):
+                continue
+            matched.extend(live)
+        matched.sort()
+        return scanned, [(e[1], e[2]) for e in matched]
+
+    def retire_contained(self, bound: LogicalRegion) -> None:
+        """Drop every entry whose bound region is covered by ``bound`` —
+        the write-retirement rule, decided once per bucket."""
+        doomed = [bkey for bkey, (bregion, _entries) in self._buckets.items()
+                  if cached_region_contains(bound, bregion)]
+        for bkey in doomed:
+            _region, entries = self._buckets.pop(bkey)
+            self._size -= len(entries)
+            for _idx, op, req in entries:
+                self._members.discard((id(op), req))
+                n = self._op_counts.get(id(op), 0) - 1
+                if n <= 0:
+                    self._op_counts.pop(id(op), None)
+                else:
+                    self._op_counts[id(op)] = n
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Tuple[Operation, CoarseRequirement]]:
+        entries = [e for _reg, es in self._buckets.values() for e in es]
+        entries.sort()
+        return iter((e[1], e[2]) for e in entries)
 
 
 class _FieldState:
-    """Epoch lists for one (region-tree root, field): Legion-style."""
+    """Epoch indexes for one (region-tree root, field): Legion-style."""
 
     __slots__ = ("write_epoch", "read_epoch")
 
     def __init__(self) -> None:
-        # Entries are (op, coarse requirement) pairs.
-        self.write_epoch: List[Tuple[Operation, CoarseRequirement]] = []
-        self.read_epoch: List[Tuple[Operation, CoarseRequirement]] = []
+        self.write_epoch = _Epoch()
+        self.read_epoch = _Epoch()
 
 
 class CoarseAnalysis:
@@ -158,14 +378,16 @@ class CoarseAnalysis:
                 self.result.fences_elided += 1
             else:
                 new_fences.append(fence)
-        # Dedupe fences at the same position with identical scope.
-        for f in new_fences:
-            if f not in self.result.fences:
-                self.result.fences.append(f)
+        # Dedupe fences at the same position with identical scope: one
+        # all-gather at a position orders everything its scope covers, so
+        # duplicates are the same physical fence.  The *deduped* list is
+        # what gets returned (and therefore recorded by tracing), so replay
+        # integration and PipelineStats count exactly the fences that exist.
+        inserted = [f for f in new_fences if self.result.fences.add(f)]
         self.result.deps |= new_deps
         if profiling:
-            self._profile_op(op, new_fences, t0, scans0, elided0)
-        return new_deps, new_fences
+            self._profile_op(op, inserted, t0, scans0, elided0)
+        return new_deps, inserted
 
     def _profile_op(self, op: Operation, fences: List[Fence], t0: float,
                     scans0: int, elided0: int) -> None:
@@ -220,45 +442,37 @@ class CoarseAnalysis:
               bound: LogicalRegion, state: _FieldState,
               dep_ops: Dict[Operation, List[Tuple[CoarseRequirement,
                                                   CoarseRequirement]]]) -> None:
-        def check(entries: Sequence[Tuple[Operation, CoarseRequirement]]) -> None:
-            for prev_op, prev_req in entries:
-                if prev_op is op:
-                    continue
-                self.result.users_scanned += 1
-                if not prev_req.privilege.conflicts_with(req.privilege):
-                    continue
-                if may_alias(prev_req.bound_region(), bound):
-                    dep_ops.setdefault(prev_op, []).append((prev_req, req))
+        priv = req.privilege
 
-        if req.privilege.writes:
+        def check(epoch: _Epoch, reduce_only: bool = False) -> None:
+            scanned, matched = epoch.match(op, priv, bound,
+                                           reduce_only=reduce_only)
+            self.result.users_scanned += scanned
+            for prev_op, prev_req in matched:
+                dep_ops.setdefault(prev_op, []).append((prev_req, req))
+
+        if priv.writes:
             check(state.read_epoch)
             check(state.write_epoch)
-        elif req.privilege.is_reduce:
+        elif priv.is_reduce:
             # Conflicts with writers and with different-op reducers/readers.
             check(state.read_epoch)
             check(state.write_epoch)
         else:  # reader
             check(state.write_epoch)
             # Readers also conflict with reducers parked in the read epoch.
-            check([e for e in state.read_epoch
-                   if e[1].privilege.is_reduce])
+            check(state.read_epoch, reduce_only=True)
 
     def _update(self, op: Operation, req: CoarseRequirement,
                 bound: LogicalRegion, state: _FieldState) -> None:
-        entry = (op, req)
         if req.privilege.writes:
             # New write epoch for the covered data: drop dominated users
             # (any future conflict with them is transitively ordered via op).
-            state.read_epoch = [
-                e for e in state.read_epoch
-                if not _region_contains(bound, e[1].bound_region())]
-            state.write_epoch = [
-                e for e in state.write_epoch
-                if not _region_contains(bound, e[1].bound_region())]
-            state.write_epoch.append(entry)
+            state.read_epoch.retire_contained(bound)
+            state.write_epoch.retire_contained(bound)
+            state.write_epoch.add(op, req, bound)
         else:
-            if entry not in state.read_epoch:
-                state.read_epoch.append(entry)
+            state.read_epoch.add(op, req, bound, unique=True)
 
     # -- fence insertion / elision ----------------------------------------------------
 
@@ -270,14 +484,26 @@ class CoarseAnalysis:
         if self._provably_shard_local(prev, op, pairs):
             return None
         # Scope the fence to the least upper bound of the conflicting data.
+        # Both sides of every pair must be covered: the fence orders the
+        # *earlier* op's fine analysis (preq's data) against the later one's
+        # (nreq's data), so a scope containing only the later bounds would
+        # under-synchronize.  A dependence spanning region trees has no
+        # common ancestor at all — only a global fence is sound there.
         preq, nreq = pairs[0]
-        scope_region = preq.bound_region()
+        scope_region: Optional[LogicalRegion] = preq.bound_region()
         scope_fields: frozenset = frozenset()
         for preq, nreq in pairs:
-            if not _region_contains(scope_region, nreq.bound_region()):
-                # Fall back to the common root, always a sound scope.
-                scope_region = scope_region.root()
             scope_fields |= (preq.fields | nreq.fields)
+            if scope_region is None:
+                continue
+            for b in (preq.bound_region(), nreq.bound_region()):
+                if b.tree_id != scope_region.tree_id:
+                    scope_region = None
+                    break
+                if not _region_contains(scope_region, b):
+                    # Fall back to the common root, always a sound scope
+                    # within one tree.
+                    scope_region = scope_region.root()
         return Fence(at_seq=op.seq, region=scope_region, fields=scope_fields)
 
     def _provably_shard_local(

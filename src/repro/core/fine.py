@@ -12,16 +12,23 @@ attribution, classifies edges as shard-local vs. cross-shard, and provides
 the soundness check used by the test-suite: every cross-shard point
 dependence must be covered by a fence the coarse stage inserted (otherwise
 an elision was wrong).
+
+Scaling note: like the coarse stage, the point epochs are bucketed — here by
+(privilege, region uid, field-id set), the exact inputs of the pairwise
+requirement test — so one memoized ``requirements_conflict`` decision
+settles a whole bucket.  ``scans_per_shard`` still counts one unit per
+epoch entry visited, identical to the naive per-entry loop (pinned by the
+differential tests against tests/helpers.py).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..obs.profiler import Profiler, get_profiler
 from ..oracle import RegionRequirement, requirements_conflict
-from ..regions import LogicalRegion
+from ..regions import LogicalRegion, cached_region_contains
 from .coarse import CoarseResult
 from .operation import Operation, PointTask
 from .taskgraph import TaskGraph
@@ -43,24 +50,128 @@ class FineResult:
         return [t for t in self.graph.tasks]  # type: ignore[misc]
 
 
+class _PointEpoch:
+    """One point-level epoch, bucketed by (privilege, region uid, fids).
+
+    Those three are exactly the inputs of ``requirements_conflict``, so the
+    pairwise test against a new requirement has one answer per bucket; the
+    scan makes that (memoized) decision once and emits the bucket's entries.
+    """
+
+    __slots__ = ("_buckets", "_members", "_op_counts", "_size")
+
+    def __init__(self) -> None:
+        # (privilege, region uid, fids) -> (representative req, entries)
+        self._buckets: Dict[Tuple, Tuple[RegionRequirement,
+                                         List[Tuple[PointTask,
+                                                    RegionRequirement]]]] = {}
+        self._members: Set[Tuple[PointTask, RegionRequirement]] = set()
+        self._op_counts: Dict[int, int] = {}   # id(op) -> live entry count
+        self._size = 0
+
+    def add(self, task: PointTask, req: RegionRequirement,
+            unique: bool = False) -> None:
+        entry = (task, req)
+        if unique and entry in self._members:
+            return
+        self._members.add(entry)
+        bkey = (req.privilege, req.region.uid, req.field_ids())
+        slot = self._buckets.get(bkey)
+        if slot is None:
+            slot = (req, [])
+            self._buckets[bkey] = slot
+        slot[1].append(entry)
+        self._size += 1
+        opid = id(task.op)
+        self._op_counts[opid] = self._op_counts.get(opid, 0) + 1
+
+    def match(self, task: PointTask, req: RegionRequirement,
+              reduce_only: bool = False
+              ) -> Tuple[int, List[PointTask]]:
+        """(entries scanned, conflicting prior tasks) — the same counts and
+        task set the naive per-entry loop reports for this epoch."""
+        if id(task.op) in self._op_counts:
+            return self._match_with_self(task, req, reduce_only)
+        scanned = 0
+        matched: List[PointTask] = []
+        for (bpriv, _uid, _fids), (brep, entries) in self._buckets.items():
+            if reduce_only and not bpriv.is_reduce:
+                continue
+            scanned += len(entries)
+            if requirements_conflict(brep, req):
+                matched.extend(e[0] for e in entries)
+        return scanned, matched
+
+    def _match_with_self(self, task, req, reduce_only):
+        """Slow path preserving the naive same-op skip semantics (points of
+        the op under analysis are normally never in the epochs yet; this
+        guards the invariant rather than assuming it)."""
+        scanned = 0
+        matched: List[PointTask] = []
+        for (bpriv, _uid, _fids), (brep, entries) in self._buckets.items():
+            if reduce_only and not bpriv.is_reduce:
+                continue
+            live = [e for e in entries if e[0].op is not task.op]
+            scanned += len(live)
+            if requirements_conflict(brep, req):
+                matched.extend(e[0] for e in live)
+        return scanned, matched
+
+    def _drop_entries(self, bkey, survivors) -> None:
+        brep, entries = self._buckets[bkey]
+        for entry in entries:
+            if entry not in survivors:
+                self._members.discard(entry)
+                opid = id(entry[0].op)
+                n = self._op_counts.get(opid, 0) - 1
+                if n <= 0:
+                    self._op_counts.pop(opid, None)
+                else:
+                    self._op_counts[opid] = n
+        self._size -= len(entries) - len(survivors)
+        if survivors:
+            self._buckets[bkey] = (brep, survivors)
+        else:
+            del self._buckets[bkey]
+
+    def retire_contained(self, bound: LogicalRegion) -> None:
+        """Drop every entry whose region is covered by ``bound``."""
+        doomed = [bkey for bkey, (brep, _e) in self._buckets.items()
+                  if cached_region_contains(bound, brep.region)]
+        for bkey in doomed:
+            self._drop_entries(bkey, [])
+
+    def retire_contained_except(self, bound: LogicalRegion,
+                                keep_ids: Set[int]) -> None:
+        """Group retirement: drop covered entries unless the task is one of
+        the retiring launch's own points (``keep_ids`` holds their ids)."""
+        doomed = [bkey for bkey, (brep, _e) in self._buckets.items()
+                  if cached_region_contains(bound, brep.region)]
+        for bkey in doomed:
+            survivors = [e for e in self._buckets[bkey][1]
+                         if id(e[0]) in keep_ids]
+            self._drop_entries(bkey, survivors)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Tuple[PointTask, RegionRequirement]]:
+        for _brep, entries in self._buckets.values():
+            yield from entries
+
+
 class _FieldState:
-    """Point-level epoch lists per (region tree, field)."""
+    """Point-level epoch indexes per (region tree, field)."""
 
     __slots__ = ("write_epoch", "read_epoch")
 
     def __init__(self) -> None:
-        self.write_epoch: List[Tuple[PointTask, RegionRequirement]] = []
-        self.read_epoch: List[Tuple[PointTask, RegionRequirement]] = []
+        self.write_epoch = _PointEpoch()
+        self.read_epoch = _PointEpoch()
 
 
 def _contains(outer: LogicalRegion, inner: LogicalRegion) -> bool:
-    if outer.tree_id != inner.tree_id:
-        return False
-    if outer.is_ancestor_of(inner):
-        return True
-    if outer.index_space.structured and inner.index_space.structured:
-        return outer.index_space.rect.contains_rect(inner.index_space.rect)
-    return inner.index_space.point_set() <= outer.index_space.point_set()
+    return cached_region_contains(outer, inner)
 
 
 class FineAnalysis:
@@ -150,14 +261,8 @@ class FineAnalysis:
                 state = self._state.get((parent.tree_id, f.fid))
                 if state is None:
                     continue
-                state.read_epoch = [
-                    e for e in state.read_epoch
-                    if id(e[0]) in own
-                    or not _contains(parent, e[1].region)]
-                state.write_epoch = [
-                    e for e in state.write_epoch
-                    if id(e[0]) in own
-                    or not _contains(parent, e[1].region)]
+                state.read_epoch.retire_contained_except(parent, own)
+                state.write_epoch.retire_contained_except(parent, own)
 
     def _analyze_point(self, task: PointTask) -> None:
         self.result.graph.add_task(task)
@@ -182,14 +287,12 @@ class FineAnalysis:
               state: _FieldState, deps: Set[PointTask]) -> None:
         shard = task.shard
 
-        def check(entries: List[Tuple[PointTask, RegionRequirement]]) -> None:
-            for prev_task, prev_req in entries:
-                if prev_task.op is task.op:
-                    continue
+        def check(epoch: _PointEpoch, reduce_only: bool = False) -> None:
+            scanned, matched = epoch.match(task, req, reduce_only=reduce_only)
+            if scanned:
                 self.result.scans_per_shard[shard] = \
-                    self.result.scans_per_shard.get(shard, 0) + 1
-                if requirements_conflict(prev_req, req):
-                    deps.add(prev_task)
+                    self.result.scans_per_shard.get(shard, 0) + scanned
+            deps.update(matched)
 
         if req.privilege.writes:
             check(state.read_epoch)
@@ -199,25 +302,19 @@ class FineAnalysis:
             check(state.write_epoch)
         else:
             check(state.write_epoch)
-            check([e for e in state.read_epoch if e[1].privilege.is_reduce])
+            check(state.read_epoch, reduce_only=True)
 
     def _update_point(self, task: PointTask) -> None:
         for req in task.requirements:
             for fid in sorted(f.fid for f in req.fields):
                 key = (req.region.tree_id, fid)
                 state = self._state.setdefault(key, _FieldState())
-                entry = (task, req)
                 if req.privilege.writes:
-                    state.read_epoch = [
-                        e for e in state.read_epoch
-                        if not _contains(req.region, e[1].region)]
-                    state.write_epoch = [
-                        e for e in state.write_epoch
-                        if not _contains(req.region, e[1].region)]
-                    state.write_epoch.append(entry)
+                    state.read_epoch.retire_contained(req.region)
+                    state.write_epoch.retire_contained(req.region)
+                    state.write_epoch.add(task, req)
                 else:
-                    if entry not in state.read_epoch:
-                        state.read_epoch.append(entry)
+                    state.read_epoch.add(task, req, unique=True)
 
     # -- soundness of fence elision ------------------------------------------------
 

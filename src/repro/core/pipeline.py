@@ -249,8 +249,14 @@ class DCRPipeline:
         # Replayed fences and deps still join the coarse result so the
         # fence-coverage invariant can be checked uniformly, and traced
         # point tasks join the global precise graph so the functional
-        # execution sees a complete ordering.
-        self.coarse.result.fences.extend(record.fences)
+        # execution sees a complete ordering.  Integration dedupes: a fence
+        # already present (e.g. the recorded scope of the op carrying the
+        # replay's global entry fence) is one physical all-gather, and the
+        # record is rebound to the fences actually inserted so
+        # ``stats.fences`` and the simulator's collective charges count
+        # each fence exactly once — identical to an untraced run.
+        record.fences = [f for f in record.fences
+                         if self.coarse.result.fences.add(f)]
         self.coarse.result.deps |= record.coarse_deps
         # Fold the replay into both stages' epoch state so operations
         # issued *after* the trace see the replayed work (without this,

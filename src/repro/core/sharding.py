@@ -65,17 +65,28 @@ def morton_shard(point: Hashable, launch_size: int, num_shards: int) -> int:
         if launch_size > 0 else code % num_shards
 
 
+# Pure function of the point, so memoizable forever (same argument as the
+# per-ShardingFunction result cache below; tuple points recur every launch).
+_linearize_cache: Dict[Hashable, int] = {}
+
+
 def _linearize(point: Hashable) -> int:
     """Map a launch point (int or int tuple) to a non-negative integer."""
     if isinstance(point, int):
         return point
+    hit = _linearize_cache.get(point)
+    if hit is not None:
+        return hit
     if isinstance(point, tuple):
         # Interleave-free mixed-radix linearization is unnecessary here: we
         # only need determinism and rough balance, so fold coordinates.
         out = 0
         for c in point:
             out = out * 1_000_003 + int(c)
-        return out & 0x7FFFFFFFFFFFFFFF
+        out &= 0x7FFFFFFFFFFFFFFF
+        if len(_linearize_cache) < (1 << 20):
+            _linearize_cache[point] = out
+        return out
     raise TypeError(f"unsupported launch point {point!r}")
 
 

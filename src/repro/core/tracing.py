@@ -375,12 +375,17 @@ class TraceCache:
             self._replay_tasks[(offset, t.point)] = t
         fences: List[Fence] = []
         if offset == 0:
-            # Global entry fence: orders everything before the trace.
+            # Global entry fence: orders everything before the trace.  It
+            # subsumes any recorded scoped fence at this position (a global
+            # fence at seq p covers strictly more cross edges than a scoped
+            # one at p), so replaying the recorded scopes here would only
+            # double-charge collectives the entry fence already performs.
             fences.append(Fence(at_seq=seq, region=None,
                                 fields=frozenset()))
-        for scope_region, scope_fields in entry.fence_scopes:
-            fences.append(Fence(at_seq=seq, region=scope_region,
-                                fields=scope_fields))
+        else:
+            for scope_region, scope_fields in entry.fence_scopes:
+                fences.append(Fence(at_seq=seq, region=scope_region,
+                                    fields=scope_fields))
         edges: List[Tuple[PointTask, PointTask]] = []
         by_point = {t.point: t for t in point_tasks}
         for src_off, src_point, dst_point in entry.internal_edges:

@@ -1,12 +1,14 @@
 """Dependence oracle: privileges, region requirements, pairwise tests."""
 
-from .oracle import DependenceOracle, requirements_conflict, tasks_interfere
+from .oracle import (DependenceOracle, requirements_conflict,
+                     requirements_conflict_uncached, tasks_interfere)
 from .privileges import (READ_ONLY, READ_WRITE, WRITE_DISCARD, Privilege,
                          PrivilegeKind, reduce_priv)
 from .requirement import RegionRequirement
 
 __all__ = [
-    "DependenceOracle", "requirements_conflict", "tasks_interfere",
+    "DependenceOracle", "requirements_conflict",
+    "requirements_conflict_uncached", "tasks_interfere",
     "READ_ONLY", "READ_WRITE", "WRITE_DISCARD", "Privilege", "PrivilegeKind",
     "reduce_priv", "RegionRequirement",
 ]

@@ -18,17 +18,39 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..regions import may_alias
+from ..regions import cached_may_alias, may_alias
 from .requirement import RegionRequirement
 
-__all__ = ["requirements_conflict", "tasks_interfere", "DependenceOracle"]
+__all__ = ["requirements_conflict", "requirements_conflict_uncached",
+           "tasks_interfere", "DependenceOracle"]
 
 
 def requirements_conflict(a: RegionRequirement, b: RegionRequirement) -> bool:
-    """True when two region requirements must be ordered."""
+    """True when two region requirements must be ordered.
+
+    The privilege test hits the conflict table, the field test compares
+    precomputed fid sets, and the alias test goes through the region-pair
+    LRU — each leg is memoized because the fine stage asks this question
+    once per (point, epoch entry) pair on the hot path.
+    """
     if not a.privilege.conflicts_with(b.privilege):
         return False
     if not (a.field_ids() & b.field_ids()):
+        return False
+    return cached_may_alias(a.region, b.region)
+
+
+def requirements_conflict_uncached(a: RegionRequirement,
+                                   b: RegionRequirement) -> bool:
+    """The same predicate with no memoization anywhere on the path.
+
+    Kept as the reference the differential tests compare the indexed
+    analysis against (tests/helpers.py).
+    """
+    if not a.privilege._conflicts_uncached(b.privilege):
+        return False
+    if not (frozenset(f.fid for f in a.fields)
+            & frozenset(f.fid for f in b.fields)):
         return False
     return may_alias(a.region, b.region)
 

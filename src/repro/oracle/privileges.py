@@ -55,7 +55,20 @@ class Privilege:
         return self.kind is PrivilegeKind.REDUCE
 
     def conflicts_with(self, other: "Privilege") -> bool:
-        """True when two accesses to the *same data* must be ordered."""
+        """True when two accesses to the *same data* must be ordered.
+
+        Answers come from a table keyed on the (tiny) set of distinct
+        privilege values a program uses — the epoch scans ask this for
+        every entry pair, so even the enum comparisons are worth skipping.
+        """
+        key = (self, other)
+        hit = _CONFLICT_TABLE.get(key)
+        if hit is None:
+            hit = self._conflicts_uncached(other)
+            _CONFLICT_TABLE[key] = hit
+        return hit
+
+    def _conflicts_uncached(self, other: "Privilege") -> bool:
         if self.kind is PrivilegeKind.READ_ONLY and \
                 other.kind is PrivilegeKind.READ_ONLY:
             return False
@@ -68,6 +81,10 @@ class Privilege:
             return f"Privilege(REDUCE<{self.redop}>)"
         return f"Privilege({self.kind.name})"
 
+
+# The privilege-conflict table: populated lazily, one entry per ordered
+# pair of distinct privilege values (a handful in any real program).
+_CONFLICT_TABLE: dict = {}
 
 READ_ONLY = Privilege(PrivilegeKind.READ_ONLY)
 READ_WRITE = Privilege(PrivilegeKind.READ_WRITE)

@@ -39,9 +39,10 @@ class RegionRequirement:
         object.__setattr__(self, "region", region)
         object.__setattr__(self, "fields", fset)
         object.__setattr__(self, "privilege", privilege)
+        object.__setattr__(self, "_fids", frozenset(f.fid for f in fset))
 
     def field_ids(self) -> FrozenSet[int]:
-        return frozenset(f.fid for f in self.fields)
+        return self._fids
 
     def __repr__(self) -> str:  # pragma: no cover
         names = ",".join(sorted(f.name for f in self.fields))

@@ -4,6 +4,8 @@ This package is the substrate the dependence analysis operates on.  See
 DESIGN.md §3 for the module map.
 """
 
+from .cache import (PairCache, cached_may_alias, cached_region_contains,
+                    clear_region_caches, region_cache_stats, region_contains)
 from .dependent import (partition_by_field, partition_by_image,
                         partition_by_preimage)
 from .field_space import Field, FieldSpace
@@ -19,4 +21,6 @@ __all__ = [
     "LogicalRegion", "Partition",
     "divergence_partition", "lowest_common_ancestor", "may_alias",
     "upper_bound",
+    "PairCache", "cached_may_alias", "cached_region_contains",
+    "region_contains", "clear_region_caches", "region_cache_stats",
 ]

@@ -32,7 +32,7 @@ class IndexSpace:
     `ispace` creation returns a fresh handle even for equal bounds.
     """
 
-    __slots__ = ("uid", "name", "_rect", "_points")
+    __slots__ = ("uid", "name", "_rect", "_points", "_pset")
 
     def __init__(
         self,
@@ -48,6 +48,7 @@ class IndexSpace:
         self._points: Optional[FrozenSet[Point]] = (
             frozenset(points) if points is not None else None
         )
+        self._pset: Optional[FrozenSet[Point]] = self._points
         if self._points is not None:
             dims = {len(p) for p in self._points}
             if len(dims) > 1:
@@ -119,10 +120,14 @@ class IndexSpace:
         return p in (self._points or frozenset())
 
     def point_set(self) -> FrozenSet[Point]:
-        """Materialize the explicit point set (expensive for big rects)."""
-        if self._points is not None:
-            return self._points
-        return frozenset(self._rect)  # type: ignore[arg-type]
+        """The explicit point set, materialized once and cached.
+
+        Index spaces are immutable, so the materialization (expensive for
+        big rects) is safe to keep for the life of the space.
+        """
+        if self._pset is None:
+            self._pset = frozenset(self._rect)  # type: ignore[arg-type]
+        return self._pset
 
     def intersects(self, other: "IndexSpace") -> bool:
         """True when the two index spaces share at least one point."""

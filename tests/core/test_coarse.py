@@ -201,3 +201,80 @@ class TestFenceCoverage:
                                         frozenset([fs["state"]]))
         assert not result.covers_cross_edge(1, 5, owned[0],
                                             frozenset([fs["flux"]]))
+
+
+class TestFenceScopeRegression:
+    """ISSUE 4 satellite (a): ``_fence_for`` must widen the fence scope
+    against *both* sides of every dependence pair.  The original code only
+    checked the later op's bound, so a fence could fail to cover the
+    earlier op's data (same tree) or miss a whole region tree entirely
+    (cross-tree dependences)."""
+
+    def test_scope_covers_earlier_ops_bounds(self):
+        """Two-requirement regression: the later op's bounds all sit inside
+        pairs[0]'s scope, but the earlier op touches ghost[1] — the fence
+        must widen to cover it."""
+        from repro.core.coarse import _region_contains
+
+        fs, cells, owned, _interior, ghost = fig7_environment()
+        state = frozenset([fs["state"]])
+        flux = frozenset([fs["flux"]])
+        prev = Operation("task",
+                         [CoarseRequirement(owned[0], state, READ_WRITE),
+                          CoarseRequirement(ghost[1], flux, READ_WRITE)],
+                         owner_shard=0, name="prev")
+        nxt = Operation("task",
+                        [CoarseRequirement(owned[0], state, READ_ONLY),
+                         CoarseRequirement(owned[0], flux, READ_ONLY)],
+                        owner_shard=1, name="next")
+        coarse = CoarseAnalysis(num_shards=2)
+        results = analyze(coarse, prev, nxt)
+        _deps, fences = results[1]
+        assert len(fences) == 1
+        fence = fences[0]
+        assert fence.region is not None
+        # Every bound on either side of every pair must be inside the scope.
+        for bound in (owned[0], ghost[1]):
+            assert _region_contains(fence.region, bound), \
+                f"fence scope {fence.region.name} misses {bound.name}"
+        assert fence.fields == state | flux
+
+    def test_cross_tree_dependence_needs_global_fence(self):
+        """A dependence pair spanning two region trees has no common
+        ancestor: only a global fence is sound.  Before the fix the scope
+        stayed in the first pair's tree and the tree-B cross-shard point
+        dependences were uncovered (validate() failed on a correct
+        program)."""
+        from repro.core.fine import FineAnalysis
+        from repro.regions import FieldSpace, IndexSpace, LogicalRegion
+
+        fs, cells, owned, _interior, _ghost = fig7_environment()
+        state = frozenset([fs["state"]])
+        bfs = FieldSpace([("mass", "f8")])
+        B = LogicalRegion(IndexSpace.line(8), bfs, name="B")
+        mass = frozenset([bfs["mass"]])
+        dom = [0, 1, 2, 3]
+        # Different sharding functions defeat the symbolic elision, so the
+        # dependence needs a real fence; the owned-partition pairs conflict
+        # only color-to-color while the B pairs conflict across *all* point
+        # pairs — so most cross edges are covered only if the fence scope
+        # reaches tree B.
+        prev = Operation("task",
+                         [CoarseRequirement(owned, state, READ_WRITE,
+                                            IDENTITY_PROJECTION),
+                          CoarseRequirement(B, mass, reduce_priv("+"))],
+                         launch_domain=dom, sharding=CYCLIC, name="prev")
+        nxt = Operation("task",
+                        [CoarseRequirement(owned, state, READ_WRITE,
+                                           IDENTITY_PROJECTION),
+                         CoarseRequirement(B, mass, READ_ONLY)],
+                        launch_domain=dom, sharding=BLOCKED, name="next")
+        coarse = CoarseAnalysis(num_shards=2)
+        fine = FineAnalysis(num_shards=2)
+        for i, op in enumerate((prev, nxt)):
+            op.seq = i
+            coarse.analyze(op)
+            fine.analyze(op)
+        assert any(f.region is None for f in coarse.result.fences), \
+            "cross-tree dependence must fall back to a global fence"
+        assert fine.uncovered_cross_edges(coarse.result) == []

@@ -130,3 +130,113 @@ class TestFenceSoundness:
             coarse.analyze(op)
             fine.analyze(op)
         assert fine.uncovered_cross_edges(coarse.result) == []
+
+class TestUncoveredCrossEdgesCheck:
+    """Direct coverage of the soundness checker itself (ISSUE 4 satellite):
+    multi-requirement ops, global fences, and a deliberately broken elision
+    proof the checker must catch."""
+
+    def _run(self, ops, shards, coarse_cls=CoarseAnalysis):
+        coarse = coarse_cls(shards)
+        fine = FineAnalysis(shards)
+        for i, op in enumerate(ops):
+            op.seq = i
+            coarse.analyze(op)
+            fine.analyze(op)
+        return coarse, fine
+
+    def test_multi_requirement_ops_covered_via_conflicting_pair(self):
+        """Edges between two-requirement ops conflict only through specific
+        requirement pairs; the checker must find the fence through whichever
+        pair actually conflicts, not just the first."""
+        fs, cells, owned, ghost = environment()
+        state = frozenset([fs["state"]])
+        flux = frozenset([fs["flux"]])
+        dom = list(range(4))
+        ops = [
+            Operation("fill", [CoarseRequirement(cells, state | flux,
+                                                 WRITE_DISCARD)], name="fill"),
+            # Writes flux through owned, reads state through ghost.
+            Operation("task", [CoarseRequirement(owned, flux, READ_WRITE,
+                                                 IDENTITY_PROJECTION),
+                               CoarseRequirement(ghost, state, READ_ONLY,
+                                                 IDENTITY_PROJECTION)],
+                      launch_domain=dom, sharding=CYCLIC, name="a"),
+            # Writes state through owned, reads flux through ghost — each
+            # of its requirements conflicts with the *other* requirement
+            # of the previous op.
+            Operation("task", [CoarseRequirement(owned, state, READ_WRITE,
+                                                 IDENTITY_PROJECTION),
+                               CoarseRequirement(ghost, flux, READ_ONLY,
+                                                 IDENTITY_PROJECTION)],
+                      launch_domain=dom, sharding=BLOCKED, name="b"),
+        ]
+        coarse, fine = self._run(ops, 2)
+        assert fine.result.cross_edges  # different shardings cross shards
+        assert fine.uncovered_cross_edges(coarse.result) == []
+
+    def test_global_fence_covers_any_region(self):
+        """A region=None fence orders everything across it, including edges
+        whose requirements it could never match by region or field."""
+        from repro.core.coarse import Fence
+        fs, cells, owned, ghost = environment()
+        state = frozenset([fs["state"]])
+        a = Operation("task", [CoarseRequirement(owned[0], state,
+                                                 READ_WRITE)],
+                      owner_shard=0, name="a")
+        b = Operation("task", [CoarseRequirement(owned[0], state,
+                                                 READ_WRITE)],
+                      owner_shard=1, name="b")
+        coarse, fine = self._run([a, b], 2)
+        assert fine.result.cross_edges
+        # Swap the analysis's scoped fences for a single global fence at
+        # the dependent op: still covered.
+        coarse.result.fences.clear()
+        coarse.result.fences.append(Fence(at_seq=b.seq, region=None,
+                                          fields=frozenset()))
+        assert fine.uncovered_cross_edges(coarse.result) == []
+        # A global fence *at or before* the earlier op orders nothing
+        # between the pair — the checker must reject it.
+        coarse.result.fences.clear()
+        coarse.result.fences.append(Fence(at_seq=a.seq, region=None,
+                                          fields=frozenset()))
+        assert fine.uncovered_cross_edges(coarse.result) == [
+            edge for edge in fine.result.cross_edges]
+
+    def test_broken_elision_is_caught(self, monkeypatch):
+        """If the §4.1 shard-locality proof wrongly claims every dependence
+        is local, every fence is elided and the checker must flag the
+        cross-shard edges left unordered."""
+        monkeypatch.setattr(CoarseAnalysis, "_provably_shard_local",
+                            lambda self, prev, op, pairs: True)
+        fs, cells, owned, ghost = environment()
+        ops = stencil_ops(fs, cells, owned, ghost, sharding=CYCLIC)
+        coarse, fine = self._run(ops, 2)
+        assert len(coarse.result.fences) == 0
+        assert coarse.result.fences_elided > 0
+        assert fine.result.cross_edges
+        assert fine.uncovered_cross_edges(coarse.result)
+
+    def test_wrongly_narrowed_fence_scope_is_caught(self):
+        """A fence whose scope misses the conflicting data must not count
+        as covering the edge (this is exactly what the pre-fix _fence_for
+        bug could produce)."""
+        from repro.core.coarse import Fence
+        fs, cells, owned, ghost = environment()
+        state = frozenset([fs["state"]])
+        flux = frozenset([fs["flux"]])
+        a = Operation("task", [CoarseRequirement(owned[0], state,
+                                                 READ_WRITE)],
+                      owner_shard=0, name="a")
+        b = Operation("task", [CoarseRequirement(owned[0], state,
+                                                 READ_WRITE)],
+                      owner_shard=1, name="b")
+        coarse, fine = self._run([a, b], 2)
+        # Scope the replacement fence to a disjoint subregion / wrong field:
+        # region owned[1] can never alias owned[0], and field flux never
+        # intersects the conflicting state field.
+        for bad in (Fence(at_seq=b.seq, region=owned[1], fields=state),
+                    Fence(at_seq=b.seq, region=owned[0], fields=flux)):
+            coarse.result.fences.clear()
+            coarse.result.fences.append(bad)
+            assert fine.uncovered_cross_edges(coarse.result)
