@@ -191,9 +191,28 @@ class Collectives:
 
     # -- broadcast / reduce (binomial tree) ----------------------------------
 
+    def _check_values(self, kind: str, values: Sequence[T]) -> None:
+        """Exactly one contribution per shard, with a diagnosable error.
+
+        A wrong-length list is almost always a shard-count mismatch in the
+        caller (e.g. a quarantined shard still contributing, or a stale
+        ``num_shards``), so the message names both numbers.
+        """
+        if len(values) != self.num_shards:
+            raise ValueError(
+                f"{kind}: one value per shard required — got {len(values)} "
+                f"value(s) for {self.num_shards} shard(s)")
+
+    def _check_root(self, kind: str, root: int) -> None:
+        if not 0 <= root < self.num_shards:
+            raise ValueError(
+                f"{kind}: root shard {root} outside the valid range "
+                f"[0, {self.num_shards}) for {self.num_shards} shard(s)")
+
     def broadcast(self, value: T, root: int = 0) -> List[T]:
         """One value from ``root`` to every shard; binomial tree, log N hops."""
         n = self.num_shards
+        self._check_root("broadcast", root)
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
         rounds, msgs = self._deliver("broadcast", _log2_rounds(n),
@@ -211,8 +230,8 @@ class Collectives:
         the result is deterministic even for merely-associative ops.
         """
         n = self.num_shards
-        if len(values) != n:
-            raise ValueError("one value per shard required")
+        self._check_values("reduce", values)
+        self._check_root("reduce", root)
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
         rounds, msgs = self._deliver("reduce", _log2_rounds(n),
@@ -238,8 +257,7 @@ class Collectives:
         blocks of size 2^r with the partner at distance 2^r.
         """
         n = self.num_shards
-        if len(values) != n:
-            raise ValueError("one value per shard required")
+        self._check_values("allgather", values)
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
         base = _log2_rounds(n)
@@ -265,8 +283,7 @@ class Collectives:
         ``tests/core/test_collectives.py``).
         """
         n = self.num_shards
-        if len(values) != n:
-            raise ValueError("one value per shard required")
+        self._check_values("allreduce", values)
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
         acc: List[T] = list(values)

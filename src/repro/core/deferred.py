@@ -105,3 +105,13 @@ class DeferredOpManager:
     def outstanding(self) -> int:
         """Operations announced by at least one shard but not yet agreed."""
         return len(self._pending)
+
+    def pending_keys(self) -> List[Hashable]:
+        """Keys announced but not yet agreed, in announcement order.
+
+        Used by the multiprocess runtime backend: replica announcements
+        happen in forked copies of this manager, so once the replicas'
+        call streams are verified byte-identical over the wire, the parent
+        endorses the driver's announcements on their behalf.
+        """
+        return list(self._announce_order)

@@ -32,7 +32,79 @@ from ..obs.profiler import Profiler, get_profiler
 from .collectives import Collectives
 
 __all__ = ["ControlDeterminismViolation", "DivergenceDiagnosis",
-           "ShardHasher", "DeterminismMonitor"]
+           "ShardHasher", "DeterminismMonitor", "stream_digest",
+           "locate_divergence"]
+
+
+def stream_digest(calls: Sequence[int]) -> int:
+    """128-bit digest of a sequence of per-call digests.
+
+    The canonical "control-determinism hash" of a call stream: used for
+    window checks here, and by the multiprocess backend
+    (:mod:`repro.dist`) to compare whole per-shard streams across process
+    boundaries — so both backends fold digests identically.
+    """
+    acc = hashlib.blake2b(digest_size=16)
+    for d in calls:
+        acc.update(d.to_bytes(16, "little"))
+    return int.from_bytes(acc.digest(), "little")
+
+
+def locate_divergence(shard_ids: Sequence[int],
+                      per_call: Sequence[Sequence[int]],
+                      descriptions: Sequence[Sequence[str]],
+                      call_counts: Sequence[int],
+                      start: int, count: int) -> DivergenceDiagnosis:
+    """Binary-search the first divergent call of a mismatched window.
+
+    Pure function over already-gathered per-shard data, shared by the
+    in-process monitor (which gathers via :class:`Collectives`) and the
+    multiprocess backend (which gathers over the transport).  ``per_call``
+    holds each shard's call digests for ``[start, start + count)`` and
+    ``descriptions`` the matching call descriptions.
+
+    Individual call digests can re-coincide after a divergence, so the
+    search runs over *chained prefix* digests (prefix[i] folds in calls
+    [0, i]), which are monotone: once the first differing call is
+    included, every longer prefix disagrees too.
+    """
+    prefixes: List[List[int]] = []
+    for calls in per_call:
+        acc = hashlib.blake2b(digest_size=16)
+        row: List[int] = []
+        for d in calls:
+            acc.update(d.to_bytes(16, "little"))
+            row.append(int.from_bytes(acc.digest(), "little"))
+        prefixes.append(row)
+    lo, hi = 0, count - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if len({row[mid] for row in prefixes}) > 1:
+            hi = mid
+        else:
+            lo = mid + 1
+    off = lo
+    seq = start + off
+    digests = [calls[off] for calls in per_call]
+    # Majority digest wins; ties break toward the lowest shard id's
+    # digest, so a 1-vs-1 split blames the higher shard.
+    tally: Dict[int, int] = {}
+    for d in digests:
+        tally[d] = tally.get(d, 0) + 1
+    best = max(tally.values())
+    majority = next(d for d in digests if tally[d] == best)
+    divergent = tuple(s for s, d in zip(shard_ids, digests)
+                      if d != majority)
+    return DivergenceDiagnosis(
+        seq=seq,
+        shard_ids=tuple(shard_ids),
+        shard_digests=tuple(digests),
+        descriptions=tuple(descr[off] for descr in descriptions),
+        divergent_shards=divergent,
+        majority_digest=majority,
+        call_counts=tuple(call_counts),
+        window=(start, count),
+    )
 
 
 @dataclass(frozen=True)
@@ -329,10 +401,7 @@ class DeterminismMonitor:
 
     def window_digest(self, shard: int, start: int, count: int) -> int:
         """128-bit digest of one shard's calls ``[start, start+count)``."""
-        acc = hashlib.blake2b(digest_size=16)
-        for d in self.hashers[shard].calls[start:start + count]:
-            acc.update(d.to_bytes(16, "little"))
-        return int.from_bytes(acc.digest(), "little")
+        return stream_digest(self.hashers[shard].calls[start:start + count])
 
     def localize_window(self, start: int, count: int) -> DivergenceDiagnosis:
         """Find the first divergent call in a mismatched window (LOCALIZE).
@@ -356,47 +425,14 @@ class DeterminismMonitor:
         pad = self.collectives.num_shards - len(per_call)
         full = self.collectives.allgather(
             per_call + per_call[:1] * pad)[0][:len(shards)]
-        # Binary search the first divergent call.  Individual call digests
-        # can re-coincide after a divergence, so the search runs over
-        # *chained prefix* digests (prefix[i] folds in calls [0, i]), which
-        # are monotone: once the first differing call is included, every
-        # longer prefix disagrees too.
-        prefixes: List[List[int]] = []
-        for calls in full:
-            acc = hashlib.blake2b(digest_size=16)
-            row: List[int] = []
-            for d in calls:
-                acc.update(d.to_bytes(16, "little"))
-                row.append(int.from_bytes(acc.digest(), "little"))
-            prefixes.append(row)
-        lo, hi = 0, count - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if len({row[mid] for row in prefixes}) > 1:
-                hi = mid
-            else:
-                lo = mid + 1
-        off = lo
-        seq = start + off
-        digests = [calls[off] for calls in full]
-        # Majority digest wins; ties break toward the lowest shard id's
-        # digest, so a 1-vs-1 split blames the higher shard.
-        tally: Dict[int, int] = {}
-        for d in digests:
-            tally[d] = tally.get(d, 0) + 1
-        best = max(tally.values())
-        majority = next(d for d in digests if tally[d] == best)
-        divergent = tuple(s for s, d in zip(shards, digests) if d != majority)
-        diagnosis = DivergenceDiagnosis(
-            seq=seq,
-            shard_ids=tuple(shards),
-            shard_digests=tuple(digests),
-            descriptions=tuple(h.descriptions[seq] for h in hashers),
-            divergent_shards=divergent,
-            majority_digest=majority,
-            call_counts=tuple(len(h.calls) for h in hashers),
-            window=(start, count),
-        )
+        # The binary search over chained prefix digests is shared with the
+        # multiprocess backend (which gathers over the transport instead).
+        diagnosis = locate_divergence(
+            shards, full,
+            [h.descriptions[start:start + count] for h in hashers],
+            [len(h.calls) for h in hashers], start, count)
+        seq = diagnosis.seq
+        divergent = diagnosis.divergent_shards
         if prof.enabled:
             prof.complete(CONTROL_SHARD, CAT_DETERMINISM, EV_DET_LOCALIZE,
                           t0, prof.now_us() - t0, seq=seq,

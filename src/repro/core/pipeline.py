@@ -35,6 +35,7 @@ Legion's safe-fallback semantics.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -49,7 +50,71 @@ from .tracing import AutoTraceConfig, AutoTracer, TraceCache, TraceMismatch
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.injector import FaultInjector
 
-__all__ = ["OpRecord", "PipelineStats", "DCRPipeline"]
+__all__ = ["OpRecord", "PipelineStats", "DCRPipeline", "analysis_digest",
+           "fence_sequence"]
+
+
+def fence_sequence(coarse_result) -> List[Tuple[int, int, Tuple[int, ...]]]:
+    """The fence stream as canonical, serializable keys.
+
+    One ``(at_seq, region_key, field_keys)`` triple per fence, in insertion
+    order (``region_key`` is -1 for a global fence).  Resource identity is
+    *interned* — scoped regions and fields are numbered by first appearance
+    in the fence stream rather than by their process-global ``uid``/``fid``
+    counters — so two analyses of the same program in different processes
+    (or a second analysis in the same process, whose counters have moved
+    on) produce equal sequences iff their fence structures match.  This is
+    what the multiprocess conformance tier compares across backends,
+    element for element.
+    """
+    regions: Dict[int, int] = {}
+    fields: Dict[int, int] = {}
+    out: List[Tuple[int, int, Tuple[int, ...]]] = []
+    for f in coarse_result.fences:
+        if f.region is None:
+            key = -1
+        else:
+            key = regions.setdefault(f.region.uid, len(regions))
+        # Sorting by raw fid first = creation order, which every replica
+        # shares, so the interned numbering is process-independent.
+        fkeys = [fields.setdefault(fl.fid, len(fields))
+                 for fl in sorted(f.fields, key=lambda fl: fl.fid)]
+        out.append((f.at_seq, key, tuple(sorted(fkeys))))
+    return out
+
+
+def analysis_digest(coarse_result, fine_result) -> str:
+    """Canonical content hash of a (coarse, fine) analysis product pair.
+
+    Identical digests mean identical dependences, fence sequences,
+    counters, point graphs, and per-shard attributions.  This is both the
+    equivalence the differential tests assert between the indexed and
+    naive analyses and the cross-backend/cross-process "task-graph digest"
+    the multiprocess backend's conformance tier compares (operational
+    Theorem 1: every shard, in every process, derives the same products).
+    """
+    def task_key(t):
+        return (t.op.seq, repr(t.point), t.shard)
+
+    h = hashlib.sha256()
+
+    def emit(tag, value):
+        h.update(repr((tag, value)).encode())
+
+    emit("deps", sorted((a.seq, b.seq) for a, b in coarse_result.deps))
+    emit("fences", fence_sequence(coarse_result))
+    emit("elided", coarse_result.fences_elided)
+    emit("scanned", coarse_result.users_scanned)
+    emit("tasks", sorted(task_key(t) for t in fine_result.graph.tasks))
+    emit("edges", sorted((task_key(a), task_key(b))
+                         for a, b in fine_result.graph.deps))
+    emit("local", sorted((task_key(a), task_key(b))
+                         for a, b in fine_result.local_edges))
+    emit("cross", sorted((task_key(a), task_key(b))
+                         for a, b in fine_result.cross_edges))
+    emit("points", sorted(fine_result.points_per_shard.items()))
+    emit("scans", sorted(fine_result.scans_per_shard.items()))
+    return h.hexdigest()
 
 
 @dataclass

@@ -1,0 +1,47 @@
+"""The multiprocess backend: shard replicas as separate OS processes.
+
+Everything the in-process model simulates — deterministic collective
+schedules, windowed determinism checking, cross-shard fences — executed
+for real over IPC:
+
+* :mod:`~repro.dist.frames` — the length-prefixed canonical wire format;
+* :mod:`~repro.dist.transport` — tagged, sequenced, deadline-bounded
+  shard-to-shard exchange (in-process loopback and multiprocessing pipes);
+* :mod:`~repro.dist.collectives` — the butterfly/tree schedules over a
+  transport, drop-in for :class:`repro.core.collectives.Collectives`;
+* :mod:`~repro.dist.monitor` — distributed control-determinism checking;
+* :mod:`~repro.dist.programs` — serializable program specs every replica
+  expands identically;
+* :mod:`~repro.dist.worker` / :mod:`~repro.dist.runner` — one shard
+  replica, and the gang launcher that supervises N of them;
+* :mod:`~repro.dist.report` — per-shard artifacts and the conformance
+  merge.
+
+``python -m repro.tools.dist`` drives a complete run from the command
+line; see ``docs/dist.md``.
+"""
+
+from .collectives import DistCollectives
+from .frames import Frame, FrameDecoder, FrameError, decode_frame, \
+    encode_frame, pack, unpack
+from .monitor import DistDeterminismMonitor
+from .programs import OpSpec, ProgramSpec, build_field, build_operations, \
+    stencil_program
+from .report import MergedReport, ShardReport, merge_reports
+from .runner import BACKENDS, DistRunner, run_reference
+from .transport import DEFAULT_DEADLINE_S, LoopbackFabric, PeerGone, \
+    PipeFabric, Transport, TransportError
+from .worker import ShardWorker, op_signature, replay
+
+__all__ = [
+    "Frame", "FrameDecoder", "FrameError", "decode_frame", "encode_frame",
+    "pack", "unpack",
+    "Transport", "LoopbackFabric", "PipeFabric", "TransportError",
+    "PeerGone", "DEFAULT_DEADLINE_S",
+    "DistCollectives", "DistDeterminismMonitor",
+    "OpSpec", "ProgramSpec", "build_field", "build_operations",
+    "stencil_program",
+    "ShardReport", "MergedReport", "merge_reports",
+    "ShardWorker", "op_signature", "replay",
+    "DistRunner", "run_reference", "BACKENDS",
+]

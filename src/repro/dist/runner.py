@@ -1,0 +1,243 @@
+"""Launch, supervise, and merge an N-shard replicated run.
+
+Three ways to run the same :class:`~repro.dist.programs.ProgramSpec`:
+
+* :func:`run_reference` — the serial in-process reference.  No transport
+  at all: each shard replica is replayed one after another with a plain
+  :class:`~repro.core.determinism.ShardHasher`, producing the conformance
+  artifacts the other backends must match byte-for-byte.
+* :class:`DistRunner` with ``backend="loopback"`` — one thread per shard
+  over a :class:`~repro.dist.transport.LoopbackFabric`.  Real collective
+  schedules, real frames, one process; what the unit tests use.
+* :class:`DistRunner` with ``backend="multiprocess"`` — one forked OS
+  process per shard over a :class:`~repro.dist.transport.PipeFabric`.
+  The paper's actual deployment shape: replicas share nothing but pipes.
+
+Supervision guarantees for the multiprocess path (the ISSUE's "no orphaned
+workers" criterion): every worker is joined with a hard deadline, any
+failure or timeout terminates the whole gang, and the ``finally`` block
+re-terminates and re-joins anything still alive before returning or
+raising.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..core.determinism import ShardHasher, stream_digest
+from ..core.pipeline import DCRPipeline, analysis_digest, fence_sequence
+from .programs import ProgramSpec, build_field, build_operations
+from .report import MergedReport, ShardReport, merge_reports
+from .transport import DEFAULT_DEADLINE_S, LoopbackFabric, PipeFabric
+from .worker import ShardWorker, replay
+
+__all__ = ["DistRunner", "run_reference", "BACKENDS", "supervise_gang",
+           "terminate_gang"]
+
+BACKENDS = ("loopback", "multiprocess")
+
+
+def supervise_gang(entries: List[tuple], timeout_s: float):
+    """Collect one ``(status, payload)`` message per worker, hard deadline.
+
+    ``entries`` is a list of ``(rank, process, parent_conn)``.  Returns
+    ``(payloads, failures)`` where ``payloads`` maps rank to the payload of
+    each ``("ok", payload)`` message and ``failures`` is a list of
+    human-readable failure strings (worker errors, silent deaths, and
+    deadline overruns all land here — never an indefinite wait).
+    """
+    payloads: Dict[int, Any] = {}
+    failures: List[str] = []
+    deadline = time.monotonic() + timeout_s
+    for rank, proc, conn in entries:
+        remaining = max(0.0, deadline - time.monotonic())
+        if conn.poll(remaining):
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                failures.append(f"shard {rank}: died without a report "
+                                f"(pid {proc.pid})")
+                continue
+            if status == "ok":
+                payloads[rank] = payload
+            else:
+                failures.append(f"shard {rank}: {payload}")
+        else:
+            failures.append(f"shard {rank}: no report within "
+                            f"{timeout_s:.0f}s (pid {proc.pid})")
+    for _rank, proc, _conn in entries:
+        proc.join(max(0.0, deadline - time.monotonic()) + 5.0)
+    return payloads, failures
+
+
+def terminate_gang(entries: List[tuple]) -> None:
+    """Terminate and reap every still-alive worker (the no-orphans sweep)."""
+    for _rank, proc, _conn in entries:
+        if proc.is_alive():
+            proc.terminate()
+    for _rank, proc, conn in entries:
+        if proc.is_alive():
+            proc.join(5.0)
+        if proc.is_alive():  # pragma: no cover - last resort
+            proc.kill()
+            proc.join(5.0)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def run_reference(spec: ProgramSpec, num_shards: int,
+                  batch: int = 64) -> MergedReport:
+    """Serial in-process reference run — the conformance ground truth.
+
+    Replays every shard replica in one thread of one process, recording
+    the identical call stream the distributed workers record (same
+    :func:`~repro.dist.worker.op_signature` helper), with fences counted
+    but not synchronized (there is nothing to synchronize with).
+    """
+    reports: List[ShardReport] = []
+    for rank in range(num_shards):
+        t0 = time.perf_counter()
+        hasher = ShardHasher(rank)
+        pipeline = DCRPipeline(num_shards)
+        field = build_field(spec)
+        ops = build_operations(spec, num_shards, field)
+        hasher.record("program", *spec.signature())
+        replay(pipeline, ops, hasher.record, lambda: None)
+        coarse, fine = pipeline.coarse_result, pipeline.fine_result
+        reports.append(ShardReport(
+            shard=rank, num_shards=num_shards, backend="inprocess",
+            graph_digest=analysis_digest(coarse, fine),
+            fence_sequence=tuple(fence_sequence(coarse)),
+            determinism_digest=stream_digest(hasher.calls),
+            call_count=len(hasher.calls),
+            checks=0,
+            ops_analyzed=coarse.ops_analyzed,
+            fences=len(coarse.fences),
+            fences_elided=coarse.fences_elided,
+            points=fine.points_per_shard.get(rank, 0),
+            wall_s=time.perf_counter() - t0, pid=os.getpid()))
+    return merge_reports(reports, backend="inprocess")
+
+
+def _worker_main(fabric: PipeFabric, rank: int, spec: ProgramSpec,
+                 batch: int, profile_dir: Optional[str],
+                 conn: Any) -> None:
+    """Forked child entrypoint: claim endpoints, replay, report, exit."""
+    transport = None
+    try:
+        fabric.close_other_ends(rank)
+        transport = fabric.transport(rank)
+        worker = ShardWorker(transport, spec, backend="multiprocess",
+                             batch=batch, profile_dir=profile_dir)
+        report = worker.run()
+        conn.send(("ok", report.to_payload()))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        if transport is not None:
+            transport.close()
+        conn.close()
+
+
+class DistRunner:
+    """Run one spec at N shards on a chosen backend; merge the reports."""
+
+    def __init__(self, spec: ProgramSpec, num_shards: int,
+                 backend: str = "multiprocess", batch: int = 64,
+                 deadline_s: float = DEFAULT_DEADLINE_S,
+                 join_timeout_s: float = 60.0,
+                 profile_dir: Optional[str] = None):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.spec = spec
+        self.num_shards = num_shards
+        self.backend = backend
+        self.batch = batch
+        self.deadline_s = deadline_s
+        self.join_timeout_s = join_timeout_s
+        self.profile_dir = profile_dir
+
+    def run(self) -> MergedReport:
+        if self.backend == "loopback":
+            reports = self._run_loopback()
+        else:
+            reports = self._run_multiprocess()
+        return merge_reports(reports, backend=self.backend)
+
+    # -- loopback (threads) --------------------------------------------------
+
+    def _run_loopback(self) -> List[ShardReport]:
+        fabric = LoopbackFabric(self.num_shards, deadline_s=self.deadline_s)
+        results: List[Optional[ShardReport]] = [None] * self.num_shards
+        errors: Dict[int, BaseException] = {}
+
+        def main(rank: int) -> None:
+            try:
+                worker = ShardWorker(fabric.transport(rank), self.spec,
+                                     backend="loopback", batch=self.batch,
+                                     profile_dir=self.profile_dir)
+                results[rank] = worker.run()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors[rank] = exc
+                fabric.mark_closed(rank)
+
+        threads = [threading.Thread(target=main, args=(r,),
+                                    name=f"shard-{r}", daemon=True)
+                   for r in range(self.num_shards)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(self.join_timeout_s)
+        if errors:
+            rank = min(errors)
+            raise errors[rank]
+        alive = [t.name for t in threads if t.is_alive()]
+        if alive:
+            raise TimeoutError(f"loopback shards did not finish: {alive}")
+        return [r for r in results if r is not None]
+
+    # -- multiprocess (fork) -------------------------------------------------
+
+    def _run_multiprocess(self) -> List[ShardReport]:
+        # Fork keeps the (already imported) code and the spec without any
+        # pickling of closures; the worker protocol itself needs only the
+        # inherited pipe endpoints.
+        ctx = multiprocessing.get_context("fork")
+        fabric = PipeFabric(self.num_shards, deadline_s=self.deadline_s)
+        entries: List[tuple] = []
+        try:
+            for rank in range(self.num_shards):
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(fabric, rank, self.spec, self.batch,
+                          self.profile_dir, child_conn),
+                    name=f"repro-shard-{rank}", daemon=True)
+                proc.start()
+                child_conn.close()
+                entries.append((rank, proc, parent_conn))
+            # The parent holds copies of every mesh endpoint; release them
+            # so a dead worker's peers observe EOF instead of a timeout.
+            fabric.close_all()
+            payloads, failures = supervise_gang(entries,
+                                                self.join_timeout_s)
+        finally:
+            terminate_gang(entries)
+            fabric.close_all()
+        if failures:
+            raise RuntimeError(
+                "multiprocess run failed: " + "; ".join(failures))
+        return [ShardReport.from_payload(payloads[r])
+                for r in sorted(payloads)]

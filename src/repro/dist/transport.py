@@ -1,0 +1,348 @@
+"""Shard-to-shard transports for the multiprocess backend.
+
+A :class:`Transport` gives one shard (its *rank*) tagged, reliable,
+deadline-bounded message exchange with every peer shard.  Two
+implementations:
+
+* :class:`LoopbackFabric` — in-process queues, one transport per rank; the
+  unit-test fabric.  Threads stand in for processes, and an optional
+  ``scramble`` hook reorders deliveries to exercise the tag/sequence
+  matching logic.
+* :class:`PipeFabric` — a full mesh of ``multiprocessing.Pipe`` duplex
+  connections carrying length-prefixed frames (:mod:`repro.dist.frames`);
+  each endpoint set is handed to one worker process.
+
+Delivery semantics shared by both (implemented in the base class):
+
+* every frame carries a per-``(src, dst)`` channel **sequence number**;
+  duplicates (same ``seq`` seen twice) are dropped, and out-of-order
+  arrivals are resolved by the receiver's tag matching — :meth:`recv`
+  returns the payload for one exact ``(kind, op, round)`` tag, buffering
+  any frames that arrive for later tags;
+* every :meth:`recv` has a **hard deadline**: rather than hang on a dead
+  or diverged peer, it raises :class:`~repro.faults.injector
+  .CollectiveTimeout` (retry budget semantics borrowed from
+  :class:`~repro.core.collectives.RetryConfig` — polling backs off
+  geometrically between attempts up to the deadline);
+* a peer that closed its end (worker crash) surfaces immediately as
+  :class:`PeerGone` (a ``CollectiveTimeout`` subclass), never a hang.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.collectives import RetryConfig
+from ..faults.injector import CollectiveTimeout
+from .frames import Frame, FrameError, decode_frame, encode_frame
+
+__all__ = ["TransportError", "PeerGone", "Transport", "LoopbackFabric",
+           "PipeFabric", "DEFAULT_DEADLINE_S"]
+
+#: Default hard deadline on every receive.  Generous for CI machines, but
+#: finite: a dead peer turns into an exception, never a hang.
+DEFAULT_DEADLINE_S = 30.0
+
+
+class TransportError(RuntimeError):
+    """Transport-level failure that is not a timeout."""
+
+
+class PeerGone(CollectiveTimeout):
+    """The peer's endpoint is closed — its worker crashed or exited early.
+
+    Subclasses :class:`CollectiveTimeout` so callers that guard collectives
+    against lost messages handle a dead peer the same way (the ISSUE's
+    "crash surfaces as an exception, not a hang" requirement).
+    """
+
+    def __init__(self, kind: str, op: int, peer: int):
+        super().__init__(kind, op, msg=peer, attempts=1)
+        self.peer = peer
+        # Rewrite the generic message with the crash-specific one.
+        self.args = (f"collective {kind} #{op}: shard {peer}'s endpoint is "
+                     f"closed (worker crashed or exited early)",)
+
+
+class Transport:
+    """Tagged, sequenced, deadline-bounded exchange with peer shards.
+
+    Subclasses implement the raw byte movement (:meth:`_send_bytes`,
+    :meth:`_poll_bytes`); this base class implements framing, per-peer
+    sequence numbering, duplicate suppression, tag matching, and deadlines.
+    """
+
+    def __init__(self, rank: int, num_shards: int,
+                 deadline_s: float = DEFAULT_DEADLINE_S,
+                 retry: Optional[RetryConfig] = None):
+        if not 0 <= rank < num_shards:
+            raise ValueError(f"rank {rank} outside [0, {num_shards})")
+        self.rank = rank
+        self.num_shards = num_shards
+        self.deadline_s = deadline_s
+        self.retry = retry or RetryConfig()
+        self._send_seq: Dict[int, int] = {}
+        self._recv_seen: Dict[int, Set[int]] = {}
+        self._pending: Dict[Tuple[int, Tuple[str, int, int]], List[Any]] = {}
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.duplicates_dropped = 0
+        self.out_of_order = 0
+        self._closed = False
+
+    # -- subclass interface --------------------------------------------------
+
+    def _send_bytes(self, dst: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _poll_bytes(self, src: int, timeout_s: float) -> Optional[bytes]:
+        """One encoded frame from ``src``, or None if none within timeout.
+
+        Raises :class:`PeerGone` (with a generic tag) if the peer's
+        endpoint is closed.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self._closed = True
+
+    # -- public API ----------------------------------------------------------
+
+    def send(self, dst: int, kind: str, op: int, round_: int,
+             payload: Any) -> None:
+        """Send one tagged payload to shard ``dst``."""
+        if dst == self.rank:
+            raise TransportError("self-sends are not routed; loop locally")
+        seq = self._send_seq.get(dst, 0)
+        self._send_seq[dst] = seq + 1
+        frame = Frame(kind=kind, op=op, round=round_, src=self.rank,
+                      dst=dst, seq=seq, payload=payload)
+        self._send_bytes(dst, encode_frame(frame))
+        self.frames_sent += 1
+
+    def recv(self, src: int, kind: str, op: int, round_: int,
+             timeout_s: Optional[float] = None) -> Any:
+        """Payload of the frame tagged ``(kind, op, round_)`` from ``src``.
+
+        Frames from ``src`` bearing other tags are buffered for later
+        ``recv`` calls (out-of-order delivery is resolved here).  Raises
+        :class:`CollectiveTimeout` when the deadline expires and
+        :class:`PeerGone` when the peer's endpoint is closed.
+        """
+        tag = (kind, op, round_)
+        deadline = time.monotonic() + (timeout_s if timeout_s is not None
+                                       else self.deadline_s)
+        poll_s = 0.0005
+        while True:
+            bucket = self._pending.get((src, tag))
+            if bucket:
+                return bucket.pop(0)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CollectiveTimeout(kind, op, msg=src, attempts=1)
+            try:
+                raw = self._poll_bytes(src, min(poll_s, remaining))
+            except PeerGone:
+                raise PeerGone(kind, op, src) from None
+            if raw is None:
+                # Geometric backoff between polls (bounded by the retry
+                # config's schedule shape); the deadline stays hard.
+                poll_s = min(poll_s * self.retry.factor, 0.05)
+                continue
+            self._accept(src, raw, expected_tag=tag)
+
+    def _accept(self, src: int, raw: bytes,
+                expected_tag: Tuple[str, int, int]) -> None:
+        try:
+            frame = decode_frame(raw)
+        except FrameError as exc:
+            raise TransportError(
+                f"shard {self.rank}: corrupt frame from shard {src}: {exc}"
+            ) from exc
+        if frame.dst != self.rank:
+            raise TransportError(
+                f"misrouted frame: dst={frame.dst} arrived at {self.rank}")
+        seen = self._recv_seen.setdefault(frame.src, set())
+        if frame.seq in seen:
+            self.duplicates_dropped += 1
+            return
+        seen.add(frame.seq)
+        self.frames_received += 1
+        if frame.tag() != expected_tag:
+            self.out_of_order += 1
+        self._pending.setdefault((frame.src, frame.tag()), []) \
+            .append(frame.payload)
+
+
+# ---------------------------------------------------------------------------
+# Loopback (in-process) fabric
+# ---------------------------------------------------------------------------
+
+class _LoopbackTransport(Transport):
+    def __init__(self, fabric: "LoopbackFabric", rank: int):
+        super().__init__(rank, fabric.num_shards,
+                         deadline_s=fabric.deadline_s, retry=fabric.retry)
+        self._fabric = fabric
+
+    def _send_bytes(self, dst: int, data: bytes) -> None:
+        self._fabric.deliver(self.rank, dst, data)
+
+    def _poll_bytes(self, src: int, timeout_s: float) -> Optional[bytes]:
+        q = self._fabric.channel(src, self.rank)
+        try:
+            return q.get(timeout=timeout_s)
+        except queue.Empty:
+            if self._fabric.is_closed(src):
+                raise PeerGone("recv", 0, src) from None
+            return None
+
+
+class LoopbackFabric:
+    """In-process mesh of queues — the test stand-in for real IPC.
+
+    The fabric still runs every payload through the full frame
+    encode/decode path, so serialization bugs show up here too.  An
+    optional ``scramble(src, dst, pending) -> list`` hook reorders (or
+    duplicates) queued deliveries, modelling an adversarial network.
+    """
+
+    def __init__(self, num_shards: int,
+                 deadline_s: float = DEFAULT_DEADLINE_S,
+                 retry: Optional[RetryConfig] = None,
+                 scramble=None):
+        self.num_shards = num_shards
+        self.deadline_s = deadline_s
+        self.retry = retry
+        self.scramble = scramble
+        self._channels: Dict[Tuple[int, int], "queue.Queue[bytes]"] = {
+            (s, d): queue.Queue()
+            for s in range(num_shards) for d in range(num_shards) if s != d
+        }
+        self._closed: Set[int] = set()
+
+    def transport(self, rank: int) -> Transport:
+        return _LoopbackTransport(self, rank)
+
+    def transports(self) -> List[Transport]:
+        return [self.transport(r) for r in range(self.num_shards)]
+
+    def channel(self, src: int, dst: int) -> "queue.Queue[bytes]":
+        return self._channels[(src, dst)]
+
+    def deliver(self, src: int, dst: int, data: bytes) -> None:
+        q = self._channels[(src, dst)]
+        if self.scramble is None:
+            q.put(data)
+            return
+        # Drain, let the hook reorder/duplicate, refill.  Only used by
+        # single-threaded tests, so the drain/refill window is benign.
+        pending: List[bytes] = [data]
+        while True:
+            try:
+                pending.insert(0, q.get_nowait())
+            except queue.Empty:
+                break
+        for item in self.scramble(src, dst, pending):
+            q.put(item)
+
+    def mark_closed(self, rank: int) -> None:
+        """Declare ``rank`` dead: peers polling it get :class:`PeerGone`."""
+        self._closed.add(rank)
+
+    def is_closed(self, rank: int) -> bool:
+        return rank in self._closed
+
+
+# ---------------------------------------------------------------------------
+# Multiprocessing pipe fabric
+# ---------------------------------------------------------------------------
+
+class _PipeTransport(Transport):
+    """One rank's endpoints of the full pipe mesh."""
+
+    def __init__(self, rank: int, num_shards: int, conns: Dict[int, Any],
+                 deadline_s: float = DEFAULT_DEADLINE_S,
+                 retry: Optional[RetryConfig] = None):
+        super().__init__(rank, num_shards, deadline_s=deadline_s,
+                         retry=retry)
+        self._conns = conns            # peer rank -> Connection
+
+    def _send_bytes(self, dst: int, data: bytes) -> None:
+        try:
+            self._conns[dst].send_bytes(data)
+        except (BrokenPipeError, OSError):
+            raise PeerGone("send", 0, dst) from None
+
+    def _poll_bytes(self, src: int, timeout_s: float) -> Optional[bytes]:
+        conn = self._conns[src]
+        try:
+            if not conn.poll(timeout_s):
+                return None
+            return conn.recv_bytes()
+        except (EOFError, BrokenPipeError, OSError):
+            raise PeerGone("recv", 0, src) from None
+
+    def close(self) -> None:
+        super().close()
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class PipeFabric:
+    """Full mesh of duplex ``multiprocessing.Pipe`` connections.
+
+    Built in the parent before forking; :meth:`transport` is then called
+    once per rank (in that rank's process) to claim its endpoints.  The
+    counterpart endpoints are closed lazily by each process on claim, so a
+    crashed worker's peers observe EOF rather than blocking forever.
+    """
+
+    def __init__(self, num_shards: int,
+                 deadline_s: float = DEFAULT_DEADLINE_S,
+                 retry: Optional[RetryConfig] = None):
+        import multiprocessing as mp
+        self.num_shards = num_shards
+        self.deadline_s = deadline_s
+        self.retry = retry
+        # _ends[(a, b)] = (end held by a, end held by b), for a < b.
+        self._ends: Dict[Tuple[int, int], Tuple[Any, Any]] = {}
+        for a in range(num_shards):
+            for b in range(a + 1, num_shards):
+                self._ends[(a, b)] = mp.Pipe(duplex=True)
+
+    def transport(self, rank: int) -> Transport:
+        conns: Dict[int, Any] = {}
+        for (a, b), (end_a, end_b) in self._ends.items():
+            if rank == a:
+                conns[b] = end_a
+            elif rank == b:
+                conns[a] = end_b
+        return _PipeTransport(rank, self.num_shards, conns,
+                              deadline_s=self.deadline_s, retry=self.retry)
+
+    def close_other_ends(self, rank: int) -> None:
+        """In a worker: drop every endpoint not belonging to ``rank``.
+
+        Keeping foreign write-ends open would mask peer crashes (the pipe
+        never reports EOF while any copy of the write end survives).
+        """
+        for (a, b), (end_a, end_b) in self._ends.items():
+            for owner, end in ((a, end_a), (b, end_b)):
+                if owner != rank:
+                    try:
+                        end.close()
+                    except OSError:
+                        pass
+
+    def close_all(self) -> None:
+        for end_a, end_b in self._ends.values():
+            for end in (end_a, end_b):
+                try:
+                    end.close()
+                except OSError:
+                    pass

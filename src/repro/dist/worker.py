@@ -1,0 +1,154 @@
+"""One shard replica: the per-process entrypoint of the multiprocess backend.
+
+A :class:`ShardWorker` owns everything one replica of the control program
+needs — a :class:`~repro.core.pipeline.DCRPipeline`, a
+:class:`~repro.dist.collectives.DistCollectives` over its transport, and a
+:class:`~repro.dist.monitor.DistDeterminismMonitor` — and replays the
+shared :class:`~repro.dist.programs.ProgramSpec` exactly the way dynamic
+control replication prescribes: every shard re-derives and analyzes the
+*entire* operation stream, hashing each control decision into the
+determinism monitor, and executes one wire barrier per runtime-inserted
+cross-shard fence.
+
+The replay helpers (:func:`op_signature`, :func:`replay`) are shared with
+the serial in-process reference in :mod:`repro.dist.runner`, so both
+backends hash byte-identical call streams by construction — the whole
+point of the conformance property.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, List, Optional
+
+from ..core.operation import Operation
+from ..core.pipeline import DCRPipeline, analysis_digest, fence_sequence
+from ..obs.profiler import Profiler
+from .collectives import DistCollectives
+from .monitor import DistDeterminismMonitor
+from .programs import ProgramSpec, build_field, build_operations
+from .report import ShardReport
+from .transport import Transport
+
+__all__ = ["ShardWorker", "op_signature", "replay"]
+
+
+def op_signature(op: Operation) -> tuple:
+    """Canonical, process-independent description of one operation.
+
+    Region/partition objects are passed through for the hasher to intern
+    by first-use order; everything else is plain data (sharding *ids*, not
+    objects, mirroring how the coarse stage reasons symbolically).
+    """
+    return (
+        op.kind,
+        op.name,
+        -1 if op.launch_domain is None else len(op.launch_domain),
+        -1 if op.sharding is None else op.sharding.sid,
+        op.owner_shard,
+        # Fields are passed as *objects* (sorted by fid, i.e. creation
+        # order, which every replica shares) so the hasher interns them by
+        # first use — raw fids are process-global counters and differ.
+        tuple((req.upper,
+               tuple(sorted(req.fields, key=lambda f: f.fid)),
+               req.privilege.kind.value,
+               req.privilege.redop or "",
+               req.projection.pid if req.projection is not None else -1)
+              for req in op.coarse_reqs),
+    )
+
+
+def replay(pipeline: DCRPipeline, ops: List[Operation],
+           record: Callable[..., Any],
+           on_fence: Callable[[], Any]) -> int:
+    """Drive the pipeline over ``ops``, the same way on every backend.
+
+    For each operation: hash its signature into ``record`` (the control
+    determinism stream), analyze it, then run ``on_fence`` once per fence
+    the coarse stage inserted — over the wire that is a real barrier
+    collective, the cross-shard fence of paper §2.3.  Returns the number
+    of fences executed.
+    """
+    fences = 0
+    for op in ops:
+        record("analyze", *op_signature(op))
+        rec = pipeline.analyze(op)
+        for _ in rec.fences:
+            on_fence()
+            fences += 1
+    return fences
+
+
+class ShardWorker:
+    """Replays one replica of the program over a transport."""
+
+    def __init__(self, transport: Transport, spec: ProgramSpec,
+                 backend: str, batch: int = 64,
+                 profiler: Optional[Profiler] = None,
+                 profile_dir: Optional[str] = None,
+                 auto_trace: bool = False):
+        self.transport = transport
+        self.rank = transport.rank
+        self.num_shards = transport.num_shards
+        self.spec = spec
+        self.backend = backend
+        self.profile_dir = profile_dir
+        self.profiler = profiler if profiler is not None else Profiler(
+            enabled=profile_dir is not None)
+        self.collectives = DistCollectives(transport,
+                                           profiler=self.profiler)
+        self.monitor = DistDeterminismMonitor(
+            self.collectives, batch=batch, profiler=self.profiler)
+        self.pipeline = DCRPipeline(self.num_shards,
+                                    auto_trace=auto_trace,
+                                    profiler=self.profiler)
+
+    def run(self) -> ShardReport:
+        """Replay the program; returns this shard's conformance report."""
+        t0 = time.perf_counter()
+        field = build_field(self.spec)
+        ops = build_operations(self.spec, self.num_shards, field)
+        # The program description itself is a control decision: hash it
+        # first so replicas expanding different specs diverge on call 0.
+        self.monitor.record("program", *self.spec.signature())
+        replay(self.pipeline, ops, self.monitor.record,
+               self.collectives.barrier)
+        self.monitor.flush()
+        profile_path = self._save_profile()
+        coarse = self.pipeline.coarse_result
+        fine = self.pipeline.fine_result
+        stats = self.collectives.stats
+        return ShardReport(
+            shard=self.rank,
+            num_shards=self.num_shards,
+            backend=self.backend,
+            graph_digest=analysis_digest(coarse, fine),
+            fence_sequence=tuple(fence_sequence(coarse)),
+            determinism_digest=self.monitor.stream_digest(),
+            call_count=len(self.monitor.hasher.calls),
+            checks=self.monitor.checks_performed,
+            ops_analyzed=coarse.ops_analyzed,
+            fences=len(coarse.fences),
+            fences_elided=coarse.fences_elided,
+            points=fine.points_per_shard.get(self.rank, 0),
+            collectives=dict(stats.by_kind),
+            coll_rounds=stats.rounds,
+            coll_messages=stats.messages,
+            frames_sent=self.transport.frames_sent,
+            frames_received=self.transport.frames_received,
+            duplicates_dropped=self.transport.duplicates_dropped,
+            out_of_order=self.transport.out_of_order,
+            wall_s=time.perf_counter() - t0,
+            pid=os.getpid(),
+            profile_path=profile_path,
+        )
+
+    def _save_profile(self) -> str:
+        if self.profile_dir is None or not self.profiler.enabled:
+            return ""
+        os.makedirs(self.profile_dir, exist_ok=True)
+        path = os.path.join(self.profile_dir,
+                            f"shard{self.rank}.profile.json")
+        self.profiler.save(path)
+        return path

@@ -44,7 +44,8 @@ class DCRModel(ExecutionModel):
                  shards_per: str = "node", safe_checks: bool = True,
                  tracing=True, sharding: str = "blocked",
                  window: Optional[int] = None,
-                 auto_trace_config: Optional[AutoTraceConfig] = None):
+                 auto_trace_config: Optional[AutoTraceConfig] = None,
+                 backend: str = "inprocess"):
         super().__init__(machine, costs)
         if shards_per not in ("node", "gpu"):
             raise ValueError("shards_per must be 'node' or 'gpu'")
@@ -54,6 +55,13 @@ class DCRModel(ExecutionModel):
             raise ValueError("sharding must be 'blocked' or 'cyclic'")
         if window is not None and window < 1:
             raise ValueError("window must be >= 1 operation")
+        if backend not in ("inprocess", "multiprocess"):
+            raise ValueError(
+                "backend must be 'inprocess' or 'multiprocess'")
+        # "multiprocess" models shards as separate OS processes exchanging
+        # frames over pipes (repro.dist): collective hops and determinism
+        # hashing pick up the CostModel's IPC surcharges.
+        self.backend = backend
         self.shards_per = shards_per
         self.safe_checks = safe_checks
         # tracing=True trusts the app's per-op `traced` annotations
@@ -122,12 +130,14 @@ class DCRModel(ExecutionModel):
         self._shards = m.nodes if self.shards_per == "node" \
             else max(1, m.nodes * m.gpus_per_node)
         self._fence_at = self._fence_positions(program, self._shards)
+        ipc = self.backend == "multiprocess"
+        hop = self.costs.fence_hop + (self.costs.ipc_hop if ipc else 0.0)
         self._fence_latency = (
-            self.costs.fence_hop
-            * max(1, math.ceil(math.log2(self._shards)))
+            hop * max(1, math.ceil(math.log2(self._shards)))
             if self._shards > 1 else 0.0)
         self._clock = np.zeros(self._shards)
-        self._det = (self.costs.determinism_per_call
+        self._det = ((self.costs.determinism_per_call
+                      + (self.costs.ipc_per_call if ipc else 0.0))
                      if self.safe_checks else 0.0)
         self._auto_traced = (self._auto_traced_flags(program)
                              if self.tracing == "auto" else None)

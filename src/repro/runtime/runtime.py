@@ -100,7 +100,12 @@ class Runtime:
                  auto_trace_config=None,
                  profiler: Optional[Profiler] = None,
                  injector: Optional[FaultInjector] = None,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 backend: str = "inprocess"):
+        if backend not in ("inprocess", "multiprocess"):
+            raise ValueError(f"unknown backend {backend!r}; expected "
+                             f"'inprocess' or 'multiprocess'")
+        self.backend = backend
         self.num_shards = num_shards
         self.mapper = mapper or DefaultMapper()
         self.store = RegionStore()
@@ -115,6 +120,13 @@ class Runtime:
             else FaultInjector.from_env()
         self.resilience = resilience if resilience is not None \
             else ResilienceConfig.from_env()
+        if backend == "multiprocess" and self.resilience is not None:
+            # Recovery re-runs shards inside one process against shared
+            # logs; the forked replicas cannot be restarted in place.
+            raise ValueError(
+                "the multiprocess backend does not support recovery "
+                "policies; drop resilience= (or REPRO_FAULT_POLICY) or "
+                "use backend='inprocess'")
         self._safe_checks = safe_checks
         self._check_batch = check_batch
         self._auto_trace = auto_trace
@@ -151,6 +163,11 @@ class Runtime:
         self._deferred_keys: Dict[int, Any] = {}
         self.executed_points: int = 0
         self._result: Any = None
+        # Multiprocess backend: per-replica verification summaries and
+        # profiler snapshots, shipped back over the result pipes.
+        self.replica_reports: List[Dict[str, Any]] = []
+        self.replica_profiles: List[Dict[str, Any]] = []
+        self.dist_checks: int = 0
 
     def _make_monitor(self) -> DeterminismMonitor:
         policy = self.resilience.policy if self.resilience is not None \
@@ -186,6 +203,8 @@ class Runtime:
                 "and analysis state belong to one replicated execution — "
                 "create a fresh Runtime for another run")
         self._executed = True
+        if self.backend == "multiprocess":
+            return self._execute_multiprocess(control, args)
         if self.resilience is None:
             return self._execute_replicated(control, args)
         while True:
@@ -251,6 +270,112 @@ class Runtime:
                 # restarted replica can be recovered from.
                 self._take_snapshot("driver-complete",
                                     verified=self.monitor._verified)
+
+    # -- multiprocess backend ------------------------------------------------
+
+    def _execute_multiprocess(self, control: Callable[..., Any],
+                              args: Tuple[Any, ...]) -> Any:
+        """Replicated execution with each replica in its own OS process.
+
+        Phase 1 runs the driver shard in the parent exactly as the
+        in-process backend does — effects, analysis, and the resource/
+        future logs all live here, and the driver's API calls accumulate
+        in its hasher (the in-process monitor never fires a check while
+        the other hashers are empty).  Phase 2 forks one replica process
+        per remaining shard; each replays the control program against the
+        inherited logs with its determinism monitor swapped for a
+        :class:`~repro.dist.monitor.DistDeterminismMonitor`, while the
+        parent participates as the driver rank by feeding its pre-recorded
+        digest stream through the same windowed all-reduce — so hash
+        checking, divergence localization, and the final count comparison
+        all run over real IPC.
+        """
+        import multiprocessing
+        from ..dist.runner import supervise_gang, terminate_gang
+        from ..dist.transport import PipeFabric
+
+        self._run_shard(self.driver_shard, control, args)
+        if self.num_shards == 1:
+            self._drain_deferred()
+            self.pipeline.validate()
+            return self._result
+        driver_hasher = self.monitor.hasher(self.driver_shard)
+        ctx = multiprocessing.get_context("fork")
+        fabric = PipeFabric(self.num_shards)
+        entries: List[Tuple[int, Any, Any]] = []
+        try:
+            for shard in range(self.num_shards):
+                if shard == self.driver_shard:
+                    continue
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_replica_main,
+                    args=(self, fabric, shard, control, args, child_conn),
+                    name=f"repro-replica-{shard}", daemon=True)
+                proc.start()
+                child_conn.close()
+                entries.append((shard, proc, parent_conn))
+            fabric.close_other_ends(self.driver_shard)
+            violation: Optional[ControlDeterminismViolation] = None
+            try:
+                self._drive_dist_check(fabric, driver_hasher)
+            except ControlDeterminismViolation as exc:
+                # Every rank observes the divergence in the same collective
+                # (the replicas raise too); keep the parent's diagnosis and
+                # re-raise it once the gang is reaped.
+                violation = exc
+            payloads, failures = supervise_gang(entries, timeout_s=120.0)
+        finally:
+            terminate_gang(entries)
+            fabric.close_all()
+        if violation is not None:
+            raise violation
+        if failures:
+            raise RuntimeError(
+                "multiprocess replicas failed: " + "; ".join(failures))
+        for shard in sorted(payloads):
+            payload = payloads[shard]
+            profile = payload.pop("profile", None)
+            if profile is not None:
+                self.replica_profiles.append(profile)
+            self.replica_reports.append(payload)
+        # Replica call streams verified identical ⇒ every deferred
+        # deletion the driver announced was announced by all replicas (in
+        # their forked copies); endorse on their behalf and drain.
+        for key in self.deferred.pending_keys():
+            for shard in range(self.num_shards):
+                if shard != self.driver_shard:
+                    self.deferred.announce(shard, key)
+        self._drain_deferred()
+        self.pipeline.validate()
+        return self._result
+
+    def _drive_dist_check(self, fabric: Any, driver_hasher: Any) -> None:
+        """Parent-side determinism participation, from the recorded stream.
+
+        Feeds the driver's already-computed call digests through a
+        distributed monitor at the same window cadence the replicas use
+        (record → maybe-check per call, one final flush), so all ranks
+        execute the identical collective schedule.
+        """
+        from ..dist.collectives import DistCollectives
+        from ..dist.monitor import DistDeterminismMonitor
+
+        transport = fabric.transport(self.driver_shard)
+        try:
+            monitor = DistDeterminismMonitor(
+                DistCollectives(transport, profiler=self.profiler),
+                batch=self._check_batch, enabled=self._safe_checks,
+                profiler=self.profiler)
+            for digest, descr in zip(driver_hasher.calls,
+                                     driver_hasher.descriptions):
+                monitor.hasher.calls.append(digest)
+                monitor.hasher.descriptions.append(descr)
+                monitor.maybe_check()
+            monitor.flush()
+            self.dist_checks = monitor.checks_performed
+        finally:
+            transport.close()
 
     # -- recovery ------------------------------------------------------------
 
@@ -504,6 +629,78 @@ class Runtime:
     def coarse_result(self):
         """The coarse-stage products: group deps and fences."""
         return self.pipeline.coarse_result
+
+
+class _ReplicaMonitor:
+    """Duck-typed :class:`DeterminismMonitor` stand-in inside a replica.
+
+    A forked replica owns exactly one shard, so the runtime's global
+    monitor is swapped for this adapter around a
+    :class:`~repro.dist.monitor.DistDeterminismMonitor`: ``hasher()``
+    hands the :class:`Context` the replica's own hasher, and each
+    ``maybe_check`` runs the windowed all-reduce over the pipe mesh.
+    """
+
+    def __init__(self, dist_monitor: Any):
+        self._monitor = dist_monitor
+
+    def hasher(self, shard: int) -> Any:
+        if shard != self._monitor.rank:
+            raise ValueError(
+                f"replica process for shard {self._monitor.rank} asked for "
+                f"shard {shard}'s hasher")
+        return self._monitor.hasher
+
+    def maybe_check(self) -> None:
+        self._monitor.maybe_check()
+
+    def flush(self) -> None:
+        self._monitor.flush()
+
+
+def _replica_main(runtime: Runtime, fabric: Any, shard: int,
+                  control: Callable[..., Any], args: Tuple[Any, ...],
+                  conn: Any) -> None:
+    """Forked replica entrypoint: replay one shard over the pipe mesh.
+
+    The fork carries the driver's resource/future logs, so the replay
+    resolves every handle and future exactly as the in-process replicas
+    do; only the determinism checking changes transport.
+    """
+    from ..dist.collectives import DistCollectives
+    from ..dist.monitor import DistDeterminismMonitor
+
+    transport = None
+    try:
+        fabric.close_other_ends(shard)
+        transport = fabric.transport(shard)
+        monitor = DistDeterminismMonitor(
+            DistCollectives(transport, profiler=runtime.profiler),
+            batch=runtime._check_batch, enabled=runtime._safe_checks,
+            profiler=runtime.profiler, injector=runtime.injector)
+        runtime.monitor = _ReplicaMonitor(monitor)
+        runtime._run_shard(shard, control, args)
+        monitor.flush()
+        payload: Dict[str, Any] = {
+            "shard": shard,
+            "calls": len(monitor.hasher.calls),
+            "checks": monitor.checks_performed,
+            "stream_digest": monitor.stream_digest(),
+            "frames_sent": transport.frames_sent,
+            "frames_received": transport.frames_received,
+        }
+        if runtime.profiler.enabled:
+            payload["profile"] = runtime.profiler.snapshot()
+        conn.send(("ok", payload))
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        if transport is not None:
+            transport.close()
+        conn.close()
 
 
 class Context:

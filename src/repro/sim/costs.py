@@ -31,6 +31,12 @@ class CostModel:
     determinism_per_call: float = 0.3e-6
     # Mapper/launch overhead charged per point even with zero analysis.
     launch_per_point: float = 2e-6
+    # -- multiprocess (real IPC) backend surcharges -----------------------------
+    # Shards in separate OS processes pay pipe latency per collective hop
+    # and a small per-call frame-serialization share for the windowed
+    # determinism traffic (measured against repro.dist's pipe transport).
+    ipc_hop: float = 2e-6              # extra latency per collective hop
+    ipc_per_call: float = 0.05e-6      # frame encode share per hashed call
 
     # -- centralized controller (lazy evaluation) --------------------------------
     controller_per_op: float = 15e-6       # building graph node(s) for an op

@@ -1,5 +1,14 @@
-"""Shared fixtures for the test suite (helpers live in tests/helpers.py)."""
+"""Shared fixtures for the test suite (helpers live in tests/helpers.py).
 
+Also implements dependency-free test sharding for CI: ``--shard-id I
+--num-shards N`` deselects every test whose node id does not hash to
+bucket ``I`` of ``N``.  The assignment is a stable hash of the node id, so
+the buckets are deterministic across machines and runs, need no manifest,
+and partition the suite completely (every test runs in exactly one
+bucket).
+"""
+
+import hashlib
 import os
 import sys
 
@@ -8,6 +17,38 @@ import pytest
 sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.regions import FieldSpace, IndexSpace, LogicalRegion
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("shard", "deterministic test sharding")
+    group.addoption("--shard-id", type=int, default=0,
+                    help="which shard of the test suite to run (0-based)")
+    group.addoption("--num-shards", type=int, default=1,
+                    help="how many shards the suite is split across")
+
+
+def _shard_bucket(nodeid: str, num_shards: int) -> int:
+    digest = hashlib.blake2b(nodeid.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % num_shards
+
+
+def pytest_collection_modifyitems(config, items):
+    num_shards = config.getoption("--num-shards")
+    shard_id = config.getoption("--shard-id")
+    if num_shards <= 1:
+        return
+    if not 0 <= shard_id < num_shards:
+        raise pytest.UsageError(
+            f"--shard-id {shard_id} outside [0, {num_shards})")
+    selected, deselected = [], []
+    for item in items:
+        if _shard_bucket(item.nodeid, num_shards) == shard_id:
+            selected.append(item)
+        else:
+            deselected.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = selected
 
 
 @pytest.fixture

@@ -1,0 +1,132 @@
+"""The headline property: every backend produces byte-identical artifacts.
+
+Hypothesis-generated programs, replayed under the serial in-process
+reference, the loopback (threads) backend, and the multiprocess (fork)
+backend at 2-4 shards, must agree on the task-graph digest, the fence
+sequence, and the determinism hash — the conformance criterion of the
+ISSUE's tentpole.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dist import (DistRunner, OpSpec, ProgramSpec, run_reference,
+                        stencil_program)
+from repro.dist.programs import OP_CODES, SHARDINGS
+
+op_specs = st.builds(OpSpec,
+                     code=st.sampled_from(OP_CODES),
+                     value=st.integers(min_value=0, max_value=12))
+
+program_specs = st.builds(
+    ProgramSpec,
+    tiles=st.integers(min_value=2, max_value=8),
+    sharding=st.sampled_from(sorted(SHARDINGS)),
+    ops=st.lists(op_specs, min_size=1, max_size=10).map(tuple))
+
+
+def assert_conformant(merged, reference):
+    assert merged.conformant, merged.mismatches
+    assert reference.conformant, reference.mismatches
+    assert merged.graph_digest == reference.graph_digest
+    assert merged.determinism_digest == reference.determinism_digest
+    for dist_shard, ref_shard in zip(merged.shards, reference.shards):
+        assert dist_shard.fence_sequence == ref_shard.fence_sequence
+        assert dist_shard.call_count == ref_shard.call_count
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=program_specs, num_shards=st.integers(min_value=2, max_value=4))
+def test_loopback_matches_reference(spec, num_shards):
+    reference = run_reference(spec, num_shards, batch=8)
+    merged = DistRunner(spec, num_shards, backend="loopback",
+                        batch=8).run()
+    assert_conformant(merged, reference)
+
+
+@pytest.mark.parametrize("num_shards", [2, 3, 4])
+def test_multiprocess_matches_reference_stencil(num_shards):
+    spec = stencil_program(6, steps=2)
+    reference = run_reference(spec, num_shards, batch=8)
+    merged = DistRunner(spec, num_shards, backend="multiprocess",
+                        batch=8).run()
+    assert_conformant(merged, reference)
+    pids = {shard.pid for shard in merged.shards}
+    assert len(pids) == num_shards  # genuinely separate OS processes
+
+
+def test_multiprocess_matches_reference_irregular():
+    # Mixed single/group ops with fences and owner-targeted tasks.
+    spec = ProgramSpec(tiles=5, sharding="cyclic", ops=(
+        OpSpec("fill"), OpSpec("spot", 2), OpSpec("blend"),
+        OpSpec("bump"), OpSpec("fill"), OpSpec("readx"),
+        OpSpec("spot", 7), OpSpec("scale")))
+    reference = run_reference(spec, 3, batch=4)
+    merged = DistRunner(spec, 3, backend="multiprocess", batch=4).run()
+    assert_conformant(merged, reference)
+
+
+def test_all_three_backends_agree():
+    spec = stencil_program(6, steps=2)
+    reference = run_reference(spec, 3, batch=8)
+    loopback = DistRunner(spec, 3, backend="loopback", batch=8).run()
+    multiproc = DistRunner(spec, 3, backend="multiprocess", batch=8).run()
+    assert (reference.graph_digest == loopback.graph_digest
+            == multiproc.graph_digest)
+    assert (reference.determinism_digest == loopback.determinism_digest
+            == multiproc.determinism_digest)
+    assert (reference.shards[0].fence_sequence
+            == loopback.shards[0].fence_sequence
+            == multiproc.shards[0].fence_sequence)
+
+
+def test_single_shard_degenerate():
+    spec = stencil_program(4, steps=1)
+    reference = run_reference(spec, 1)
+    merged = DistRunner(spec, 1, backend="loopback").run()
+    assert_conformant(merged, reference)
+
+
+def test_distinct_programs_get_distinct_digests():
+    a = run_reference(stencil_program(6, steps=2), 2)
+    b = run_reference(stencil_program(6, steps=3), 2)
+    assert a.graph_digest != b.graph_digest
+    assert a.determinism_digest != b.determinism_digest
+
+
+def test_runner_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        DistRunner(stencil_program(4), 2, backend="smoke-signals")
+
+
+def test_worker_crash_fails_run_without_orphans():
+    import multiprocessing
+
+    spec = stencil_program(6, steps=2)
+    runner = DistRunner(spec, 3, backend="multiprocess",
+                        join_timeout_s=30.0)
+    original = runner._run_multiprocess
+
+    # Sabotage: patch ShardWorker.run on rank 2's forked copy via an
+    # environment the child inherits — simplest is to shrink the deadline
+    # and kill one worker early.  We instead patch the module-level worker
+    # entry to crash for rank 2.
+    import repro.dist.runner as runner_mod
+    real_worker_main = runner_mod._worker_main
+
+    def crashing_worker_main(fabric, rank, spec, batch, profile_dir, conn):
+        if rank == 2:
+            raise SystemExit(3)  # dies before claiming endpoints
+        real_worker_main(fabric, rank, spec, batch, profile_dir, conn)
+
+    runner_mod._worker_main = crashing_worker_main
+    try:
+        with pytest.raises(RuntimeError, match="multiprocess run failed"):
+            original()
+    finally:
+        runner_mod._worker_main = real_worker_main
+    # The no-orphans sweep: nothing from this gang is still alive.
+    assert not [p for p in multiprocessing.active_children()
+                if p.name.startswith("repro-shard-")]

@@ -354,34 +354,10 @@ def run_naive_analysis(ops, num_shards):
 def analysis_digest(coarse_result, fine_result):
     """Canonical content hash of a (coarse, fine) analysis product pair.
 
-    Identical digests mean identical dependences, fence sequences, counters,
-    point graphs, and per-shard attributions — the equivalence the
-    differential tests assert between the indexed and naive analyses.
+    Delegates to :func:`repro.core.pipeline.analysis_digest` — the single
+    shared implementation also used by the multiprocess backend's
+    conformance reports — so the differential tests and the dist tier
+    compare exactly the same canonical form.
     """
-    def fence_key(f):
-        return (f.at_seq,
-                f.region.uid if f.region is not None else -1,
-                tuple(sorted(fl.fid for fl in f.fields)))
-
-    def task_key(t):
-        return (t.op.seq, repr(t.point), t.shard)
-
-    h = hashlib.sha256()
-
-    def emit(tag, value):
-        h.update(repr((tag, value)).encode())
-
-    emit("deps", sorted((a.seq, b.seq) for a, b in coarse_result.deps))
-    emit("fences", [fence_key(f) for f in coarse_result.fences])
-    emit("elided", coarse_result.fences_elided)
-    emit("scanned", coarse_result.users_scanned)
-    emit("tasks", sorted(task_key(t) for t in fine_result.graph.tasks))
-    emit("edges", sorted((task_key(a), task_key(b))
-                         for a, b in fine_result.graph.deps))
-    emit("local", sorted((task_key(a), task_key(b))
-                         for a, b in fine_result.local_edges))
-    emit("cross", sorted((task_key(a), task_key(b))
-                         for a, b in fine_result.cross_edges))
-    emit("points", sorted(fine_result.points_per_shard.items()))
-    emit("scans", sorted(fine_result.scans_per_shard.items()))
-    return h.hexdigest()
+    from repro.core.pipeline import analysis_digest as _impl
+    return _impl(coarse_result, fine_result)
