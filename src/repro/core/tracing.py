@@ -57,7 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["TraceMismatch", "TraceCache", "AutoTraceConfig",
            "TraceIdentifier", "AutoTracer", "auto_replay_flags",
-           "intern_signature"]
+           "intern_signature", "rolling_hash"]
 
 
 class TraceMismatch(RuntimeError):
@@ -100,6 +100,12 @@ def _op_signature(op: Operation) -> Tuple:
 # structured tuples, so a window comparison is O(W) integer equality.
 _sig_intern: Dict[Tuple, int] = {}
 
+#: Polynomial rolling-hash parameters shared by the incremental prefix
+#: hashes :class:`TraceIdentifier` maintains and the one-shot
+#: :func:`rolling_hash` fold (template keys must agree with the detector).
+_HASH_MOD = (1 << 61) - 1
+_HASH_BASE = 1_000_003
+
 
 def intern_signature(sig: Tuple) -> int:
     """Map a structured signature to a small stable int (hash-consing)."""
@@ -108,6 +114,21 @@ def intern_signature(sig: Tuple) -> int:
         sid = len(_sig_intern)
         _sig_intern[sig] = sid
     return sid
+
+
+def rolling_hash(sids: Sequence[int]) -> int:
+    """The auto-tracer's polynomial hash of a signature-id stream, one-shot.
+
+    Exactly the fold :class:`TraceIdentifier` maintains incrementally over
+    its window (same base and modulus), exposed as a pure function so other
+    identification machinery — notably the service's analysis-template keys
+    (*Execution Templates*, Mashayekhi et al.) — keys program shapes with
+    the identical hash the repeat detector computes.
+    """
+    acc = 0
+    for s in sids:
+        acc = (acc * _HASH_BASE + s + 1) % _HASH_MOD
+    return acc
 
 
 @dataclass
@@ -448,8 +469,8 @@ class TraceIdentifier:
     signal that the stream has entered a repeating (time-step-loop) phase.
     """
 
-    _MOD = (1 << 61) - 1
-    _BASE = 1_000_003
+    _MOD = _HASH_MOD
+    _BASE = _HASH_BASE
 
     def __init__(self, config: Optional[AutoTraceConfig] = None) -> None:
         self.config = config or AutoTraceConfig()

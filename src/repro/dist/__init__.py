@@ -28,10 +28,10 @@ from .monitor import DistDeterminismMonitor
 from .programs import OpSpec, ProgramSpec, build_field, build_operations, \
     stencil_program
 from .report import MergedReport, ShardReport, merge_reports
-from .runner import BACKENDS, DistRunner, run_reference
+from .runner import BACKENDS, DistRunner, ServiceRunner, run_reference
 from .transport import DEFAULT_DEADLINE_S, LoopbackFabric, PeerGone, \
     PipeFabric, Transport, TransportError
-from .worker import ShardWorker, op_signature, replay
+from .worker import ServiceShardWorker, ShardWorker, op_signature, replay
 
 __all__ = [
     "Frame", "FrameDecoder", "FrameError", "decode_frame", "encode_frame",
@@ -42,6 +42,6 @@ __all__ = [
     "OpSpec", "ProgramSpec", "build_field", "build_operations",
     "stencil_program",
     "ShardReport", "MergedReport", "merge_reports",
-    "ShardWorker", "op_signature", "replay",
-    "DistRunner", "run_reference", "BACKENDS",
+    "ShardWorker", "ServiceShardWorker", "op_signature", "replay",
+    "DistRunner", "ServiceRunner", "run_reference", "BACKENDS",
 ]

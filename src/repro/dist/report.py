@@ -47,6 +47,15 @@ class ShardReport:
     wall_s: float = 0.0
     pid: int = 0
     profile_path: str = ""
+    # Service identity: which submission of which client session produced
+    # this report ("" outside the service).  Threaded through profiler
+    # events too, so a persistent gang's timeline attributes every span.
+    program_id: str = ""
+    session: str = ""
+    # Per-call determinism digests, captured only when a service cold run
+    # records an analysis template (the tail is structure-only, so repeat
+    # submissions patch parameters instead of re-analyzing).
+    call_digests: tuple = ()
 
     def to_payload(self) -> dict:
         """Wire form for the frames codec (tuples become lists)."""
@@ -68,10 +77,13 @@ class ShardReport:
             "out_of_order": self.out_of_order,
             "wall_s": self.wall_s, "pid": self.pid,
             "profile_path": self.profile_path,
+            "program_id": self.program_id, "session": self.session,
+            "call_digests": list(self.call_digests),
         }
 
     @classmethod
     def from_payload(cls, p: dict) -> "ShardReport":
+        # Payloads written before the service fields existed omit them.
         return cls(
             shard=int(p["shard"]), num_shards=int(p["num_shards"]),
             backend=str(p["backend"]), graph_digest=str(p["graph_digest"]),
@@ -91,6 +103,9 @@ class ShardReport:
             out_of_order=int(p["out_of_order"]),
             wall_s=float(p["wall_s"]), pid=int(p["pid"]),
             profile_path=str(p["profile_path"]),
+            program_id=str(p.get("program_id", "")),
+            session=str(p.get("session", "")),
+            call_digests=tuple(int(d) for d in p.get("call_digests", ())),
         )
 
     def artifacts(self) -> Tuple[str, tuple, int]:
@@ -115,10 +130,19 @@ class MergedReport:
     total_points: int
     total_frames: int
     shards: Tuple[ShardReport, ...]
+    program_id: str = ""
+    session: str = ""
+    template_hit: bool = False      # served from a cached analysis template
 
     def render(self) -> str:
         """Human-readable summary, printed by ``repro.tools.dist``."""
-        lines = [
+        lines = []
+        if self.program_id:
+            lines.append(f"program:            {self.program_id}"
+                         + (f"  (session {self.session})" if self.session
+                            else "")
+                         + ("  [template hit]" if self.template_hit else ""))
+        lines += [
             f"backend:            {self.backend}",
             f"shards:             {self.num_shards}",
             "conformant:         " + ("yes" if self.conformant else
@@ -143,7 +167,9 @@ class MergedReport:
 
 
 def merge_reports(reports: Sequence[ShardReport],
-                  backend: Optional[str] = None) -> MergedReport:
+                  backend: Optional[str] = None,
+                  program_id: str = "", session: str = "",
+                  template_hit: bool = False) -> MergedReport:
     """Fold per-shard reports; conformant iff all artifacts agree."""
     if not reports:
         raise ValueError("no shard reports to merge")
@@ -170,4 +196,7 @@ def merge_reports(reports: Sequence[ShardReport],
         total_points=sum(r.points for r in ordered),
         total_frames=sum(r.frames_sent for r in ordered),
         shards=tuple(ordered),
+        program_id=program_id or head.program_id,
+        session=session or head.session,
+        template_hit=template_hit,
     )

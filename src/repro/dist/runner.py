@@ -35,13 +35,14 @@ from .report import MergedReport, ShardReport, merge_reports
 from .transport import DEFAULT_DEADLINE_S, LoopbackFabric, PipeFabric
 from .worker import ShardWorker, replay
 
-__all__ = ["DistRunner", "run_reference", "BACKENDS", "supervise_gang",
-           "terminate_gang"]
+__all__ = ["DistRunner", "ServiceRunner", "run_reference", "BACKENDS",
+           "supervise_gang", "terminate_gang"]
 
 BACKENDS = ("loopback", "multiprocess")
 
 
-def supervise_gang(entries: List[tuple], timeout_s: float):
+def supervise_gang(entries: List[tuple], timeout_s: float,
+                   grace_s: float = 5.0):
     """Collect one ``(status, payload)`` message per worker, hard deadline.
 
     ``entries`` is a list of ``(rank, process, parent_conn)``.  Returns
@@ -49,6 +50,12 @@ def supervise_gang(entries: List[tuple], timeout_s: float):
     each ``("ok", payload)`` message and ``failures`` is a list of
     human-readable failure strings (worker errors, silent deaths, and
     deadline overruns all land here — never an indefinite wait).
+
+    All polls and joins share **one** monotonic deadline (``timeout_s``
+    for reports, plus ``grace_s`` once — not per worker — for exits): a
+    wedged gang of N is reaped within ~1× the configured timeout, where
+    the old per-worker ``join(remaining + 5.0)`` accounting could overrun
+    the deadline by 5s × N.
     """
     payloads: Dict[int, Any] = {}
     failures: List[str] = []
@@ -69,8 +76,9 @@ def supervise_gang(entries: List[tuple], timeout_s: float):
         else:
             failures.append(f"shard {rank}: no report within "
                             f"{timeout_s:.0f}s (pid {proc.pid})")
+    join_deadline = deadline + grace_s
     for _rank, proc, _conn in entries:
-        proc.join(max(0.0, deadline - time.monotonic()) + 5.0)
+        proc.join(max(0.0, join_deadline - time.monotonic()))
     return payloads, failures
 
 
@@ -198,8 +206,11 @@ class DistRunner:
                    for r in range(self.num_shards)]
         for t in threads:
             t.start()
+        # One shared deadline across all joins: N wedged shards are
+        # declared dead after ~1× join_timeout_s of wall clock, not N×.
+        deadline = time.monotonic() + self.join_timeout_s
         for t in threads:
-            t.join(self.join_timeout_s)
+            t.join(max(0.0, deadline - time.monotonic()))
         if errors:
             rank = min(errors)
             raise errors[rank]
@@ -241,3 +252,65 @@ class DistRunner:
                 "multiprocess run failed: " + "; ".join(failures))
         return [ShardReport.from_payload(payloads[r])
                 for r in sorted(payloads)]
+
+
+class ServiceRunner:
+    """Client-side convenience over :class:`repro.service.DCRService`.
+
+    The session-serving counterpart of :class:`DistRunner`: where a
+    DistRunner launches a gang, runs one spec, and tears everything down,
+    a ServiceRunner holds a persistent service and submits a *stream* of
+    specs through one default session — repeat shapes are served from
+    cached analysis templates instead of re-analyzed.
+
+    ``repro.service`` is imported lazily inside the methods (it imports
+    this module for the worker machinery, so a top-level import here would
+    be a cycle).
+    """
+
+    def __init__(self, num_shards: int, backend: str = "loopback",
+                 batch: int = 64, **service_kwargs: Any):
+        self.num_shards = num_shards
+        self.backend = backend
+        self.batch = batch
+        self.service_kwargs = service_kwargs
+        self._service = None
+        self._session = None
+
+    @property
+    def service(self):
+        if self._service is None:
+            raise RuntimeError("ServiceRunner is not started")
+        return self._service
+
+    def start(self) -> "ServiceRunner":
+        from ..service import DCRService
+        self._service = DCRService(self.num_shards, backend=self.backend,
+                                   batch=self.batch,
+                                   **self.service_kwargs).start()
+        self._session = self._service.open_session("service-runner")
+        return self
+
+    def close(self) -> None:
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+            self._session = None
+
+    def __enter__(self) -> "ServiceRunner":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def submit(self, spec: ProgramSpec):
+        """Queue one program; returns a ``JobHandle`` (non-blocking)."""
+        return self._session.submit(spec)
+
+    def run(self, spec: ProgramSpec) -> MergedReport:
+        """Submit one program and block for its merged report."""
+        return self._session.run(spec)
+
+    def open_session(self, name: Optional[str] = None):
+        """An additional named client session on the shared service."""
+        return self.service.open_session(name)

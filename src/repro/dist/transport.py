@@ -84,7 +84,15 @@ class Transport:
         self.deadline_s = deadline_s
         self.retry = retry or RetryConfig()
         self._send_seq: Dict[int, int] = {}
-        self._recv_seen: Dict[int, Set[int]] = {}
+        # Duplicate suppression with bounded state: per peer, every seq
+        # below ``_recv_floor`` has been accepted (contiguous watermark);
+        # ``_recv_ahead`` holds only the out-of-order seqs above it.  A
+        # persistent gang exchanges millions of frames per channel, so
+        # remembering every seq ever seen (the old Set) is a leak — the
+        # watermark keeps per-peer state proportional to the reorder
+        # window, which is O(1) for FIFO fabrics.
+        self._recv_floor: Dict[int, int] = {}
+        self._recv_ahead: Dict[int, Set[int]] = {}
         self._pending: Dict[Tuple[int, Tuple[str, int, int]], List[Any]] = {}
         self.frames_sent = 0
         self.frames_received = 0
@@ -138,7 +146,13 @@ class Transport:
         while True:
             bucket = self._pending.get((src, tag))
             if bucket:
-                return bucket.pop(0)
+                payload = bucket.pop(0)
+                if not bucket:
+                    # Drained buckets are deleted, not kept as empty lists:
+                    # a long-lived transport sees an unbounded stream of
+                    # distinct tags, one short-lived bucket each.
+                    del self._pending[(src, tag)]
+                return payload
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise CollectiveTimeout(kind, op, msg=src, attempts=1)
@@ -164,16 +178,37 @@ class Transport:
         if frame.dst != self.rank:
             raise TransportError(
                 f"misrouted frame: dst={frame.dst} arrived at {self.rank}")
-        seen = self._recv_seen.setdefault(frame.src, set())
-        if frame.seq in seen:
+        if not self._note_seq(frame.src, frame.seq):
             self.duplicates_dropped += 1
             return
-        seen.add(frame.seq)
         self.frames_received += 1
         if frame.tag() != expected_tag:
             self.out_of_order += 1
         self._pending.setdefault((frame.src, frame.tag()), []) \
             .append(frame.payload)
+
+    def _note_seq(self, src: int, seq: int) -> bool:
+        """Record one arrival; False if ``seq`` was already accepted.
+
+        Contiguous watermark plus out-of-order window: seqs below the
+        per-peer floor are duplicates by definition, seqs above it live in
+        a small set until the floor catches up and absorbs them.
+        """
+        floor = self._recv_floor.get(src, 0)
+        if seq < floor:
+            return False
+        ahead = self._recv_ahead.setdefault(src, set())
+        if seq in ahead:
+            return False
+        if seq == floor:
+            floor += 1
+            while floor in ahead:
+                ahead.discard(floor)
+                floor += 1
+            self._recv_floor[src] = floor
+        else:
+            ahead.add(seq)
+        return True
 
 
 # ---------------------------------------------------------------------------
@@ -238,12 +273,16 @@ class LoopbackFabric:
             return
         # Drain, let the hook reorder/duplicate, refill.  Only used by
         # single-threaded tests, so the drain/refill window is benign.
-        pending: List[bytes] = [data]
+        # The hook must see the backlog in FIFO arrival order (queue drains
+        # oldest-first) with the new frame last, so an identity scramble is
+        # a true no-op on delivery order.
+        pending: List[bytes] = []
         while True:
             try:
-                pending.insert(0, q.get_nowait())
+                pending.append(q.get_nowait())
             except queue.Empty:
                 break
+        pending.append(data)
         for item in self.scramble(src, dst, pending):
             q.put(item)
 

@@ -24,6 +24,8 @@ from typing import Any, Callable, List, Optional
 
 from ..core.operation import Operation
 from ..core.pipeline import DCRPipeline, analysis_digest, fence_sequence
+from ..faults.injector import FaultInjector
+from ..obs.events import CAT_SERVICE, EV_JOB_DISPATCH
 from ..obs.profiler import Profiler
 from .collectives import DistCollectives
 from .monitor import DistDeterminismMonitor
@@ -31,7 +33,7 @@ from .programs import ProgramSpec, build_field, build_operations
 from .report import ShardReport
 from .transport import Transport
 
-__all__ = ["ShardWorker", "op_signature", "replay"]
+__all__ = ["ShardWorker", "ServiceShardWorker", "op_signature", "replay"]
 
 
 def op_signature(op: Operation) -> tuple:
@@ -145,6 +147,104 @@ class ShardWorker:
         )
 
     def _save_profile(self) -> str:
+        if self.profile_dir is None or not self.profiler.enabled:
+            return ""
+        os.makedirs(self.profile_dir, exist_ok=True)
+        path = os.path.join(self.profile_dir,
+                            f"shard{self.rank}.profile.json")
+        self.profiler.save(path)
+        return path
+
+
+class ServiceShardWorker:
+    """Session-serving shard replica: one transport, many programs.
+
+    Where :class:`ShardWorker` replays exactly one program and exits, a
+    service worker keeps its transport and :class:`DistCollectives` alive
+    across an open-ended stream of jobs (the collective operation ordinal
+    keeps climbing, so consecutive jobs can never collide on a ``(kind,
+    op, round)`` wire tag) while giving every job a **fresh**
+    :class:`DCRPipeline` and :class:`DistDeterminismMonitor` — per-job
+    analysis state is fully reset, so a program's conformance artifacts
+    are identical whether it ran first or thousandth on the gang.
+    """
+
+    def __init__(self, transport: Transport, backend: str, batch: int = 64,
+                 profiler: Optional[Profiler] = None,
+                 profile_dir: Optional[str] = None):
+        self.transport = transport
+        self.rank = transport.rank
+        self.num_shards = transport.num_shards
+        self.backend = backend
+        self.batch = batch
+        self.profile_dir = profile_dir
+        self.profiler = profiler if profiler is not None else Profiler(
+            enabled=profile_dir is not None)
+        self.collectives = DistCollectives(transport,
+                                           profiler=self.profiler)
+        self.jobs_run = 0
+
+    def run_job(self, spec: ProgramSpec, program_id: str = "",
+                session: str = "", capture_digests: bool = False,
+                injector: Optional[FaultInjector] = None) -> ShardReport:
+        """Analyze one program on the persistent gang; report conformance.
+
+        ``capture_digests`` additionally returns the per-call determinism
+        digests (the raw material of an analysis template).  ``injector``
+        scopes injected faults to this job only — the shared plan fires on
+        whichever rank it names, the other replicas run clean.
+        """
+        t0 = time.perf_counter()
+        prof = self.profiler
+        span0 = prof.now_us() if prof.enabled else 0.0
+        monitor = DistDeterminismMonitor(
+            self.collectives, batch=self.batch, profiler=prof,
+            injector=injector)
+        pipeline = DCRPipeline(self.num_shards, profiler=prof)
+        field = build_field(spec)
+        ops = build_operations(spec, self.num_shards, field)
+        monitor.record("program", *spec.signature())
+        replay(pipeline, ops, monitor.record, self.collectives.barrier)
+        monitor.flush()
+        self.jobs_run += 1
+        if prof.enabled:
+            prof.complete(self.rank, CAT_SERVICE, EV_JOB_DISPATCH, span0,
+                          prof.now_us() - span0, program_id=program_id,
+                          session=session, job=self.jobs_run)
+        coarse = pipeline.coarse_result
+        fine = pipeline.fine_result
+        stats = self.collectives.stats
+        return ShardReport(
+            shard=self.rank,
+            num_shards=self.num_shards,
+            backend=self.backend,
+            graph_digest=analysis_digest(coarse, fine),
+            fence_sequence=tuple(fence_sequence(coarse)),
+            determinism_digest=monitor.stream_digest(),
+            call_count=len(monitor.hasher.calls),
+            checks=monitor.checks_performed,
+            ops_analyzed=coarse.ops_analyzed,
+            fences=len(coarse.fences),
+            fences_elided=coarse.fences_elided,
+            points=fine.points_per_shard.get(self.rank, 0),
+            collectives=dict(stats.by_kind),
+            coll_rounds=stats.rounds,
+            coll_messages=stats.messages,
+            frames_sent=self.transport.frames_sent,
+            frames_received=self.transport.frames_received,
+            duplicates_dropped=self.transport.duplicates_dropped,
+            out_of_order=self.transport.out_of_order,
+            wall_s=time.perf_counter() - t0,
+            pid=os.getpid(),
+            profile_path="",
+            program_id=program_id,
+            session=session,
+            call_digests=tuple(monitor.hasher.calls)
+            if capture_digests else (),
+        )
+
+    def save_profile(self) -> str:
+        """Persist the whole service lifetime's profile (at shutdown)."""
         if self.profile_dir is None or not self.profiler.enabled:
             return ""
         os.makedirs(self.profile_dir, exist_ok=True)

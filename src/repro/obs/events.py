@@ -19,7 +19,7 @@ __all__ = [
     "CONTROL_SHARD",
     "CAT_PIPELINE", "CAT_COARSE", "CAT_FINE", "CAT_COLLECTIVE", "CAT_TRACE",
     "CAT_DETERMINISM", "CAT_EXEC", "CAT_CONTROL", "CAT_SIM",
-    "CAT_FAULT", "CAT_RESILIENCE",
+    "CAT_FAULT", "CAT_RESILIENCE", "CAT_SERVICE",
     "EV_OP_ANALYZE", "EV_COARSE_GROUP", "EV_FINE_POINTS",
     "EV_FENCE_INSERT", "EV_FENCE_ELIDE",
     "EV_TRACE_RECORD", "EV_TRACE_REPLAY", "EV_TRACE_FALLBACK",
@@ -27,6 +27,9 @@ __all__ = [
     "EV_EXEC_POINT", "EV_CONTROL_REPLAY", "EV_SIM_EVENT",
     "EV_FAULT_INJECT", "EV_FAULT_RETRY", "EV_SHARD_CRASH",
     "EV_QUARANTINE", "EV_RECOVERY", "EV_SNAPSHOT",
+    "EV_SESSION_OPEN", "EV_SESSION_CLOSE", "EV_JOB_ADMIT", "EV_JOB_REJECT",
+    "EV_JOB_DISPATCH", "EV_JOB_DONE", "EV_TEMPLATE_HIT",
+    "EV_TEMPLATE_RECORDED", "EV_GANG_START", "EV_GANG_REBUILD",
     "ANALYSIS_CATEGORIES",
 ]
 
@@ -46,10 +49,12 @@ CAT_CONTROL = "control"            # per-shard control-program replay
 CAT_SIM = "sim"                    # discrete-event simulator ticks
 CAT_FAULT = "fault"                # injected faults, retries, crashes
 CAT_RESILIENCE = "resilience"      # quarantine / recovery / snapshots
+CAT_SERVICE = "service"            # session/job lifecycle on the service
 
 #: Categories the prof CLI rolls into the per-shard "time in ..." table.
 ANALYSIS_CATEGORIES = (CAT_COARSE, CAT_FINE, CAT_COLLECTIVE, CAT_TRACE,
-                       CAT_DETERMINISM, CAT_EXEC, CAT_FAULT, CAT_RESILIENCE)
+                       CAT_DETERMINISM, CAT_EXEC, CAT_FAULT, CAT_RESILIENCE,
+                       CAT_SERVICE)
 
 # -- event names ------------------------------------------------------------
 
@@ -72,3 +77,13 @@ EV_SHARD_CRASH = "fault.crash"         # instant: a shard's replay died
 EV_QUARANTINE = "resilience.quarantine"  # instant: shard removed from set
 EV_RECOVERY = "resilience.recover"     # span: one recovery attempt
 EV_SNAPSHOT = "resilience.snapshot"    # instant: region snapshot captured
+EV_SESSION_OPEN = "service.session.open"    # instant: client session opened
+EV_SESSION_CLOSE = "service.session.close"  # instant: client session closed
+EV_JOB_ADMIT = "service.job.admit"     # instant: submission admitted
+EV_JOB_REJECT = "service.job.reject"   # instant: submission refused (load)
+EV_JOB_DISPATCH = "service.job.dispatch"  # span: one program on the gang
+EV_JOB_DONE = "service.job.done"       # instant: submission completed
+EV_TEMPLATE_HIT = "service.template.hit"       # instant: analysis skipped
+EV_TEMPLATE_RECORDED = "service.template.record"  # instant: template cached
+EV_GANG_START = "service.gang.start"   # instant: persistent gang launched
+EV_GANG_REBUILD = "service.gang.rebuild"  # instant: gang rebuilt (recovery)

@@ -45,7 +45,7 @@ from .core.determinism import (ControlDeterminismViolation,
 from .faults.injector import ShardCrash
 
 __all__ = ["RecoveryPolicy", "ResilienceConfig", "RecoveryReport",
-           "identify_culprits", "diagnosis_to_dict"]
+           "identify_culprits", "diagnosis_to_dict", "plan_gang_recovery"]
 
 
 class RecoveryPolicy(Enum):
@@ -133,6 +133,59 @@ class RecoveryReport:
         return path
 
 
+def plan_gang_recovery(config: ResilienceConfig, failure: BaseException,
+                       num_shards: int, attempt: int) -> RecoveryReport:
+    """Decide how a persistent shard gang recovers from a dead gang.
+
+    The service analogue of the single-run policies: when a gang dies
+    under a streaming workload (a crashed or diverged replica takes every
+    collective down with it), the whole gang is rebuilt — Theorem 1 makes
+    any rebuilt width recompute identical task graphs, so the choice is
+    purely about capacity:
+
+    * **DEGRADE** — rebuild one shard narrower (never below 1): the dead
+      replica is treated as lost capacity, and the failed submission is
+      re-analyzed at the new width.
+    * **RESTART** — rebuild at the same width and re-run the failed
+      submission from scratch (full re-analysis, which Theorem 1 makes
+      equivalent to the run that died).
+    * **ABORT** / **LOCALIZE** — the submission fails (with whatever
+      diagnosis the failure carried); the gang is still rebuilt at full
+      width so the *service* survives even when the *job* does not.
+
+    Returns a :class:`RecoveryReport` whose ``details`` carry the planned
+    ``new_width`` and whether the failed job should be ``retried``;
+    ``action="exhausted"`` once ``attempt`` exceeds
+    ``config.max_recoveries`` (the service then refuses further work).
+    """
+    culprits = identify_culprits(failure)
+    if attempt > config.max_recoveries:
+        action, new_width, retry = "exhausted", 0, False
+    elif config.policy is RecoveryPolicy.DEGRADE:
+        action = "quarantine"
+        new_width = max(1, num_shards - 1)
+        retry = True
+    elif config.policy is RecoveryPolicy.RESTART:
+        action, new_width, retry = "restart", num_shards, True
+    else:  # ABORT / LOCALIZE: job fails, gang comes back anyway.
+        action = config.policy.value
+        new_width, retry = num_shards, False
+    diagnosis = None
+    if isinstance(failure, ControlDeterminismViolation):
+        diagnosis = diagnosis_to_dict(failure.diagnosis)
+    report = RecoveryReport(
+        policy=config.policy.value, action=action,
+        failure=f"{type(failure).__name__}: {failure}",
+        culprit_shards=culprits,
+        seq=failure.seq if isinstance(failure, ShardCrash) else None,
+        attempt=attempt, diagnosis=diagnosis,
+        details={"num_shards": num_shards, "new_width": new_width,
+                 "retry": retry})
+    if config.report_dir:
+        report.write(config.report_dir, attempt)
+    return report
+
+
 def identify_culprits(failure: BaseException) -> List[int]:
     """The shard(s) a failure implicates, best effort.
 
@@ -145,4 +198,7 @@ def identify_culprits(failure: BaseException) -> List[int]:
     if isinstance(failure, ControlDeterminismViolation):
         culprits = failure.divergent_shards
         return list(culprits) if culprits else []
-    return []
+    # Gang-level failures (repro.service.gang.GangFailure) name the ranks
+    # whose workers died; duck-typed so resilience needn't import service.
+    shards = getattr(failure, "culprit_shards", None)
+    return list(shards) if shards else []

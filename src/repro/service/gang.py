@@ -1,0 +1,353 @@
+"""Persistent shard gangs: N long-lived replicas serving a job stream.
+
+A :class:`ServiceGang` is the execution substrate of the service: it
+launches N :class:`~repro.dist.worker.ServiceShardWorker` replicas — as
+threads over a :class:`~repro.dist.transport.LoopbackFabric` or as forked
+processes over a :class:`~repro.dist.transport.PipeFabric` — and keeps
+them alive across many programs.  Each :meth:`run_job` broadcasts one
+job to every replica and collects N :class:`~repro.dist.report
+.ShardReport`\\ s under a single shared deadline.
+
+Failure model (the crash path the service's DEGRADE/RESTART policies
+recover from): a replica that dies mid-job — an injected
+:class:`~repro.faults.injector.ShardCrash`, a real bug, anything — takes
+the whole gang down, because its peers are parked in a collective that can
+never complete.  Both fabrics convert that into fast failure rather than a
+hang (``mark_closed`` / pipe EOF → :class:`~repro.dist.transport
+.PeerGone`), every worker exits its serve loop, and :meth:`run_job` raises
+:class:`GangFailure` naming the culprit ranks.  The gang is then inert
+(``alive`` is False); recovering is the *service's* job — it builds a
+fresh gang at whatever width the recovery policy picked.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..dist.programs import ProgramSpec
+from ..dist.report import ShardReport
+from ..dist.transport import DEFAULT_DEADLINE_S, LoopbackFabric, PipeFabric
+from ..dist.worker import ServiceShardWorker
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan, PlannedCrash
+
+__all__ = ["GangFailure", "ServiceGang", "GANG_BACKENDS"]
+
+GANG_BACKENDS = ("loopback", "multiprocess")
+
+
+class GangFailure(RuntimeError):
+    """The gang died (or timed out) executing one job.
+
+    ``culprit_shards`` names the ranks whose workers reported primary
+    failures (crashes and divergences, as opposed to the peers that merely
+    observed the resulting dead collectives) — the duck-typed attribute
+    :func:`repro.resilience.identify_culprits` looks for.
+    """
+
+    def __init__(self, job_id: str, failures: List[str],
+                 culprit_shards: Optional[List[int]] = None):
+        self.job_id = job_id
+        self.failures = list(failures)
+        self.culprit_shards = list(culprit_shards or [])
+        super().__init__(
+            f"gang failed job {job_id or '<unnamed>'}: "
+            + "; ".join(self.failures))
+
+
+def _fault_payload(plan: Optional[FaultPlan]) -> Optional[dict]:
+    """Wire form of the (crash-only) fault plans the service injects."""
+    if plan is None:
+        return None
+    return {"seed": plan.seed,
+            "crashes": [[c.shard, c.call] for c in plan.crashes],
+            "rates": dict(plan.rates)}
+
+
+def _fault_injector(payload: Optional[dict]) -> Optional[FaultInjector]:
+    if payload is None:
+        return None
+    plan = FaultPlan(
+        seed=int(payload.get("seed", 0)),
+        crashes=[PlannedCrash(int(s), int(c))
+                 for s, c in payload.get("crashes", ())],
+        rates={str(k): float(v)
+               for k, v in payload.get("rates", {}).items()})
+    return FaultInjector(plan)
+
+
+def _primary_failure(message: str) -> bool:
+    """Did this worker *cause* the gang death, or just observe it?
+
+    Peers of a dead replica fail with ``PeerGone``/``CollectiveTimeout``;
+    anything else (``ShardCrash``, a determinism violation, a real bug) is
+    a primary failure and its rank a culprit.
+    """
+    return not message.startswith(("PeerGone", "CollectiveTimeout"))
+
+
+class ServiceGang:
+    """N persistent replicas plus the driver-side job broadcast."""
+
+    def __init__(self, num_shards: int, backend: str = "loopback",
+                 batch: int = 64, deadline_s: float = DEFAULT_DEADLINE_S,
+                 job_timeout_s: float = 60.0,
+                 profile_dir: Optional[str] = None):
+        if backend not in GANG_BACKENDS:
+            raise ValueError(f"unknown gang backend {backend!r}; "
+                             f"expected one of {GANG_BACKENDS}")
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+        self.backend = backend
+        self.batch = batch
+        self.deadline_s = deadline_s
+        self.job_timeout_s = job_timeout_s
+        self.profile_dir = profile_dir
+        self.jobs_run = 0
+        self._alive = False
+        self._started = False
+        # loopback state
+        self._threads: List[threading.Thread] = []
+        self._cmd_queues: List["queue.Queue"] = []
+        self._res_queues: List["queue.Queue"] = []
+        self._fabric: Optional[LoopbackFabric] = None
+        # multiprocess state
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def start(self) -> "ServiceGang":
+        if self._started:
+            raise RuntimeError("gang already started")
+        self._started = True
+        if self.backend == "loopback":
+            self._start_loopback()
+        else:
+            self._start_multiprocess()
+        self._alive = True
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown; safe to call on a dead or stopped gang."""
+        if not self._started:
+            return
+        self._alive = False
+        if self.backend == "loopback":
+            for q in self._cmd_queues:
+                q.put(("stop",))
+            deadline = time.monotonic() + 5.0
+            for t in self._threads:
+                t.join(max(0.0, deadline - time.monotonic()))
+        else:
+            for conn in self._conns:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            deadline = time.monotonic() + 5.0
+            for proc in self._procs:
+                proc.join(max(0.0, deadline - time.monotonic()))
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(5.0)
+            for conn in self._conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ServiceGang":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- the one public operation --------------------------------------------
+
+    def run_job(self, spec: ProgramSpec, job_id: str = "",
+                program_id: str = "", session: str = "",
+                capture_digests: bool = False,
+                fault: Optional[FaultPlan] = None) -> List[ShardReport]:
+        """Broadcast one program to every replica; N conformant reports.
+
+        Raises :class:`GangFailure` — and marks the gang dead — if any
+        replica errors or the shared deadline passes.  ``fault`` scopes an
+        injected fault plan to this job (chaos testing / CI).
+        """
+        if not self._alive:
+            raise GangFailure(job_id, ["gang is down"], [])
+        self.jobs_run += 1
+        job = {"spec": spec.to_payload(), "job_id": job_id,
+               "program_id": program_id, "session": session,
+               "capture": capture_digests,
+               "fault": _fault_payload(fault)}
+        if self.backend == "loopback":
+            results = self._broadcast_loopback(job)
+        else:
+            results = self._broadcast_multiprocess(job)
+        reports: Dict[int, ShardReport] = {}
+        failures: List[str] = []
+        culprits: List[int] = []
+        for rank, (status, payload) in sorted(results.items()):
+            if status == "ok":
+                reports[rank] = payload if isinstance(payload, ShardReport) \
+                    else ShardReport.from_payload(payload)
+            else:
+                failures.append(f"shard {rank}: {payload}")
+                if status == "error" and _primary_failure(str(payload)):
+                    culprits.append(rank)
+        if failures:
+            self._alive = False
+            raise GangFailure(job_id, failures, culprits)
+        return [reports[r] for r in sorted(reports)]
+
+    # -- loopback backend (threads) ------------------------------------------
+
+    def _start_loopback(self) -> None:
+        self._fabric = LoopbackFabric(self.num_shards,
+                                      deadline_s=self.deadline_s)
+        self._cmd_queues = [queue.Queue() for _ in range(self.num_shards)]
+        self._res_queues = [queue.Queue() for _ in range(self.num_shards)]
+        self._threads = [
+            threading.Thread(target=self._serve_loopback, args=(rank,),
+                             name=f"svc-shard-{rank}", daemon=True)
+            for rank in range(self.num_shards)]
+        for t in self._threads:
+            t.start()
+
+    def _serve_loopback(self, rank: int) -> None:
+        worker = ServiceShardWorker(
+            self._fabric.transport(rank), backend="loopback",
+            batch=self.batch, profile_dir=self.profile_dir)
+        while True:
+            cmd = self._cmd_queues[rank].get()
+            if cmd[0] == "stop":
+                worker.save_profile()
+                return
+            job = cmd[1]
+            try:
+                report = worker.run_job(
+                    ProgramSpec.from_payload(job["spec"]),
+                    program_id=job["program_id"], session=job["session"],
+                    capture_digests=job["capture"],
+                    injector=_fault_injector(job["fault"]))
+            except BaseException as exc:  # noqa: BLE001 - reported upward
+                # Peers block in the dead replica's collective; declare
+                # this rank closed so they fail fast with PeerGone.
+                self._fabric.mark_closed(rank)
+                self._res_queues[rank].put(
+                    ("error", f"{type(exc).__name__}: {exc}"))
+                worker.save_profile()
+                return
+            self._res_queues[rank].put(("ok", report))
+
+    def _broadcast_loopback(self, job: dict) -> Dict[int, tuple]:
+        for q in self._cmd_queues:
+            q.put(("job", job))
+        deadline = time.monotonic() + self.job_timeout_s
+        results: Dict[int, tuple] = {}
+        for rank, q in enumerate(self._res_queues):
+            try:
+                results[rank] = q.get(
+                    timeout=max(0.0, deadline - time.monotonic()))
+            except queue.Empty:
+                results[rank] = ("timeout",
+                                 f"no result within {self.job_timeout_s}s")
+        return results
+
+    # -- multiprocess backend (fork) -----------------------------------------
+
+    def _start_multiprocess(self) -> None:
+        ctx = multiprocessing.get_context("fork")
+        fabric = PipeFabric(self.num_shards, deadline_s=self.deadline_s)
+        for rank in range(self.num_shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_service_worker_main,
+                args=(fabric, rank, self.batch, self.profile_dir,
+                      child_conn),
+                name=f"repro-svc-shard-{rank}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        # Workers hold their claimed mesh endpoints; drop the parent's
+        # copies so a dead worker's peers observe EOF, not a deadline.
+        fabric.close_all()
+
+    def _broadcast_multiprocess(self, job: dict) -> Dict[int, tuple]:
+        results: Dict[int, tuple] = {}
+        for rank, conn in enumerate(self._conns):
+            try:
+                conn.send(("job", job))
+            except (BrokenPipeError, OSError):
+                results[rank] = ("error", "worker control pipe is closed")
+        deadline = time.monotonic() + self.job_timeout_s
+        for rank, conn in enumerate(self._conns):
+            if rank in results:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                if conn.poll(remaining):
+                    results[rank] = conn.recv()
+                else:
+                    results[rank] = (
+                        "timeout",
+                        f"no result within {self.job_timeout_s}s "
+                        f"(pid {self._procs[rank].pid})")
+            except (EOFError, OSError):
+                results[rank] = ("error", "worker died without a result")
+        return results
+
+
+def _service_worker_main(fabric: PipeFabric, rank: int, batch: int,
+                         profile_dir: Optional[str], conn: Any) -> None:
+    """Forked child: claim the mesh, then serve jobs until stop or death."""
+    transport = None
+    worker = None
+    try:
+        fabric.close_other_ends(rank)
+        transport = fabric.transport(rank)
+        worker = ServiceShardWorker(transport, backend="multiprocess",
+                                    batch=batch, profile_dir=profile_dir)
+        while True:
+            try:
+                cmd = conn.recv()
+            except (EOFError, OSError):
+                return                      # driver is gone; fold quietly
+            if cmd[0] == "stop":
+                return
+            job = cmd[1]
+            try:
+                report = worker.run_job(
+                    ProgramSpec.from_payload(job["spec"]),
+                    program_id=job["program_id"], session=job["session"],
+                    capture_digests=job["capture"],
+                    injector=_fault_injector(job["fault"]))
+            except BaseException as exc:  # noqa: BLE001 - reported upward
+                try:
+                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                except (BrokenPipeError, OSError):
+                    pass
+                return   # die: the transport closes in finally, peers EOF
+            conn.send(("ok", report.to_payload()))
+    finally:
+        if worker is not None:
+            worker.save_profile()
+        if transport is not None:
+            transport.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

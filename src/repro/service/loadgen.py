@@ -1,0 +1,155 @@
+"""Synthetic many-client load for the DCR service.
+
+An **open-loop** generator: each simulated client submits on its own
+schedule regardless of how fast the service completes — exactly the
+arrival model where admission control matters (a closed-loop client can
+never overload anything).  Submissions that the service rejects with
+:class:`~repro.service.service.AdmissionError` are counted, not retried;
+handles are collected and awaited after the arrival process finishes.
+
+Each client draws programs from a small pool of shapes (deterministic in
+``seed``) whose *parameters* vary per submission — the shape-pool model
+under which analysis templates pay off: the first submission of a shape is
+a cold analysis, every later one a parameter patch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.rng import threefry2x64
+from ..dist.programs import OpSpec, ProgramSpec
+from .service import AdmissionError, DCRService, JobHandle
+
+__all__ = ["LoadResult", "make_shape_pool", "run_load"]
+
+#: Op codes the generator draws bodies from (all group launches, so any
+#: shard count is legal; ``blend`` brings the cross-shard dependencies).
+_BODY_CODES = ("bump", "scale", "blend", "readx")
+
+
+@dataclass
+class LoadResult:
+    """What the synthetic clients observed, summed over all of them."""
+
+    clients: int
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    template_hits: int = 0       # completed reports served from a template
+    wall_s: float = 0.0
+    by_session: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def programs_per_s(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def _draw(seed: int, *indices: int) -> int:
+    """Deterministic 64-bit draw — no global RNG, replayable by seed."""
+    word, _ = threefry2x64((seed, 0x10AD), (indices[0],
+                                            indices[1] if len(indices) > 1
+                                            else 0))
+    return word
+
+
+def make_shape_pool(shapes: int, tiles: int, steps: int,
+                    seed: int = 0) -> List[ProgramSpec]:
+    """``shapes`` structurally distinct programs around one size budget.
+
+    Pool entry *i* varies its op mix by seed; re-instantiating a pool
+    entry with fresh parameters (what clients do per submission) keeps the
+    shape and changes only payload values.
+    """
+    pool: List[ProgramSpec] = []
+    for i in range(shapes):
+        ops: List[OpSpec] = [OpSpec("fill")]
+        for s in range(steps):
+            code = _BODY_CODES[_draw(seed, i, s) % len(_BODY_CODES)]
+            ops.append(OpSpec("blend" if s % 2 == 0 else code))
+            ops.append(OpSpec("bump"))
+        ops.append(OpSpec("readx"))
+        pool.append(ProgramSpec(tiles=tiles, ops=tuple(ops)))
+    return pool
+
+
+def _with_fresh_params(spec: ProgramSpec, seed: int,
+                       submission: int) -> ProgramSpec:
+    """Same shape, new payload values — the template-hit workload."""
+    ops = tuple(
+        OpSpec(op.code, _draw(seed, submission, j) % 1_000_000)
+        if op.code != "spot" else op
+        for j, op in enumerate(spec.ops))
+    return ProgramSpec(tiles=spec.tiles, sharding=spec.sharding,
+                       ops=ops, cells_per_tile=spec.cells_per_tile)
+
+
+def run_load(service: DCRService, clients: int,
+             submissions_per_client: int, shapes: int = 2,
+             tiles: int = 8, steps: int = 2, rate_hz: float = 0.0,
+             seed: int = 0,
+             timeout_s: Optional[float] = None) -> LoadResult:
+    """Drive ``clients`` concurrent sessions; await and tally everything.
+
+    ``rate_hz`` is the per-client open-loop arrival rate (0 = submit as
+    fast as the interpreter allows).  Everything is deterministic in
+    ``seed`` except scheduling order.
+    """
+    pool = make_shape_pool(shapes, tiles, steps, seed)
+    result = LoadResult(clients=clients)
+    lock = threading.Lock()
+    handles: List[JobHandle] = []
+    interval = 1.0 / rate_hz if rate_hz > 0 else 0.0
+
+    def client(idx: int) -> None:
+        session = service.open_session(f"client-{idx}")
+        next_at = time.monotonic()
+        submitted = 0
+        rejected = 0
+        for n in range(submissions_per_client):
+            if interval:
+                next_at += interval
+                delay = next_at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+            shape = pool[_draw(seed, idx, n) % len(pool)]
+            spec = _with_fresh_params(shape, seed + idx + 1, n)
+            try:
+                h = session.submit(spec)
+            except AdmissionError:
+                rejected += 1
+                continue
+            submitted += 1
+            with lock:
+                handles.append(h)
+        session.close()
+        with lock:
+            result.submitted += submitted
+            result.rejected += rejected
+            result.by_session[session.name] = submitted
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=client, args=(i,),
+                                name=f"loadgen-{i}", daemon=True)
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wait_s = timeout_s if timeout_s is not None \
+        else service.job_timeout_s * 4
+    for h in handles:
+        try:
+            report = h.result(timeout=wait_s)
+        except Exception:
+            result.failed += 1
+            continue
+        result.completed += 1
+        if report.template_hit:
+            result.template_hits += 1
+    result.wall_s = time.perf_counter() - t0
+    return result

@@ -1,0 +1,177 @@
+"""Analysis templates: cached per-program-shape analysis products.
+
+Following *Execution Templates* (Mashayekhi et al., PAPERS.md), a repeat
+submission of an already-analyzed program **shape** should not pay for
+dependence analysis again: the service caches the conformance artifacts of
+the cold run — graph digest, fence sequence, per-shard counters — keyed by
+the program's structural shape, and serves later submissions by *patching
+parameters* into the cached products.
+
+Keying reuses the auto-tracer's identification machinery (*Automatic
+Tracing in Task-Based Runtime Systems*, Yadav et al.): each operation's
+structural signature is hash-consed through
+:func:`repro.core.tracing.intern_signature` and the id stream folded with
+the identical polynomial :func:`repro.core.tracing.rolling_hash` the
+repeat detector computes.  A hash hit is confirmed against the stored
+shape, so a (vanishingly unlikely) rolling-hash collision degrades to a
+miss, never to a wrong template.
+
+What counts as *shape* vs *parameter* mirrors what the workers hash into
+the determinism stream (:func:`repro.dist.worker.op_signature`): an op's
+``value`` is structural only for ``spot`` (it selects the owner shard);
+every other value is pure payload.  The one place payload values enter the
+conformance artifacts is API call 0 — ``record("program",
+*spec.signature())`` — so a template hit recomputes exactly that digest
+and refolds the cached structure-only tail, yielding a determinism digest
+byte-identical to what a cold run of the patched spec would produce
+(property-tested in ``tests/service/test_service_conformance.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..core.determinism import ShardHasher, stream_digest
+from ..core.tracing import intern_signature, rolling_hash
+from ..dist.programs import ProgramSpec
+from ..dist.report import MergedReport, ShardReport, merge_reports
+
+__all__ = ["structural_signature", "template_key", "AnalysisTemplate",
+           "TemplateStore"]
+
+
+def structural_signature(spec: ProgramSpec, num_shards: int) -> tuple:
+    """The shape of a program: everything that affects analysis products.
+
+    Two specs with equal structural signatures produce identical graph
+    digests, fence sequences, and analyze-call streams at ``num_shards``
+    shards; they may differ only in payload values (which reach the
+    artifacts solely through the program-signature API call).
+    """
+    ops = tuple(
+        (op.code, op.value % num_shards if op.code == "spot" else None)
+        for op in spec.ops)
+    return (spec.tiles, spec.cells_per_tile, spec.sharding, num_shards, ops)
+
+
+def template_key(spec: ProgramSpec, num_shards: int) -> int:
+    """Rolling-hash key of a program shape (the auto-tracer's hash).
+
+    The header and each op's structural signature are hash-consed exactly
+    like operation signatures in the repeat detector, then folded with the
+    detector's polynomial hash.
+    """
+    tiles, cells, sharding, shards, ops = structural_signature(spec,
+                                                               num_shards)
+    sids = [intern_signature(("tpl-head", tiles, cells, sharding, shards))]
+    sids += [intern_signature(("tpl-op",) + op) for op in ops]
+    return rolling_hash(sids)
+
+
+@dataclass
+class AnalysisTemplate:
+    """Cached analysis products of one program shape at one gang width."""
+
+    key: int
+    shape: tuple                       # structural_signature confirmation
+    num_shards: int
+    shard_payloads: List[dict]         # cold ShardReports, digests stripped
+    call_digest_tail: Tuple[int, ...]  # per-call digests after call 0
+    recorded_from: str                 # program_id of the cold run
+    hits: int = 0
+
+    def patch(self, spec: ProgramSpec, program_id: str = "",
+              session: str = "", batch: int = 0) -> MergedReport:
+        """Serve one submission from this template, analysis-free.
+
+        The only artifact that depends on payload values is the
+        determinism digest, through API call 0 (the program signature);
+        recompute that one digest and refold the cached structure-only
+        tail.  Everything else — graph digest, fence sequence, counters —
+        is byte-identical to a cold run of ``spec`` by construction.
+        """
+        hasher = ShardHasher(0)
+        head = hasher.record("program", *spec.signature())
+        digest = stream_digest([head, *self.call_digest_tail])
+        now = time.perf_counter()
+        reports = []
+        for payload in self.shard_payloads:
+            reports.append(replace(
+                ShardReport.from_payload(payload),
+                determinism_digest=digest,
+                program_id=program_id, session=session,
+                wall_s=time.perf_counter() - now, pid=os.getpid()))
+        self.hits += 1
+        return merge_reports(reports, backend="template",
+                             program_id=program_id, session=session,
+                             template_hit=True)
+
+
+class TemplateStore:
+    """LRU map of template keys to :class:`AnalysisTemplate` entries."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Dict[int, AnalysisTemplate] = {}
+        self.hits = 0
+        self.misses = 0
+        self.collisions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, spec: ProgramSpec,
+               num_shards: int) -> Optional[AnalysisTemplate]:
+        """The template for this program shape, or None (counted a miss)."""
+        key = template_key(spec, num_shards)
+        tpl = self._entries.get(key)
+        if tpl is not None \
+                and tpl.shape == structural_signature(spec, num_shards):
+            self.hits += 1
+            self._entries[key] = self._entries.pop(key)   # LRU touch
+            return tpl
+        if tpl is not None:
+            self.collisions += 1
+        self.misses += 1
+        return None
+
+    def record(self, spec: ProgramSpec, num_shards: int,
+               merged: MergedReport) -> Optional[AnalysisTemplate]:
+        """Build and cache a template from a cold run's merged report.
+
+        Requires a conformant run whose shard reports captured call
+        digests; returns None (and caches nothing) otherwise.
+        """
+        head = merged.shards[0]
+        if not merged.conformant or len(head.call_digests) < 1:
+            return None
+        key = template_key(spec, num_shards)
+        payloads = []
+        for r in merged.shards:
+            p = r.to_payload()
+            # The tail is stored once; per-shard copies would multiply the
+            # footprint by N for data conformance proved identical.
+            p["call_digests"] = []
+            payloads.append(p)
+        tpl = AnalysisTemplate(
+            key=key, shape=structural_signature(spec, num_shards),
+            num_shards=num_shards, shard_payloads=payloads,
+            call_digest_tail=tuple(head.call_digests[1:]),
+            recorded_from=head.program_id)
+        self._entries[key] = tpl
+        if len(self._entries) > self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+        return tpl
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses, "collisions": self.collisions,
+                "evictions": self.evictions}

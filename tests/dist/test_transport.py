@@ -72,6 +72,91 @@ def test_dead_peer_raises_peer_gone():
     assert "crashed or exited early" in str(exc.value)
 
 
+def test_scramble_identity_preserves_fifo_order():
+    # Regression: deliver() used to hand the hook the drained backlog in
+    # *reverse* arrival order, so even an identity scramble reordered
+    # queued frames.  Three same-tag sends land in one bucket, whose list
+    # order is delivery order — it must match send order byte for byte.
+    fabric = LoopbackFabric(2, scramble=lambda s, d, p: list(p))
+    t0, t1 = fabric.transport(0), fabric.transport(1)
+    for i in range(3):
+        t0.send(1, "reduce", 0, 0, f"payload-{i}")
+    assert [t1.recv(0, "reduce", 0, 0) for _ in range(3)] \
+        == ["payload-0", "payload-1", "payload-2"]
+    assert t1.out_of_order == 0
+
+
+def test_scramble_identity_is_byte_identical_on_the_wire():
+    # Stronger form: with an identity hook the raw queue holds exactly the
+    # encoded frames in arrival order (no reordering, no duplication).
+    fabric = LoopbackFabric(2, scramble=lambda s, d, p: list(p))
+    t0 = fabric.transport(0)
+    for rnd in range(4):
+        t0.send(1, "allgather", 7, rnd, rnd)
+    plain = LoopbackFabric(2)
+    p0 = plain.transport(0)
+    for rnd in range(4):
+        p0.send(1, "allgather", 7, rnd, rnd)
+    drain = lambda q: [q.get_nowait() for _ in range(q.qsize())]  # noqa: E731
+    assert drain(fabric.channel(0, 1)) == drain(plain.channel(0, 1))
+
+
+def test_recv_state_bounded_after_soak():
+    # Regression: duplicate suppression used to keep every sequence number
+    # ever seen, and drained tag buckets stayed keyed forever — a leak for
+    # a persistent gang.  After ~10k frames over distinct tags the only
+    # per-peer state left is the contiguous watermark.
+    fabric = LoopbackFabric(2)
+    t0, t1 = fabric.transport(0), fabric.transport(1)
+    frames = 10_000
+    for i in range(frames):
+        t0.send(1, "allreduce", i, 0, i)
+        assert t1.recv(0, "allreduce", i, 0) == i
+    assert t1.frames_received == frames
+    assert t1._pending == {}                      # no empty buckets keyed
+    assert t1._recv_floor[0] == frames            # watermark advanced
+    assert sum(len(s) for s in t1._recv_ahead.values()) == 0
+    assert not hasattr(t1, "_recv_seen")          # the unbounded set is gone
+
+
+def test_recv_state_bounded_under_reordering_and_duplication():
+    # An adversarial fabric that reverses the backlog and duplicates the
+    # newest frame on every delivery: duplicates are still dropped,
+    # out-of-order seqs pass through the small window, and state stays
+    # bounded by the reorder depth.
+    fabric = LoopbackFabric(
+        2, scramble=lambda s, d, p: list(reversed(p)) + [p[-1]])
+    t0, t1 = fabric.transport(0), fabric.transport(1)
+    rounds = 200
+    for rnd in range(rounds):
+        t0.send(1, "barrier", 0, rnd, rnd)
+    for rnd in range(rounds):
+        assert t1.recv(0, "barrier", 0, rnd) == rnd
+    # Drain the straggler duplicates still queued (a recv for a tag that
+    # never arrives polls — and discards — everything left on the wire).
+    with pytest.raises(CollectiveTimeout):
+        t1.recv(0, "barrier", 0, rounds, timeout_s=0.05)
+    assert t1.frames_received == rounds
+    assert t1.duplicates_dropped > 0
+    assert t1._pending == {}
+    assert t1._recv_floor[0] == rounds
+    assert sum(len(s) for s in t1._recv_ahead.values()) == 0
+
+
+def test_old_duplicate_below_watermark_still_dropped():
+    fabric = LoopbackFabric(2)
+    t0, t1 = fabric.transport(0), fabric.transport(1)
+    t0.send(1, "reduce", 0, 0, "a")
+    assert t1.recv(0, "reduce", 0, 0) == "a"
+    # Replay the identical frame (seq 0) long after the watermark passed.
+    stale = Frame(kind="reduce", op=0, round=0, src=0, dst=1, seq=0,
+                  payload="a")
+    fabric.channel(0, 1).put(encode_frame(stale))
+    t0.send(1, "reduce", 0, 1, "b")
+    assert t1.recv(0, "reduce", 0, 1) == "b"
+    assert t1.duplicates_dropped == 1
+
+
 def test_self_send_rejected():
     fabric = LoopbackFabric(2)
     t0 = fabric.transport(0)

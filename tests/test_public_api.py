@@ -8,6 +8,7 @@ PACKAGES = [
     "repro", "repro.regions", "repro.oracle", "repro.core", "repro.runtime",
     "repro.sim", "repro.models", "repro.apps", "repro.legate",
     "repro.flexflow", "repro.tools", "repro.evaluation", "repro.obs",
+    "repro.dist", "repro.service",
 ]
 
 
