@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Legate NumPy example: a 1-D Jacobi stencil written with array slicing.
+
+The update is the classic NumPy idiom
+
+    u[1:n-1] = (u[0:n-2] + u[2:n]) * 0.5
+
+— no halo exchange, no ghost regions, no index arithmetic.  The deferred
+frontend turns the two shifted slices into *views* whose rect partitions
+are offset against each other, so the add is still one aligned group task
+per tile, and DCR replicates the whole program across shards.  The script
+checks the result against both a NumPy reference and the hand-written
+ghost-partition version (byte-for-byte).
+
+Run:  python examples/legate_stencil.py
+"""
+
+import numpy as np
+
+from repro.legate import (explicit_stencil, make_wave, reference_stencil,
+                          sliced_stencil)
+from repro.runtime import Runtime
+
+if __name__ == "__main__":
+    n, iters = 48, 12
+    init = make_wave(n)
+
+    runtime = Runtime(num_shards=4)
+    smoothed = runtime.execute(sliced_stencil, init, iters)
+
+    reference = reference_stencil(init, iters)
+    assert np.array_equal(smoothed, reference)
+
+    explicit = Runtime(num_shards=4).execute(explicit_stencil, init, iters)
+    assert smoothed.tobytes() == explicit.tobytes()
+
+    peak0 = float(init.max())
+    peak1 = float(smoothed.max())
+    print(f"grid points: {n}, iterations: {iters}")
+    print(f"peak amplitude: {peak0:.3f} -> {peak1:.3f} (diffused)")
+    print(f"point tasks analyzed under DCR: "
+          f"{len(runtime.task_graph().tasks)}")
+    print(f"cross-shard fences: {len(runtime.coarse_result().fences)} "
+          f"(elided {runtime.coarse_result().fences_elided})")
+    print("sliced program == NumPy reference exactly, and byte-for-byte "
+          "equal to the hand-written ghost-partition stencil.")

@@ -12,6 +12,7 @@ analysis stream.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Set
 
@@ -47,6 +48,9 @@ class DeferredOpManager:
         self._interval = min_interval
         self._cooldown = 0
         self._active: Set[int] = set(range(num_shards))
+        # Loopback-backend replicas announce from concurrent threads; the
+        # shared pending map must mutate atomically.
+        self._lock = threading.Lock()
         self.polls = 0            # polls actually performed
         self.skipped = 0          # polls suppressed by back-off
 
@@ -71,12 +75,13 @@ class DeferredOpManager:
         """Shard ``shard``'s collector finalized the resource named ``key``."""
         if not 0 <= shard < self.num_shards:
             raise ValueError(f"invalid shard {shard}")
-        op = self._pending.get(key)
-        if op is None:
-            op = _PendingOp(key)
-            self._pending[key] = op
-            self._announce_order.append(key)
-        op.observed_by.add(shard)
+        with self._lock:
+            op = self._pending.get(key)
+            if op is None:
+                op = _PendingOp(key)
+                self._pending[key] = op
+                self._announce_order.append(key)
+            op.observed_by.add(shard)
 
     def tick(self) -> List[Hashable]:
         """One runtime tick: maybe poll; returns ready operations (in the
@@ -86,14 +91,15 @@ class DeferredOpManager:
             self.skipped += 1
             return []
         self.polls += 1
-        ready = [
-            key for key in self._announce_order
-            if self._active <= self._pending[key].observed_by
-        ]
-        for key in ready:
-            del self._pending[key]
-        self._announce_order = [
-            k for k in self._announce_order if k in self._pending]
+        with self._lock:
+            ready = [
+                key for key in self._announce_order
+                if self._active <= self._pending[key].observed_by
+            ]
+            for key in ready:
+                del self._pending[key]
+            self._announce_order = [
+                k for k in self._announce_order if k in self._pending]
         if ready:
             self._interval = self.min_interval
         else:

@@ -1,16 +1,24 @@
 """Legate NumPy: distributed deferred arrays over DCR (paper §5.4)."""
 
 from .array import LegateArray, LegateContext
-from .kmeans import kmeans, make_blobs, reference_kmeans
-from .linalg import (logistic_regression, make_problem, preconditioned_cg,
+from .fields import FieldManager
+from .kmeans import explicit_kmeans, kmeans, make_blobs, reference_kmeans
+from .linalg import (explicit_logistic_regression, logistic_regression,
+                     make_problem, preconditioned_cg,
                      reference_logistic_regression,
                      reference_preconditioned_cg)
 from .programs import cg_program, logreg_program
+from .stencil import (explicit_stencil, make_wave, reference_stencil,
+                      sliced_stencil)
+from .views import ViewSpec, choose_tiling
 
 __all__ = [
-    "LegateArray", "LegateContext",
-    "kmeans", "make_blobs", "reference_kmeans",
-    "logistic_regression", "make_problem", "preconditioned_cg",
+    "LegateArray", "LegateContext", "FieldManager",
+    "ViewSpec", "choose_tiling",
+    "kmeans", "explicit_kmeans", "make_blobs", "reference_kmeans",
+    "logistic_regression", "explicit_logistic_regression", "make_problem",
+    "preconditioned_cg",
     "reference_logistic_regression", "reference_preconditioned_cg",
+    "sliced_stencil", "explicit_stencil", "reference_stencil", "make_wave",
     "cg_program", "logreg_program",
 ]

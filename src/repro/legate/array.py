@@ -2,24 +2,64 @@
 
 Legate NumPy (paper §5.4) translates NumPy programs onto the Legion data
 model: each array is a field of a region, each API call launches one or
-more (group) tasks, and under DCR the whole NumPy program replicates across
-shards with no centralized bottleneck.  This module is the functional
-equivalent on our runtime: a :class:`LegateContext` wraps a replicated
-control context and hands out :class:`LegateArray` objects whose operators
-launch real group tasks over a row-tile partition (chunk sizes are chosen
-automatically — the paper contrasts this with Dask, where users must tune
-chunking by hand).
+more (group) tasks, and under DCR the whole NumPy program replicates
+across shards with no centralized bottleneck.  This module is the
+functional equivalent on our runtime, organized around three pieces:
+
+* :class:`~.views.ViewSpec` — arrays are *views* over a backing region
+  field.  Step-1 slices, transposes, and broadcasts compose without
+  materializing; every launch maps the logical tiling through the view to
+  a rectangle partition of the base region, so transformed operands still
+  launch aligned group tasks (cunumeric's ``DeferredArrayView``).
+* :class:`~.fields.FieldManager` — freed (shape, dtype) fields pool for
+  reuse, with frees deferred until later launches retire, so long array
+  programs keep bounded region counts and stable uid streams
+  (legate.core's field manager).
+* :mod:`~.ops` — a few generic module-level task bodies plus a kernel
+  registry carry the whole operator surface; the kernel code travels in
+  the hashed task arguments.
+
+Chunking is automatic (the paper contrasts this with Dask's hand-tuned
+chunks): :func:`~.views.choose_tiling` picks a grid — including column
+tiles when the leading dimension is shorter than the tile budget.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple, Union
+import math
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..runtime.runtime import Context
+from . import ops
+from .fields import FieldManager
+from .views import ViewSpec, choose_tiling
 
 __all__ = ["LegateContext", "LegateArray"]
+
+
+def _slice_bounds(key, shape: Tuple[int, ...]):
+    """Normalize a getitem/setitem key into per-dim [lo, stop) bounds."""
+    if not isinstance(key, tuple):
+        key = (key,)
+    if len(key) > len(shape):
+        raise IndexError(f"too many indices for shape {shape}")
+    bounds = []
+    for d, ext in enumerate(shape):
+        if d >= len(key):
+            bounds.append((0, ext))
+            continue
+        k = key[d]
+        if not isinstance(k, slice):
+            raise TypeError(
+                "deferred arrays support step-1 slice indexing only "
+                f"(got {k!r}); use a length-1 slice to keep the dimension")
+        if k.step not in (None, 1):
+            raise ValueError("only step-1 slices are supported")
+        lo, stop, _ = k.indices(ext)
+        bounds.append((lo, stop))
+    return bounds
 
 
 class LegateContext:
@@ -28,33 +68,52 @@ class LegateContext:
     def __init__(self, ctx: Context, num_tiles: int = 4):
         self.ctx = ctx
         self.num_tiles = max(1, num_tiles)
-        # Per-context (hence per-shard) counter: array names must be a pure
-        # function of the control program's call sequence, or the hashed
-        # create_* calls would diverge across shards (§3).  A module-global
-        # counter here is exactly the kind of hidden input the determinism
-        # checker exists to catch — and did, in this library's own tests.
+        # Per-context (hence per-shard) counters: names and partition ids
+        # must be pure functions of the control program's call sequence, or
+        # the hashed create_* calls would diverge across shards (§3).
         self._next_name = 0
+        self._next_part = 0
+        self.fields = FieldManager(self)
+        self._partitions: dict = {}
+        hook = getattr(ctx.runtime, "add_drain_hook", None)
+        if hook is not None:
+            hook(self.fields.flush)
 
-    # -- creation --------------------------------------------------------------
+    # -- backing storage -----------------------------------------------------
 
-    def _make(self, shape: Tuple[int, ...], name: str = "") -> "LegateArray":
-        if not name:
-            name = f"lgarr{self._next_name}"
-            self._next_name += 1
+    def _create_region(self, shape: Tuple[int, ...]):
+        name = f"lgarr{self._next_name}"
+        self._next_name += 1
         fs = self.ctx.create_field_space([("v", "f8")], f"{name}_fs")
         ispace = self.ctx.create_index_space(
             shape if len(shape) > 1 else shape[0], f"{name}_is")
-        region = self.ctx.create_region(ispace, fs, name)
-        tiles = min(self.num_tiles, shape[0])
-        part = self.ctx.partition_equal(region, tiles, dim=0,
-                                        name=f"{name}_tiles")
-        return LegateArray(self, region, part, shape)
+        return self.ctx.create_region(ispace, fs, name)
+
+    def _new_array(self, shape: Tuple[int, ...]) -> "LegateArray":
+        block, lease = self.fields.checkout(shape)
+        return LegateArray(self, block, lease, ViewSpec.identity(shape))
+
+    def _partition_for(self, region, rects, disjoint=None, complete=None):
+        """The key partition for a rect list, created once per (region,
+        rects) pair — repeated launches over pooled fields hit the cache
+        and add no new resources to any shard's stream."""
+        key = (region.uid, tuple(rects))
+        part = self._partitions.get(key)
+        if part is None:
+            part = self.ctx.partition_rects(
+                region, rects, name=f"{region.name}_v{self._next_part}",
+                disjoint=disjoint, complete=complete)
+            self._next_part += 1
+            self._partitions[key] = part
+        return part
+
+    # -- creation ------------------------------------------------------------
 
     def zeros(self, shape: Union[int, Tuple[int, ...]],
               name: str = "") -> "LegateArray":
         """A zero-filled deferred array."""
         shape = (shape,) if isinstance(shape, int) else tuple(shape)
-        arr = self._make(shape, name)
+        arr = self._new_array(shape)
         self.ctx.fill(arr.region, "v", 0.0)
         return arr
 
@@ -62,228 +121,356 @@ class LegateContext:
              name: str = "") -> "LegateArray":
         """A constant-filled deferred array."""
         shape = (shape,) if isinstance(shape, int) else tuple(shape)
-        arr = self._make(shape, name)
+        arr = self._new_array(shape)
         self.ctx.fill(arr.region, "v", float(value))
         return arr
 
     def from_values(self, values: Sequence, name: str = "") -> "LegateArray":
         """Materialize explicit values through an initializer task."""
         data = np.asarray(values, dtype=np.float64)
-        arr = self.zeros(data.shape, name)
+        arr = self._new_array(data.shape)
         flat = tuple(float(x) for x in data.reshape(-1))
-
-        def _init(point, out, payload, shape):
-            view = out["v"].view
-            lo = out.region.index_space.rect.lo
-            full_arr = np.array(payload).reshape(shape)
-            sl = tuple(slice(l, l + e) for l, e in
-                       zip(lo, out.region.index_space.rect.extents))
-            view[...] = full_arr[sl]
-
+        self.fields.note_launch()
         self.ctx.index_launch(
-            _init, list(range(len(arr.tiles))),
+            ops.init_body, list(range(len(arr._tiling()))),
             [(arr.tiles, "v", "wd")], args=(flat, data.shape))
         return arr
 
+    # -- launch plumbing -----------------------------------------------------
+
+    def _launch_elementwise(self, code: str, operands) -> "LegateArray":
+        """One aligned group launch of a registry kernel over operands.
+
+        Operands are deferred arrays (any view) or Python scalars; array
+        shapes broadcast by NumPy rules and the result owns a fresh
+        (possibly pooled) field.
+        """
+        arrays = [o for o in operands if isinstance(o, LegateArray)]
+        rshape = np.broadcast_shapes(*(a.shape for a in arrays))
+        views = [a if a.shape == tuple(rshape) else a.broadcast_to(rshape)
+                 for a in arrays]
+        out = self._new_array(tuple(rshape))
+        tiling = choose_tiling(rshape, self.num_tiles)
+        self.fields.note_launch()
+        reqs = [(out._partition(tiling), "v", "wd")]
+        reqs += [(v._partition(tiling), "v", "ro") for v in views]
+        kinds = tuple("a" if isinstance(o, LegateArray) else "s"
+                      for o in operands)
+        specs = tuple(v.view.task_spec() for v in views)
+        scalars = tuple(float(o) for o in operands
+                        if not isinstance(o, LegateArray))
+        self.ctx.index_launch(ops.elementwise_body,
+                              list(range(len(tiling))), reqs,
+                              args=(code, kinds, specs, scalars))
+        return out
+
 
 class LegateArray:
-    """A deferred dense array; operators launch group tasks."""
+    """A deferred dense array: a view over a pooled region field.
 
-    def __init__(self, lg: LegateContext, region, tiles, shape):
+    Slicing, ``.T`` and :meth:`broadcast_to` return *views* sharing this
+    array's backing field (and its lease); operators launch group tasks.
+    """
+
+    def __init__(self, lg: LegateContext, block, lease, view: ViewSpec):
         self.lg = lg
-        self.region = region
-        self.tiles = tiles
-        self.shape = tuple(shape)
+        self.block = block
+        self.lease = lease
+        self.view = view
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.view.shape
 
     @property
     def ndim(self) -> int:
-        """Number of array dimensions."""
-        return len(self.shape)
+        return len(self.view.shape)
 
-    # -- task-launch helpers -------------------------------------------------------
+    @property
+    def region(self):
+        """The backing root region (shared by all views of this field)."""
+        return self.block.region
 
-    def _dom(self):
-        return list(range(len(self.tiles)))
+    @property
+    def tiles(self):
+        """The canonical key partition for this view's logical tiling."""
+        return self._partition(self._tiling())
 
-    def _map(self, fn: Callable, out: Optional["LegateArray"] = None,
-             others: Sequence["LegateArray"] = (), scalars: Sequence = ()
-             ) -> "LegateArray":
-        """Elementwise kernel over aligned row tiles.
+    def free(self) -> None:
+        """Release the backing field to the pool (deferred; explicit form
+        of the lease's GC release)."""
+        self.lease.release()
 
-        ``fn(out_view, *other_views, *scalars)`` runs per tile; all arrays
-        must share the leading dimension (rows align tile-by-tile).
-        """
-        out = out or self.lg._make(self.shape)
-        reqs = [(out.tiles, "v", "rw")]
-        reqs += [(o.tiles, "v", "ro") for o in (self,) + tuple(others)]
+    def _tiling(self, row_only: bool = False):
+        return choose_tiling(self.shape, self.lg.num_tiles, row_only)
 
-        def task(point, out_arg, *rest):
-            views = [r["v"].view for r in rest[:1 + len(others)]]
-            fn(out_arg["v"].view, *views, *rest[1 + len(others):])
+    def _partition(self, tiling):
+        rects = [self.view.base_rect(lo, hi) for lo, hi in tiling]
+        if self.view.writable:
+            disjoint: Optional[bool] = True
+            complete: Optional[bool] = True if self.view.is_identity else None
+        else:
+            disjoint = complete = None
+        return self.lg._partition_for(self.block.region, rects,
+                                      disjoint=disjoint, complete=complete)
 
-        self.lg.ctx.index_launch(task, self._dom(), reqs,
-                                 args=tuple(scalars))
-        return out
+    def _tile_shapes(self, tiling):
+        return tuple(tuple(h - l + 1 for l, h in zip(lo, hi))
+                     for lo, hi in tiling)
 
-    # -- arithmetic ---------------------------------------------------------------------
+    # -- views ---------------------------------------------------------------
+
+    def __getitem__(self, key) -> "LegateArray":
+        """A step-1 slice view (no data movement, shared lease)."""
+        bounds = _slice_bounds(key, self.shape)
+        return LegateArray(self.lg, self.block, self.lease,
+                           self.view.sliced(bounds))
+
+    @property
+    def T(self) -> "LegateArray":
+        """Transpose view (identity for 1-D arrays)."""
+        return LegateArray(self.lg, self.block, self.lease,
+                           self.view.transposed())
+
+    def transpose(self) -> "LegateArray":
+        return self.T
+
+    def broadcast_to(self, shape: Sequence[int]) -> "LegateArray":
+        """A broadcast view following NumPy rules (read-only semantics)."""
+        return LegateArray(self.lg, self.block, self.lease,
+                           self.view.broadcast_to(shape))
+
+    def _materialized(self) -> "LegateArray":
+        """Copy this view into a fresh identity array (one launch)."""
+        return self.lg._launch_elementwise("copy", (self,))
+
+    def _as_dense(self) -> "LegateArray":
+        """An identity-view array (self, or a materialized copy)."""
+        return self if self.view.is_identity else self._materialized()
+
+    def _no_broadcast(self) -> "LegateArray":
+        """Self unless the view broadcasts (those kernels read blocks
+        whose extent must match the tile)."""
+        if any(self.view.stretched) or any(b is None for b in self.view.axes):
+            return self._materialized()
+        return self
+
+    # -- in-place writes -----------------------------------------------------
+
+    def __setitem__(self, key, value) -> None:
+        """Write a scalar or (broadcastable) array into a slice of self."""
+        if not self.view.writable:
+            raise ValueError("cannot write through a transposed or "
+                             "broadcast view")
+        bounds = _slice_bounds(key, self.shape)
+        dst = LegateArray(self.lg, self.block, self.lease,
+                          self.view.sliced(bounds))
+        tiling = dst._tiling()
+        if not isinstance(value, LegateArray):
+            self.lg.fields.note_launch()
+            self.lg.ctx.index_launch(
+                ops.fill_tile_body, list(range(len(tiling))),
+                [(dst._partition(tiling), "v", "rw")],
+                args=(float(value),))
+            return
+        if value.block is self.block:
+            # Aliased source: materialize first, so the write has NumPy's
+            # copy semantics instead of an order-dependent overlap.
+            value = value._materialized()
+        src = value if value.shape == dst.shape \
+            else value.broadcast_to(dst.shape)
+        self.lg.fields.note_launch()
+        self.lg.ctx.index_launch(
+            ops.setitem_body, list(range(len(tiling))),
+            [(dst._partition(tiling), "v", "rw"),
+             (src._partition(tiling), "v", "ro")],
+            args=(src.view.task_spec(),))
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _binary(self, code: str, other) -> "LegateArray":
+        if not isinstance(other, LegateArray):
+            other = float(other)
+        return self.lg._launch_elementwise(code, (self, other))
+
+    def _rbinary(self, code: str, other) -> "LegateArray":
+        return self.lg._launch_elementwise(code, (float(other), self))
 
     def __add__(self, other):
-        if isinstance(other, LegateArray):
-            return self._map(lambda o, a, b: np.copyto(o, a + b),
-                             others=(other,))
-        return self._map(lambda o, a, s: np.copyto(o, a + s),
-                         scalars=(float(other),))
+        return self._binary("add", other)
+
+    __radd__ = __add__
 
     def __sub__(self, other):
-        if isinstance(other, LegateArray):
-            return self._map(lambda o, a, b: np.copyto(o, a - b),
-                             others=(other,))
-        return self._map(lambda o, a, s: np.copyto(o, a - s),
-                         scalars=(float(other),))
+        return self._binary("sub", other)
+
+    def __rsub__(self, other):
+        return self._rbinary("sub", other)
 
     def __mul__(self, other):
-        if isinstance(other, LegateArray):
-            return self._map(lambda o, a, b: np.copyto(o, a * b),
-                             others=(other,))
-        return self._map(lambda o, a, s: np.copyto(o, a * s),
-                         scalars=(float(other),))
+        return self._binary("mul", other)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other):
-        if isinstance(other, LegateArray):
-            return self._map(lambda o, a, b: np.copyto(o, a / b),
-                             others=(other,))
-        return self._map(lambda o, a, s: np.copyto(o, a / s),
-                         scalars=(float(other),))
+        return self._binary("div", other)
+
+    def __rtruediv__(self, other):
+        return self._rbinary("div", other)
 
     def __neg__(self):
-        return self._map(lambda o, a: np.copyto(o, -a))
+        return self.lg._launch_elementwise("neg", (self,))
+
+    # -- elementwise methods -------------------------------------------------
 
     def copy(self) -> "LegateArray":
-        """An independent copy."""
-        return self._map(lambda o, a: np.copyto(o, a))
+        """An independent copy (materializes views)."""
+        return self.lg._launch_elementwise("copy", (self,))
 
     def abs(self) -> "LegateArray":
-        """Elementwise absolute value."""
-        return self._map(lambda o, a: np.copyto(o, np.abs(a)))
+        return self.lg._launch_elementwise("abs", (self,))
 
     def exp(self) -> "LegateArray":
-        """Elementwise exponential."""
-        return self._map(lambda o, a: np.copyto(o, np.exp(a)))
+        return self.lg._launch_elementwise("exp", (self,))
 
     def log(self) -> "LegateArray":
-        """Elementwise natural logarithm."""
-        return self._map(lambda o, a: np.copyto(o, np.log(a)))
-
-    def power(self, exponent: float) -> "LegateArray":
-        """Elementwise power with a scalar exponent."""
-        return self._map(lambda o, a, e: np.copyto(o, np.power(a, e)),
-                         scalars=(float(exponent),))
-
-    def clip(self, lo: float, hi: float) -> "LegateArray":
-        """Elementwise clamp into [lo, hi]."""
-        return self._map(lambda o, a, l, h: np.copyto(o, np.clip(a, l, h)),
-                         scalars=(float(lo), float(hi)))
-
-    def maximum(self, other: "LegateArray") -> "LegateArray":
-        """Elementwise maximum of two arrays."""
-        return self._map(lambda o, a, b: np.copyto(o, np.maximum(a, b)),
-                         others=(other,))
-
-    def minimum(self, other: "LegateArray") -> "LegateArray":
-        """Elementwise minimum of two arrays."""
-        return self._map(lambda o, a, b: np.copyto(o, np.minimum(a, b)),
-                         others=(other,))
-
-    def greater(self, other: "LegateArray") -> "LegateArray":
-        """Elementwise a > b as 0.0/1.0 doubles (NumPy-bool analogue)."""
-        return self._map(
-            lambda o, a, b: np.copyto(o, (a > b).astype(np.float64)),
-            others=(other,))
-
-    def sigmoid(self) -> "LegateArray":
-        """Elementwise logistic sigmoid."""
-        return self._map(lambda o, a: np.copyto(o, 1.0 / (1.0 + np.exp(-a))))
-
-    def tanh(self) -> "LegateArray":
-        """Elementwise hyperbolic tangent."""
-        return self._map(lambda o, a: np.copyto(o, np.tanh(a)))
+        return self.lg._launch_elementwise("log", (self,))
 
     def sqrt(self) -> "LegateArray":
-        """Elementwise square root."""
-        return self._map(lambda o, a: np.copyto(o, np.sqrt(a)))
+        return self.lg._launch_elementwise("sqrt", (self,))
 
-    def where(self, cond: "LegateArray",
-              other: "LegateArray") -> "LegateArray":
+    def tanh(self) -> "LegateArray":
+        return self.lg._launch_elementwise("tanh", (self,))
+
+    def sigmoid(self) -> "LegateArray":
+        return self.lg._launch_elementwise("sigmoid", (self,))
+
+    def power(self, exponent: float) -> "LegateArray":
+        return self.lg._launch_elementwise("pow", (self, float(exponent)))
+
+    def clip(self, lo: float, hi: float) -> "LegateArray":
+        return self.lg._launch_elementwise(
+            "clip", (self, float(lo), float(hi)))
+
+    def maximum(self, other) -> "LegateArray":
+        return self._binary("maximum", other)
+
+    def minimum(self, other) -> "LegateArray":
+        return self._binary("minimum", other)
+
+    # -- comparisons (0.0/1.0 doubles) --------------------------------------
+
+    def greater(self, other) -> "LegateArray":
+        return self._binary("gt", other)
+
+    def greater_equal(self, other) -> "LegateArray":
+        return self._binary("ge", other)
+
+    def less(self, other) -> "LegateArray":
+        return self._binary("lt", other)
+
+    def less_equal(self, other) -> "LegateArray":
+        return self._binary("le", other)
+
+    def equal(self, other) -> "LegateArray":
+        return self._binary("eq", other)
+
+    def not_equal(self, other) -> "LegateArray":
+        return self._binary("ne", other)
+
+    def where(self, cond: "LegateArray", other) -> "LegateArray":
         """Elementwise select: cond != 0 ? self : other."""
-        return self._map(
-            lambda o, a, c, b: np.copyto(o, np.where(c != 0, a, b)),
-            others=(cond, other))
+        if not isinstance(other, LegateArray):
+            other = float(other)
+        return self.lg._launch_elementwise("where", (cond, self, other))
 
     def axpy(self, alpha: float, x: "LegateArray") -> "LegateArray":
         """self += alpha * x, in place (returns self)."""
-        def task(point, out_arg, x_arg, a):
-            out_arg["v"].view[...] += a * x_arg["v"].view
+        if not self.view.writable:
+            raise ValueError("axpy target must be a writable view")
+        xb = x if x.shape == self.shape else x.broadcast_to(self.shape)
+        tiling = self._tiling()
+        self.lg.fields.note_launch()
         self.lg.ctx.index_launch(
-            task, self._dom(),
-            [(self.tiles, "v", "rw"), (x.tiles, "v", "ro")],
-            args=(float(alpha),))
+            ops.axpy_body, list(range(len(tiling))),
+            [(self._partition(tiling), "v", "rw"),
+             (xb._partition(tiling), "v", "ro")],
+            args=(float(alpha), xb.view.task_spec()))
         return self
 
-    # -- reductions ------------------------------------------------------------------------
+    # -- reductions ----------------------------------------------------------
 
-    def dot(self, other: "LegateArray") -> float:
-        """Inner product via per-tile partials + a future-map reduction."""
-        def task(point, a_arg, b_arg):
-            return float(np.sum(a_arg["v"].view * b_arg["v"].view))
+    def _reduce_scalar(self, code: str) -> float:
+        tiling = self._tiling()
+        self.lg.fields.note_launch()
         fm = self.lg.ctx.index_launch(
-            task, self._dom(),
-            [(self.tiles, "v", "ro"), (other.tiles, "v", "ro")])
-        return fm.reduce(lambda a, b: a + b)
+            ops.reduce_tile_body, list(range(len(tiling))),
+            [(self._partition(tiling), "v", "ro")],
+            args=(code, self.view.task_spec(), self._tile_shapes(tiling)))
+        if code == "sum":
+            return fm.reduce(lambda a, b: a + b)
+        return fm.reduce(max if code == "max" else min)
+
+    def _axis0_reduce(self, code: str) -> "LegateArray":
+        if self.ndim != 2:
+            raise ValueError("axis-0 reductions require a 2-D array")
+        _n, m = self.shape
+        tiling = self._tiling(row_only=True)
+        ntiles = len(tiling)
+        partials = self.lg._new_array((ntiles, m))
+        out = self.lg._new_array((m,))
+        prow = choose_tiling((ntiles, m), ntiles, row_only=True)
+        self.lg.fields.note_launch()
+        self.lg.ctx.index_launch(
+            ops.axis0_partial_body, list(range(ntiles)),
+            [(partials._partition(prow), "v", "wd"),
+             (self._partition(tiling), "v", "ro")],
+            args=(code, self.view.task_spec(), self._tile_shapes(tiling)))
+        self.lg.fields.note_launch()
+        self.lg.ctx.launch(
+            ops.axis0_combine_body,
+            [(partials.region, "v", "ro"), (out.region, "v", "wd")],
+            args=(code,))
+        partials.free()
+        return out
 
     def sum(self, axis: Optional[int] = None):
-        """Sum of all elements, or along an axis of a 2-D array.
+        """Sum of all elements, or along axis 0/1 of a 2-D array.
 
-        ``axis=1`` is tile-local; ``axis=0`` uses per-tile partials plus a
-        combining task — the same shard-and-gather shape as ``rmatvec``.
+        ``axis=1`` is tile-local under row tiling; ``axis=0`` uses
+        per-tile partials plus a combining task — the shard-and-gather
+        shape a centralized scheduler would bottleneck on.
         """
         if axis is None:
-            def task(point, a_arg):
-                return float(np.sum(a_arg["v"].view))
-            fm = self.lg.ctx.index_launch(task, self._dom(),
-                                          [(self.tiles, "v", "ro")])
-            return fm.reduce(lambda a, b: a + b)
+            return self._reduce_scalar("sum")
         if self.ndim != 2 or axis not in (0, 1):
             raise ValueError("axis sums require a 2-D array and axis 0/1")
-        if axis == 1:
-            out = self.lg.zeros(self.shape[0])
-
-            def rowsum(point, out_arg, a_arg):
-                out_arg["v"].view[...] = a_arg["v"].view.sum(axis=1)
-
-            self.lg.ctx.index_launch(
-                rowsum, self._dom(),
-                [(out.tiles, "v", "rw"), (self.tiles, "v", "ro")])
-            return out
-        ntiles = len(self.tiles)
-        partials = self.lg.zeros((ntiles, self.shape[1]))
-        out = self.lg.zeros(self.shape[1])
-
-        def colpart(point, p_arg, a_arg):
-            p_arg["v"].view[...] = a_arg["v"].view.sum(axis=0)
-
+        if axis == 0:
+            return self._axis0_reduce("sum")
+        out = self.lg._new_array((self.shape[0],))
+        tiling = self._tiling(row_only=True)
+        self.lg.fields.note_launch()
         self.lg.ctx.index_launch(
-            colpart, self._dom(),
-            [(partials.tiles, "v", "rw"), (self.tiles, "v", "ro")])
-
-        def combine(p_arg, o_arg):
-            o_arg["v"].view[...] = p_arg["v"].view.sum(axis=0)
-
-        self.lg.ctx.launch(
-            combine,
-            [(partials.region, "v", "ro"), (out.region, "v", "rw")])
+            ops.rowsum_body, list(range(len(tiling))),
+            [(out._partition(choose_tiling((self.shape[0],),
+                                           self.lg.num_tiles)), "v", "wd"),
+             (self._partition(tiling), "v", "ro")],
+            args=(self.view.task_spec(), self._tile_shapes(tiling)))
         return out
+
+    def max(self, axis: Optional[int] = None):
+        """Maximum of all elements, or along axis 0 of a 2-D array."""
+        if axis is None:
+            return self._reduce_scalar("max")
+        if axis != 0:
+            raise ValueError("max supports axis=None or axis=0")
+        return self._axis0_reduce("max")
+
+    def min(self) -> float:
+        """Minimum element (a distributed reduction)."""
+        return self._reduce_scalar("min")
 
     def mean(self) -> float:
         """Mean of all elements (a distributed reduction)."""
@@ -292,75 +479,78 @@ class LegateArray:
             total *= e
         return self.sum() / total
 
-    def max(self) -> float:
-        """Maximum element (a distributed reduction)."""
-        def task(point, a_arg):
-            return float(np.max(a_arg["v"].view))
-        fm = self.lg.ctx.index_launch(task, self._dom(),
-                                      [(self.tiles, "v", "ro")])
-        return fm.reduce(max)
-
-    def min(self) -> float:
-        """Minimum element (a distributed reduction)."""
-        def task(point, a_arg):
-            return float(np.min(a_arg["v"].view))
-        fm = self.lg.ctx.index_launch(task, self._dom(),
-                                      [(self.tiles, "v", "ro")])
-        return fm.reduce(min)
-
     def norm(self) -> float:
         """Euclidean norm via a distributed dot."""
-        import math
         return math.sqrt(self.dot(self))
 
-    # -- linear algebra -----------------------------------------------------------------------
+    def dot(self, other: "LegateArray") -> float:
+        """Inner product via per-tile partials + a future-map reduction."""
+        if self.shape != other.shape:
+            raise ValueError("dot requires matching shapes")
+        tiling = self._tiling()
+        self.lg.fields.note_launch()
+        fm = self.lg.ctx.index_launch(
+            ops.dot_tile_body, list(range(len(tiling))),
+            [(self._partition(tiling), "v", "ro"),
+             (other._partition(tiling), "v", "ro")],
+            args=(self.view.task_spec(), other.view.task_spec(),
+                  self._tile_shapes(tiling)))
+        return fm.reduce(lambda a, b: a + b)
+
+    # -- linear algebra ------------------------------------------------------
 
     def matvec(self, vec: "LegateArray") -> "LegateArray":
         """Row-tiled matrix-vector product: (N, F) @ (F,) -> (N,).
 
-        Each point task reads the *whole* vector region (a broadcast in the
+        Each point task reads the *whole* vector (a broadcast in the
         dependence analysis) and its own row tile.
         """
         if self.ndim != 2 or vec.ndim != 1 or self.shape[1] != vec.shape[0]:
             raise ValueError("matvec shape mismatch")
-        out = self.lg.zeros(self.shape[0])
-
-        def task(point, out_arg, mat_arg, vec_arg):
-            out_arg["v"].view[...] = mat_arg["v"].view @ vec_arg["v"].view
-
+        mat = self._no_broadcast()
+        vec_d = vec._as_dense()
+        out = self.lg._new_array((self.shape[0],))
+        tiling = mat._tiling(row_only=True)
+        self.lg.fields.note_launch()
         self.lg.ctx.index_launch(
-            task, self._dom(),
-            [(out.tiles, "v", "rw"), (self.tiles, "v", "ro"),
-             (vec.region, "v", "ro")])
+            ops.matvec_body, list(range(len(tiling))),
+            [(out._partition(choose_tiling((self.shape[0],),
+                                           self.lg.num_tiles)), "v", "wd"),
+             (mat._partition(tiling), "v", "ro"),
+             (vec_d.region, "v", "ro")],
+            args=(mat.view.task_spec(),))
         return out
 
     def rmatvec(self, vec: "LegateArray") -> "LegateArray":
         """Transposed product: (N, F).T @ (N,) -> (F,).
 
-        Per-tile partial results land in a (tiles, F) scratch region, then a
-        single combining task reduces them — the gather a centralized
-        system would bottleneck on and DCR shards.
+        Per-tile partial results land in a (tiles, F) scratch field
+        (pooled across calls), then one combining task reduces them — the
+        gather a centralized system would bottleneck on and DCR shards.
         """
         if self.ndim != 2 or vec.ndim != 1 or self.shape[0] != vec.shape[0]:
             raise ValueError("rmatvec shape mismatch")
-        ntiles = len(self.tiles)
-        partials = self.lg.zeros((ntiles, self.shape[1]))
-        out = self.lg.zeros(self.shape[1])
-
-        def partial(point, p_arg, mat_arg, vec_arg):
-            p_arg["v"].view[...] = mat_arg["v"].view.T @ vec_arg["v"].view
-
+        mat = self._no_broadcast()
+        vecb = vec._no_broadcast()
+        tiling = mat._tiling(row_only=True)
+        vtiling = choose_tiling((self.shape[0],), self.lg.num_tiles)
+        ntiles = len(tiling)
+        f = self.shape[1]
+        partials = self.lg._new_array((ntiles, f))
+        out = self.lg._new_array((f,))
+        prow = choose_tiling((ntiles, f), ntiles, row_only=True)
+        self.lg.fields.note_launch()
         self.lg.ctx.index_launch(
-            partial, self._dom(),
-            [(partials.tiles, "v", "rw"), (self.tiles, "v", "ro"),
-             (vec.tiles, "v", "ro")])
-
-        def combine(p_arg, o_arg):
-            o_arg["v"].view[...] = p_arg["v"].view.sum(axis=0)
-
+            ops.rmatvec_partial_body, list(range(ntiles)),
+            [(partials._partition(prow), "v", "wd"),
+             (mat._partition(tiling), "v", "ro"),
+             (vecb._partition(vtiling), "v", "ro")],
+            args=(mat.view.task_spec(), vecb.view.task_spec()))
+        self.lg.fields.note_launch()
         self.lg.ctx.launch(
-            combine,
-            [(partials.region, "v", "ro"), (out.region, "v", "rw")])
+            ops.rmatvec_combine_body,
+            [(partials.region, "v", "ro"), (out.region, "v", "wd")])
+        partials.free()
         return out
 
     def matmat(self, other: "LegateArray") -> "LegateArray":
@@ -372,21 +562,23 @@ class LegateArray:
         if self.ndim != 2 or other.ndim != 2 \
                 or self.shape[1] != other.shape[0]:
             raise ValueError("matmat shape mismatch")
-        out = self.lg.zeros((self.shape[0], other.shape[1]))
-
-        def task(point, out_arg, a_arg, b_arg):
-            out_arg["v"].view[...] = a_arg["v"].view @ b_arg["v"].view
-
+        mat = self._no_broadcast()
+        rhs = other._as_dense()
+        out = self.lg._new_array((self.shape[0], other.shape[1]))
+        tiling = mat._tiling(row_only=True)
+        self.lg.fields.note_launch()
         self.lg.ctx.index_launch(
-            task, self._dom(),
-            [(out.tiles, "v", "rw"), (self.tiles, "v", "ro"),
-             (other.region, "v", "ro")])
+            ops.matmat_body, list(range(len(tiling))),
+            [(out._partition(out._tiling(row_only=True)), "v", "wd"),
+             (mat._partition(tiling), "v", "ro"),
+             (rhs.region, "v", "ro")],
+            args=(mat.view.task_spec(),))
         return out
 
-    # -- export ------------------------------------------------------------------------------------
+    # -- export --------------------------------------------------------------
 
     def to_numpy(self) -> np.ndarray:
-        """Copy out the current contents (test/debug helper)."""
+        """Copy out the view's current contents (test/debug helper)."""
         store = self.lg.ctx.runtime.store
         f = self.region.field_space["v"]
-        return store.raw(self.region.tree_id, f).copy()
+        return self.view.read(store.raw(self.region.tree_id, f))

@@ -1,12 +1,25 @@
-"""k-means clustering on the deferred-array runtime (a Legate NumPy demo).
+"""k-means clustering expressed *entirely* through deferred array ops.
 
 The Legate NumPy paper's flagship demos are logistic regression, CG and
-k-means; this module adds the third.  The structure is the classic
-map-reduce EM loop: a group launch assigns each row tile's points to the
-nearest center (reading the small centers region whole — a broadcast), a
-second group launch accumulates per-tile partial sums and counts, and a
-single combining task produces the new centers every shard's next
-iteration depends on.
+k-means; this module writes the third as a pure array program — no custom
+task bodies.  Per iteration:
+
+* **assign** — for each center ``c``, the squared distance is a sliced
+  row view ``centers[c:c+1, :]`` broadcast against the data, squared, and
+  row-summed; the argmin is a where-chain with strict ``less`` (first
+  minimum wins, matching ``np.argmin``'s tie-break).
+* **update** — each center's membership mask is an ``equal`` comparison;
+  the masked column sums use a broadcast-transpose view of the mask and an
+  axis-0 reduction (per-tile partials plus one combining task — the
+  map-reduce shape a centralized scheduler would bottleneck on).
+
+Branching on a cluster count is §3-safe: the count folds deterministically
+from interned per-tile futures, so every shard takes the same branch.
+
+:func:`explicit_kmeans` is the explicit-region mirror: the same tilings
+(:func:`~.views.choose_tiling`) and the same per-tile NumPy expressions as
+the generic kernels, hand-rolled over raw regions — byte-for-byte equal
+output, used by the byte-identity tier.
 """
 
 from __future__ import annotations
@@ -18,8 +31,9 @@ import numpy as np
 from ..core.rng import CounterRNG
 from ..runtime.runtime import Context
 from .array import LegateContext
+from .views import choose_tiling
 
-__all__ = ["kmeans", "reference_kmeans", "make_blobs"]
+__all__ = ["kmeans", "explicit_kmeans", "reference_kmeans", "make_blobs"]
 
 
 def make_blobs(n: int, f: int, k: int, seed: int = 9, spread: float = 0.15
@@ -37,58 +51,146 @@ def make_blobs(n: int, f: int, k: int, seed: int = 9, spread: float = 0.15
 
 def kmeans(ctx: Context, data: np.ndarray, k: int, iterations: int = 8,
            num_tiles: int = 4) -> Tuple[np.ndarray, np.ndarray]:
-    """Lloyd's algorithm over deferred arrays; returns (centers, labels)."""
+    """Lloyd's algorithm as a pure array program; returns (centers, labels)."""
     lg = LegateContext(ctx, num_tiles)
     n, f = data.shape
     x = lg.from_values(data, "km_x")
     centers = lg.from_values(data[:k].copy(), "km_centers")
     labels = lg.zeros(n, "km_labels")
-    tiles = len(x.tiles)
-    sums = lg.zeros((tiles, k * f), "km_sums")
-    counts = lg.zeros((tiles, k), "km_counts")
 
-    def assign(point, x_arg, c_arg, l_arg):
+    for _ in range(iterations):
+        # assign: running (best-distance, label) where-chain over centers.
+        best = None
+        for c in range(k):
+            diff = x - centers[c:c + 1, 0:f]
+            dist = (diff * diff).sum(axis=1)
+            if best is None:
+                best = dist
+                labels = lg.zeros(n)
+            else:
+                better = dist.less(best)
+                labels = lg.full(n, float(c)).where(better, labels)
+                best = dist.where(better, best)
+        # update: masked column means; an empty cluster keeps its center.
+        for c in range(k):
+            mask = labels.equal(float(c))
+            cnt = mask.sum()
+            if cnt > 0:
+                col = mask.broadcast_to((f, n)).T
+                sums = (x * col).sum(axis=0)
+                centers[c:c + 1, 0:f] = sums / cnt
+    return centers.to_numpy(), labels.to_numpy()
+
+
+def explicit_kmeans(ctx: Context, data: np.ndarray, k: int,
+                    iterations: int = 8, num_tiles: int = 4
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Explicit-region mirror of :func:`kmeans` (byte-identical output).
+
+    Same row tilings, same per-tile expressions, same partial/combine
+    structure — only the plumbing is hand-written instead of deferred.
+    """
+    n, f = data.shape
+
+    def make_region(name, shape):
+        fs = ctx.create_field_space([("v", "f8")], f"{name}_fs")
+        ispace = ctx.create_index_space(
+            shape if isinstance(shape, tuple) and len(shape) > 1
+            else (shape if isinstance(shape, int) else shape[0]),
+            f"{name}_is")
+        return ctx.create_region(ispace, fs, name)
+
+    def rect_partition(region, shape, row_only=False):
+        rects = choose_tiling(shape, num_tiles, row_only=row_only)
+        return ctx.partition_rects(region, rects, disjoint=True,
+                                   complete=True,
+                                   name=f"{region.name}_p"), len(rects)
+
+    x = make_region("ekm_x", (n, f))
+    centers = make_region("ekm_centers", (k, f))
+    labels = make_region("ekm_labels", n)
+    best = make_region("ekm_best", n)
+    rows, ntiles = rect_partition(x, (n, f), row_only=True)
+    lrows, _ = rect_partition(labels, (n,))
+    brows, _ = rect_partition(best, (n,))
+    partials = make_region("ekm_partials", (ntiles, f))
+    prow, _ = rect_partition(partials, (ntiles, f), row_only=True)
+    sums = make_region("ekm_sums", f)
+    dom = list(range(ntiles))
+
+    def init(point, x_arg, payload, shape):
+        lo = x_arg.region.index_space.rect.lo
+        ext = x_arg.region.index_space.rect.extents
+        full = np.array(payload).reshape(shape)
+        x_arg["v"].view[...] = full[tuple(
+            slice(l, l + e) for l, e in zip(lo, ext))]
+
+    ctx.index_launch(init, dom, [(rows, "v", "wd")],
+                     args=(tuple(map(float, data.reshape(-1))), (n, f)))
+
+    def init_centers(c_arg, payload):
+        c_arg["v"].view[...] = np.array(payload).reshape(k, f)
+
+    ctx.launch(init_centers, [(centers, "v", "wd")],
+               args=(tuple(map(float, data[:k].reshape(-1))),))
+    ctx.fill(labels, "v", 0.0)
+    ctx.fill(best, "v", 0.0)
+
+    def assign(point, x_arg, c_arg, l_arg, b_arg):
+        # The same expressions the array program's kernels evaluate, in
+        # the same order: diff/square, row-sum, strict-less where-chain.
         xs = x_arg["v"].view
         cen = c_arg["v"].view
-        d = ((xs[:, None, :] - cen[None, :, :]) ** 2).sum(axis=2)
-        l_arg["v"].view[...] = np.argmin(d, axis=1).astype(np.float64)
+        lbl = l_arg["v"].view
+        bst = b_arg["v"].view
+        for c in range(cen.shape[0]):
+            diff = xs - cen[c:c + 1, :]
+            dist = (diff * diff).sum(axis=1)
+            if c == 0:
+                bst[...] = dist
+                lbl[...] = 0.0
+            else:
+                better = (dist < bst).astype(np.float64)
+                lbl[...] = np.where(better != 0, float(c), lbl)
+                bst[...] = np.where(better != 0, dist, bst)
 
-    def partials(point, x_arg, l_arg, s_arg, n_arg):
-        xs = x_arg["v"].view
-        lbl = l_arg["v"].view.astype(np.int64)
-        s = s_arg["v"].view.reshape(k, f)
-        cn = n_arg["v"].view.reshape(k)
-        s[...] = 0.0
-        cn[...] = 0.0
-        for c in range(k):
-            mask = lbl == c
-            cn[c] = float(mask.sum())
-            if cn[c]:
-                s[c, :] = xs[mask].sum(axis=0)
+    def count_tile(point, x_arg, l_arg, c):
+        return float(np.sum((l_arg["v"].view == c).astype(np.float64)))
 
-    def combine(s_arg, n_arg, c_arg):
-        s = s_arg["v"].view.reshape(tiles, k, f)
-        cn = n_arg["v"].view.reshape(tiles, k)
-        cen = c_arg["v"].view
-        total = cn.sum(axis=0)
-        agg = s.sum(axis=0)
-        for c in range(k):
-            if total[c] > 0:
-                cen[c, :] = agg[c, :] / total[c]
+    def partial_sums(point, p_arg, x_arg, l_arg, c):
+        mask = (l_arg["v"].view == c).astype(np.float64)
+        p_arg["v"].view[...] = (x_arg["v"].view
+                                * mask[:, None]).sum(axis=0)
 
-    dom = list(range(tiles))
+    def combine(p_arg, s_arg):
+        s_arg["v"].view[...] = p_arg["v"].view.sum(axis=0)
+
+    def update_center(c_arg, s_arg, c, cnt):
+        c_arg["v"].view[c:c + 1, :] = s_arg["v"].view / cnt
+
     for _ in range(iterations):
         ctx.index_launch(assign, dom,
-                         [(x.tiles, "v", "ro"), (centers.region, "v", "ro"),
-                          (labels.tiles, "v", "rw")])
-        ctx.index_launch(partials, dom,
-                         [(x.tiles, "v", "ro"), (labels.tiles, "v", "ro"),
-                          (sums.tiles, "v", "rw"),
-                          (counts.tiles, "v", "rw")])
-        ctx.launch(combine,
-                   [(sums.region, "v", "ro"), (counts.region, "v", "ro"),
-                    (centers.region, "v", "rw")])
-    return centers.to_numpy(), labels.to_numpy()
+                         [(rows, "v", "ro"), (centers, "v", "ro"),
+                          (lrows, "v", "rw"), (brows, "v", "rw")])
+        for c in range(k):
+            fm = ctx.index_launch(count_tile, dom,
+                                  [(rows, "v", "ro"), (lrows, "v", "ro")],
+                                  args=(float(c),))
+            cnt = fm.reduce(lambda a, b: a + b)
+            if cnt > 0:
+                ctx.index_launch(partial_sums, dom,
+                                 [(prow, "v", "wd"), (rows, "v", "ro"),
+                                  (lrows, "v", "ro")], args=(float(c),))
+                ctx.launch(combine, [(partials, "v", "ro"),
+                                     (sums, "v", "wd")])
+                ctx.launch(update_center,
+                           [(centers, "v", "rw"), (sums, "v", "ro")],
+                           args=(c, cnt))
+
+    store = ctx.runtime.store
+    cen = store.raw(centers.tree_id, centers.field_space["v"]).copy()
+    lbl = store.raw(labels.tree_id, labels.field_space["v"]).copy()
+    return cen, lbl
 
 
 def reference_kmeans(data: np.ndarray, k: int, iterations: int = 8

@@ -8,6 +8,7 @@ from .cache import (PairCache, cached_may_alias, cached_region_contains,
                     clear_region_caches, region_cache_stats, region_contains)
 from .dependent import (partition_by_field, partition_by_image,
                         partition_by_preimage)
+from .epoch import fresh_id_epoch
 from .field_space import Field, FieldSpace
 from .index_space import IndexSpace
 from .point import Point, Rect
@@ -23,4 +24,5 @@ __all__ = [
     "upper_bound",
     "PairCache", "cached_may_alias", "cached_region_contains",
     "region_contains", "clear_region_caches", "region_cache_stats",
+    "fresh_id_epoch",
 ]

@@ -1,0 +1,52 @@
+"""Fresh resource-id epochs for differential runs.
+
+Region, partition, index-space, field-space and field ids are allocated
+from process-global counters, so two identical control programs run in the
+same process produce different absolute ids — and the determinism hasher
+records field ids, making the two runs' digest vectors differ even though
+the programs are byte-identical.  The differential fuzz tier compares one
+program across backends *within one process*, so it needs every run to
+allocate from the same id origin.
+
+:func:`fresh_id_epoch` rewinds all five counters to zero for the duration
+of a ``with`` block and restores the global sequence afterwards.  The
+uid-keyed region caches are cleared on entry and exit (their soundness
+argument assumes uids are never reused).  Objects created inside an epoch
+must not outlive it into later region analysis — the intended use is a
+self-contained ``Runtime.execute`` per epoch.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+
+from . import field_space as _fspace
+from . import index_space as _ispace
+from . import region as _region
+from .cache import clear_region_caches
+
+__all__ = ["fresh_id_epoch"]
+
+
+@contextlib.contextmanager
+def fresh_id_epoch():
+    # Peeking consumes one id from each counter; the gap is harmless.
+    saved = (next(_region._region_ids), next(_region._partition_ids),
+             next(_ispace._ids), next(_fspace._fs_ids),
+             next(_fspace.FieldSpace._next_fid))
+    clear_region_caches()
+    _region._region_ids = itertools.count()
+    _region._partition_ids = itertools.count()
+    _ispace._ids = itertools.count()
+    _fspace._fs_ids = itertools.count()
+    _fspace.FieldSpace._next_fid = itertools.count()
+    try:
+        yield
+    finally:
+        clear_region_caches()
+        (_region._region_ids, _region._partition_ids, _ispace._ids,
+         _fspace._fs_ids, _fspace.FieldSpace._next_fid) = (
+            itertools.count(saved[0] + 1), itertools.count(saved[1] + 1),
+            itertools.count(saved[2] + 1), itertools.count(saved[3] + 1),
+            itertools.count(saved[4] + 1))

@@ -48,7 +48,8 @@ from ..resilience import (RecoveryPolicy, RecoveryReport, ResilienceConfig,
 from ..core.sharding import ShardingFunction
 from ..oracle import (Privilege, READ_ONLY, READ_WRITE, RegionRequirement,
                       WRITE_DISCARD, reduce_priv)
-from ..regions import Field, FieldSpace, IndexSpace, LogicalRegion, Partition
+from ..regions import (Field, FieldSpace, IndexSpace, LogicalRegion,
+                       Partition, Rect)
 from .future import Future, FutureMap
 from .mapper import DefaultMapper, Mapper
 from .store import FieldAccessor, RegionStore
@@ -102,9 +103,9 @@ class Runtime:
                  injector: Optional[FaultInjector] = None,
                  resilience: Optional[ResilienceConfig] = None,
                  backend: str = "inprocess"):
-        if backend not in ("inprocess", "multiprocess"):
+        if backend not in ("inprocess", "multiprocess", "loopback"):
             raise ValueError(f"unknown backend {backend!r}; expected "
-                             f"'inprocess' or 'multiprocess'")
+                             f"'inprocess', 'multiprocess' or 'loopback'")
         self.backend = backend
         self.num_shards = num_shards
         self.mapper = mapper or DefaultMapper()
@@ -120,13 +121,19 @@ class Runtime:
             else FaultInjector.from_env()
         self.resilience = resilience if resilience is not None \
             else ResilienceConfig.from_env()
-        if backend == "multiprocess" and self.resilience is not None:
+        if backend in ("multiprocess", "loopback") \
+                and self.resilience is not None:
             # Recovery re-runs shards inside one process against shared
-            # logs; the forked replicas cannot be restarted in place.
+            # logs; forked/threaded replicas cannot be restarted in place.
             raise ValueError(
-                "the multiprocess backend does not support recovery "
+                f"the {backend} backend does not support recovery "
                 "policies; drop resilience= (or REPRO_FAULT_POLICY) or "
                 "use backend='inprocess'")
+        if backend == "loopback" and timing_oracle is not None:
+            # The oracle dispatches on runtime._current_shard, which
+            # concurrent replica threads race on.
+            raise ValueError("the loopback backend does not support a "
+                             "timing_oracle; use backend='inprocess'")
         self._safe_checks = safe_checks
         self._check_batch = check_batch
         self._auto_trace = auto_trace
@@ -168,6 +175,9 @@ class Runtime:
         self.replica_reports: List[Dict[str, Any]] = []
         self.replica_profiles: List[Dict[str, Any]] = []
         self.dist_checks: int = 0
+        # Callbacks run before deferred-deletion draining (frontends hook
+        # their own GC-deferred frees here, e.g. the legate field manager).
+        self._drain_hooks: List[Callable[[], None]] = []
 
     def _make_monitor(self) -> DeterminismMonitor:
         policy = self.resilience.policy if self.resilience is not None \
@@ -205,6 +215,8 @@ class Runtime:
         self._executed = True
         if self.backend == "multiprocess":
             return self._execute_multiprocess(control, args)
+        if self.backend == "loopback":
+            return self._execute_loopback(control, args)
         if self.resilience is None:
             return self._execute_replicated(control, args)
         while True:
@@ -251,10 +263,10 @@ class Runtime:
         return self._result
 
     def _run_shard(self, shard: int, control: Callable[..., Any],
-                   args: Tuple[Any, ...]) -> None:
+                   args: Tuple[Any, ...], monitor: Any = None) -> None:
         prof = self.profiler
         self._current_shard = shard
-        ctx = Context(self, shard)
+        ctx = Context(self, shard, monitor=monitor)
         if prof.enabled:
             prof.begin(shard, CAT_CONTROL, EV_CONTROL_REPLAY)
         try:
@@ -270,6 +282,94 @@ class Runtime:
                 # restarted replica can be recovered from.
                 self._take_snapshot("driver-complete",
                                     verified=self.monitor._verified)
+
+    # -- loopback backend ----------------------------------------------------
+
+    def _execute_loopback(self, control: Callable[..., Any],
+                          args: Tuple[Any, ...]) -> Any:
+        """Replicated execution with each replica on its own thread.
+
+        Structurally identical to the multiprocess backend — driver first
+        in the calling thread, then one replica per remaining shard, each
+        hash-checking through a
+        :class:`~repro.dist.monitor.DistDeterminismMonitor` over a
+        :class:`~repro.dist.transport.LoopbackFabric` — but without
+        fork/pickling constraints, so it exercises the full distributed
+        checking protocol at in-process speed (the fuzz tier leans on
+        this).  Replicas share the runtime's logs and deferred-deletion
+        manager directly; only their determinism monitors are private.
+        """
+        import threading
+        from ..dist.collectives import DistCollectives
+        from ..dist.monitor import DistDeterminismMonitor
+        from ..dist.transport import LoopbackFabric
+
+        self._run_shard(self.driver_shard, control, args)
+        if self.num_shards == 1:
+            self._drain_deferred()
+            self.pipeline.validate()
+            return self._result
+        driver_hasher = self.monitor.hasher(self.driver_shard)
+        fabric = LoopbackFabric(self.num_shards)
+        payloads: Dict[int, Dict[str, Any]] = {}
+        errors: List[str] = []
+        lock = threading.Lock()
+
+        def replica(shard: int) -> None:
+            transport = fabric.transport(shard)
+            try:
+                monitor = DistDeterminismMonitor(
+                    DistCollectives(transport, profiler=self.profiler),
+                    batch=self._check_batch, enabled=self._safe_checks,
+                    profiler=self.profiler, injector=self.injector)
+                self._run_shard(shard, control, args,
+                                monitor=_ReplicaMonitor(monitor))
+                monitor.flush()
+                payload = {
+                    "shard": shard,
+                    "calls": len(monitor.hasher.calls),
+                    "checks": monitor.checks_performed,
+                    "stream_digest": monitor.stream_digest(),
+                    "frames_sent": transport.frames_sent,
+                    "frames_received": transport.frames_received,
+                }
+                with lock:
+                    payloads[shard] = payload
+            except ControlDeterminismViolation:
+                # The driver rank observes the same divergence in its
+                # collective and raises the authoritative diagnosis.
+                with lock:
+                    errors.append(f"shard {shard} diverged")
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                with lock:
+                    errors.append(f"shard {shard}: "
+                                  f"{type(exc).__name__}: {exc}")
+            finally:
+                transport.close()
+
+        threads = [
+            threading.Thread(target=replica, args=(s,),
+                             name=f"repro-loopback-{s}", daemon=True)
+            for s in range(self.num_shards) if s != self.driver_shard]
+        for t in threads:
+            t.start()
+        violation: Optional[ControlDeterminismViolation] = None
+        try:
+            self._drive_dist_check(fabric, driver_hasher)
+        except ControlDeterminismViolation as exc:
+            violation = exc
+        for t in threads:
+            t.join(timeout=120.0)
+        if violation is not None:
+            raise violation
+        if errors:
+            raise RuntimeError(
+                "loopback replicas failed: " + "; ".join(sorted(errors)))
+        for shard in sorted(payloads):
+            self.replica_reports.append(payloads[shard])
+        self._drain_deferred()
+        self.pipeline.validate()
+        return self._result
 
     # -- multiprocess backend ------------------------------------------------
 
@@ -600,8 +700,32 @@ class Runtime:
                      if s not in self.quarantined]
         return survivors[owner % len(survivors)]
 
+    def add_drain_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback run at every deferred-deletion drain."""
+        self._drain_hooks.append(hook)
+
+    def determinism_digests(self) -> List[int]:
+        """Per-shard digests of the full hashed call streams, shard order.
+
+        The canonical cross-backend determinism witness: the same control
+        program must produce the identical digest vector on every backend
+        (the fuzz tier asserts exactly this).
+        """
+        from ..core.determinism import stream_digest
+        if self.backend == "inprocess":
+            return [stream_digest(self.monitor.hashers[s].calls)
+                    for s in range(self.num_shards)
+                    if s not in self.quarantined]
+        digests = {self.driver_shard: stream_digest(
+            self.monitor.hasher(self.driver_shard).calls)}
+        for rep in self.replica_reports:
+            digests[rep["shard"]] = rep["stream_digest"]
+        return [digests[s] for s in sorted(digests)]
+
     def _drain_deferred(self) -> None:
         """Insert finalizer-deferred deletions once all shards concur (§4.3)."""
+        for hook in self._drain_hooks:
+            hook()
         while self.deferred.outstanding:
             ready = self.deferred.tick()
             for key in ready:
@@ -710,11 +834,15 @@ class Context:
     performs effects; other shards replay against the logs.
     """
 
-    def __init__(self, runtime: Runtime, shard: int):
+    def __init__(self, runtime: Runtime, shard: int, monitor: Any = None):
         self.runtime = runtime
         self.shard = shard
         self.num_shards = runtime.num_shards
-        self._hasher = runtime.monitor.hasher(shard)
+        # Loopback replicas pass a private per-thread monitor; everything
+        # else (including forked replicas, which reassign runtime.monitor
+        # in their own process) uses the runtime's.
+        self._monitor = monitor if monitor is not None else runtime.monitor
+        self._hasher = self._monitor.hasher(shard)
         self._res_cursor = 0
         self._fut_cursor = 0
         self._in_finalizer = False
@@ -729,7 +857,7 @@ class Context:
 
     def _record(self, call: str, *args: Any) -> None:
         self._hasher.record(call, *args)
-        self.runtime.monitor.maybe_check()
+        self._monitor.maybe_check()
 
     def _intern_resource(self, call: str, factory: Callable[[], Any]) -> Any:
         """Create on the driver, replay by creation order on other shards."""
@@ -882,6 +1010,34 @@ class Context:
             return region.partition_by_spaces(spaces, disjoint=disjoint,
                                               name=name)
         return self._intern_resource("partition_by_points", make)
+
+    def partition_rects(self, region: LogicalRegion,
+                        rects: Sequence[Tuple[Sequence[int], Sequence[int]]],
+                        disjoint: Optional[bool] = None,
+                        complete: Optional[bool] = None,
+                        name: str = "") -> Partition:
+        """Partition from explicit inclusive (lo, hi) rectangles.
+
+        The workhorse of the deferred-array frontend: a view's logical
+        tiling maps to one rect per color over the base region.  Rects are
+        dense, so (unlike :meth:`partition_by_points`) the call hashes and
+        builds in O(pieces), independent of element count.  Colors are the
+        rect list positions.
+        """
+        norm = tuple((tuple(int(x) for x in lo), tuple(int(x) for x in hi))
+                     for lo, hi in rects)
+        self._record("partition_rects", region,
+                     [[list(lo), list(hi)] for lo, hi in norm],
+                     -1 if disjoint is None else int(disjoint),
+                     -1 if complete is None else int(complete), name)
+        def make() -> Partition:
+            spaces = {
+                i: IndexSpace(rect=Rect(lo, hi), name=f"{name}[{i}]")
+                for i, (lo, hi) in enumerate(norm)
+            }
+            return region.partition_by_spaces(spaces, disjoint=disjoint,
+                                              complete=complete, name=name)
+        return self._intern_resource("partition_rects", make)
 
     # -- data operations --------------------------------------------------------------------
 

@@ -1,0 +1,210 @@
+"""Hypothesis strategy for random deferred-array programs.
+
+Generates the integer-valued-double domain described in
+:mod:`repro.legate.fuzz`: every step keeps values integral and a tracked
+per-array magnitude bound gates multiplies and dots, so float64
+arithmetic stays exact under any tiling/sharding and the differential
+oracle can demand *bitwise* equality with NumPy.
+
+The generator tracks, per array entry: logical shape, magnitude bound,
+writability (setitem targets), and the backing-base id (views share their
+source's base, so a setitem raises the bound of every aliasing entry).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.legate.fuzz import MAX_EXACT
+
+__all__ = ["fuzz_cases"]
+
+#: dot partials must stay exact: bound_a * bound_b * numel below 2**52.
+_DOT_CAP = float(2 ** 52)
+
+_CMP_FNS = ("gt", "ge", "lt", "le", "eq", "ne")
+
+
+def _bshape(a, b) -> Optional[Tuple[int, ...]]:
+    try:
+        return tuple(np.broadcast_shapes(a, b))
+    except ValueError:
+        return None
+
+
+def _can_broadcast_to(src, dst) -> bool:
+    """NumPy broadcast of src to exactly dst, without dropping dims."""
+    if len(src) > len(dst):
+        return False
+    return all(s == d or s == 1
+               for s, d in zip(reversed(src), reversed(dst)))
+
+
+@st.composite
+def fuzz_cases(draw, max_steps: int = 10):
+    """One case: (program, num_shards, num_tiles)."""
+    steps: List[dict] = []
+    shapes: List[Tuple[int, ...]] = []
+    bounds: List[float] = []
+    writable: List[bool] = []
+    bases: List[int] = []
+    next_base = [0]
+
+    def new_entry(shape, bound, w, base=None):
+        shapes.append(tuple(int(x) for x in shape))
+        bounds.append(float(bound))
+        writable.append(w)
+        if base is None:
+            base = next_base[0]
+            next_base[0] += 1
+        bases.append(base)
+
+    def raise_base_bound(base, bound):
+        for k, b in enumerate(bases):
+            if b == base:
+                bounds[k] = max(bounds[k], bound)
+
+    def do_create():
+        shape = draw(st.one_of(
+            st.integers(1, 6).map(lambda n: (n,)),
+            st.tuples(st.integers(1, 5), st.integers(1, 5))))
+        numel = int(np.prod(shape))
+        values = draw(st.lists(st.integers(-9, 9),
+                               min_size=numel, max_size=numel))
+        steps.append({"op": "create", "shape": list(shape),
+                      "values": values})
+        new_entry(shape, 9.0, True)
+
+    def draw_bounds(shape):
+        out = []
+        for ext in shape:
+            lo = draw(st.integers(0, ext - 1))
+            stop = draw(st.integers(lo + 1, ext))
+            out.append([lo, stop])
+        return out
+
+    do_create()
+    for _ in range(draw(st.integers(0, max_steps))):
+        n = len(shapes)
+        two_d = [i for i in range(n) if len(shapes[i]) == 2]
+        dot_pairs = [
+            (i, j) for i in range(n) for j in range(n)
+            if shapes[i] == shapes[j]
+            and bounds[i] * bounds[j] * np.prod(shapes[i]) <= _DOT_CAP]
+        kinds = ["create", "unary", "scalar", "binary", "where", "slice",
+                 "transpose", "broadcast", "setitem", "sum_all", "max_all"]
+        if two_d:
+            kinds += ["sum_axis", "max_axis"]
+        if dot_pairs:
+            kinds.append("dot")
+        kind = draw(st.sampled_from(kinds))
+
+        if kind == "create":
+            do_create()
+        elif kind == "unary":
+            i = draw(st.integers(0, n - 1))
+            fn = draw(st.sampled_from(("neg", "abs", "copy")))
+            steps.append({"op": "unary", "fn": fn, "src": i})
+            new_entry(shapes[i], bounds[i], True)
+        elif kind == "scalar":
+            i = draw(st.integers(0, n - 1))
+            s = draw(st.integers(-9, 9))
+            fns = ["add", "sub", "maximum", "minimum"] + list(_CMP_FNS)
+            if bounds[i] * max(abs(s), 1) <= MAX_EXACT:
+                fns.append("mul")
+            fn = draw(st.sampled_from(fns))
+            steps.append({"op": "scalar", "fn": fn, "a": i, "s": s})
+            if fn in _CMP_FNS:
+                bound = 1.0
+            elif fn == "mul":
+                bound = bounds[i] * max(abs(s), 1)
+            elif fn in ("add", "sub"):
+                bound = bounds[i] + abs(s)
+            else:
+                bound = max(bounds[i], abs(s))
+            new_entry(_bshape(shapes[i], ()), bound, True)
+        elif kind in ("binary", "where"):
+            i = draw(st.integers(0, n - 1))
+            cands = [j for j in range(n)
+                     if _bshape(shapes[i], shapes[j]) is not None]
+            j = draw(st.sampled_from(cands))
+            rshape = _bshape(shapes[i], shapes[j])
+            if kind == "where":
+                ccands = [k for k in range(n)
+                          if _bshape(rshape, shapes[k]) == rshape] or [i]
+                c = draw(st.sampled_from(ccands))
+                steps.append({"op": "where", "c": c, "a": i, "b": j})
+                new_entry(rshape, max(bounds[i], bounds[j]), True)
+            else:
+                fns = ["add", "sub", "maximum", "minimum"] + list(_CMP_FNS)
+                if bounds[i] * bounds[j] <= MAX_EXACT:
+                    fns.append("mul")
+                fn = draw(st.sampled_from(fns))
+                steps.append({"op": "binary", "fn": fn, "a": i, "b": j})
+                if fn in _CMP_FNS:
+                    bound = 1.0
+                elif fn == "mul":
+                    bound = bounds[i] * bounds[j]
+                elif fn in ("add", "sub"):
+                    bound = bounds[i] + bounds[j]
+                else:
+                    bound = max(bounds[i], bounds[j])
+                new_entry(rshape, bound, True)
+        elif kind == "slice":
+            i = draw(st.integers(0, n - 1))
+            b = draw_bounds(shapes[i])
+            steps.append({"op": "slice", "src": i, "bounds": b})
+            new_entry(tuple(stop - lo for lo, stop in b), bounds[i],
+                      writable[i], base=bases[i])
+        elif kind == "transpose":
+            i = draw(st.integers(0, n - 1))
+            steps.append({"op": "transpose", "src": i})
+            new_entry(shapes[i][::-1], bounds[i], False, base=bases[i])
+        elif kind == "broadcast":
+            i = draw(st.integers(0, n - 1))
+            shape = list(shapes[i])
+            if len(shape) == 1 and draw(st.booleans()):
+                shape = [draw(st.integers(1, 4))] + shape
+            shape = [draw(st.integers(2, 5))
+                     if ext == 1 and draw(st.booleans()) else ext
+                     for ext in shape]
+            steps.append({"op": "broadcast", "src": i,
+                          "shape": list(shape)})
+            new_entry(tuple(shape), bounds[i], False, base=bases[i])
+        elif kind == "setitem":
+            dsts = [i for i in range(n) if writable[i]]
+            d = draw(st.sampled_from(dsts))
+            b = draw_bounds(shapes[d])
+            sl_shape = tuple(stop - lo for lo, stop in b)
+            srcs = [j for j in range(n)
+                    if _can_broadcast_to(shapes[j], sl_shape)]
+            if srcs and draw(st.booleans()):
+                j = draw(st.sampled_from(srcs))
+                steps.append({"op": "setitem", "dst": d, "bounds": b,
+                              "src": j})
+                raise_base_bound(bases[d], bounds[j])
+            else:
+                s = draw(st.integers(-9, 9))
+                steps.append({"op": "setitem", "dst": d, "bounds": b,
+                              "s": s})
+                raise_base_bound(bases[d], float(abs(s)))
+        elif kind in ("sum_all", "max_all"):
+            i = draw(st.integers(0, n - 1))
+            steps.append({"op": kind[:3], "src": i, "axis": None})
+        elif kind in ("sum_axis", "max_axis"):
+            i = draw(st.sampled_from(two_d))
+            axis = draw(st.sampled_from([0, 1])) \
+                if kind == "sum_axis" else 0
+            steps.append({"op": kind[:3], "src": i, "axis": axis})
+            rshape = (shapes[i][1],) if axis == 0 else (shapes[i][0],)
+            new_entry(rshape, bounds[i] * shapes[i][axis], True)
+        else:  # dot
+            i, j = draw(st.sampled_from(dot_pairs))
+            steps.append({"op": "dot", "a": i, "b": j})
+
+    shards = draw(st.sampled_from([2, 3, 4]))
+    tiles = draw(st.sampled_from([2, 3, 4]))
+    return steps, shards, tiles

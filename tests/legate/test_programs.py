@@ -1,0 +1,132 @@
+"""repro.legate.programs: the Fig. 19/20 operation streams.
+
+Checks three things the structural app-program suite doesn't: that the
+modeled per-iteration launch structure corresponds to what the functional
+solvers actually launch, that the streams weak-scale with sockets the way
+the paper's benchmarks do, and that the DCR execution model runs them at
+1/2/4 sockets with sane scaling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.legate import (cg_program, logistic_regression, logreg_program,
+                          make_problem, preconditioned_cg,
+                          reference_logistic_regression,
+                          reference_preconditioned_cg)
+from repro.legate.programs import FEATURES, SAMPLES_PER_SOCKET
+from repro.models import DCRModel
+from repro.runtime import Runtime
+from repro.sim.machine import MachineSpec
+
+
+def sockets(n, gpus=1):
+    return MachineSpec("s", nodes=n, cpus_per_node=20, gpus_per_node=gpus)
+
+
+def iteration_op_names(prog):
+    """Base op names of one timed iteration, in order."""
+    start, end = prog.iteration_ranges[0]
+    return [op.name.split("[")[0] for op in prog.ops[start:end]]
+
+
+class TestLogregProgramStructure:
+    def test_iteration_matches_solver_launch_sequence(self):
+        # The functional solver's per-iteration launches: a matvec, the
+        # fused sigmoid/residual, the rmatvec partials, and the combined
+        # gradient update — the program models exactly that sequence.
+        names = iteration_op_names(logreg_program(sockets(2)))
+        assert names == ["matvec", "sigmoid", "rmatvec", "update_w"]
+
+    @pytest.mark.parametrize("nodes", [1, 2, 4])
+    def test_weak_scaling_tiles_and_rows(self, nodes):
+        prog = logreg_program(sockets(nodes))
+        mv = next(op for op in prog.ops if op.name.startswith("matvec"))
+        assert mv.points == nodes * 20          # one chunk per core
+        # Work per point stays fixed as sockets grow (weak scaling).
+        ref = next(op for op in logreg_program(sockets(1)).ops
+                   if op.name.startswith("matvec"))
+        assert mv.duration == pytest.approx(ref.duration)
+
+    def test_gpu_variant_single_chunk_per_socket(self):
+        prog = logreg_program(sockets(4), gpu=True)
+        mv = next(op for op in prog.ops if op.name.startswith("matvec"))
+        assert mv.points == 4
+        cpu = next(op for op in logreg_program(sockets(4)).ops
+                   if op.name.startswith("matvec"))
+        assert mv.duration < cpu.duration       # V100 >> one core's share
+
+    def test_update_gathers_gradient_bytes(self):
+        prog = logreg_program(sockets(2))
+        up = next(op for op in prog.ops if op.name.startswith("update_w"))
+        (dep,) = up.deps
+        assert dep.pattern == "all"
+        assert dep.nbytes == FEATURES * 8.0
+
+    def test_problem_size_scales_with_sockets(self):
+        assert SAMPLES_PER_SOCKET > 0
+        p1 = logreg_program(sockets(1))
+        p4 = logreg_program(sockets(4))
+        total = lambda p: sum(op.points * op.duration for op in p.ops)
+        assert total(p4) == pytest.approx(4 * total(p1), rel=0.01)
+
+
+class TestCGProgramStructure:
+    def test_iteration_matches_solver_launch_sequence(self):
+        names = iteration_op_names(cg_program(sockets(2)))
+        assert names == ["spmv", "dot1", "alpha", "axpys", "dot2",
+                         "update_p"]
+
+    def test_spmv_consumes_halo(self):
+        prog = cg_program(sockets(2))
+        spmvs = [op for op in prog.ops if op.name.startswith("spmv")]
+        halo = [d for op in spmvs[1:] for d in op.deps
+                if d.pattern == "halo"]
+        assert halo and all(d.nbytes > 0 for d in halo)
+
+    def test_dots_fan_into_scalars(self):
+        prog = cg_program(sockets(2))
+        alpha = next(op for op in prog.ops if op.name.startswith("alpha"))
+        assert alpha.points == 1
+        assert any(d.pattern == "all" for d in alpha.deps)
+
+
+class TestDCRModelRunsPrograms:
+    @pytest.mark.parametrize("build", [logreg_program, cg_program],
+                             ids=["logreg", "cg"])
+    def test_runs_at_1_2_4_sockets(self, build):
+        times = {}
+        for nodes in (1, 2, 4):
+            m = sockets(nodes)
+            r = DCRModel(m).run(build(m))
+            assert r.iteration_time > 0
+            times[nodes] = r.iteration_time
+        # Weak scaling: 4 sockets shouldn't be drastically slower per
+        # iteration than 1 (DCR's point — no centralized bottleneck).
+        assert times[4] < times[1] * 3.0
+
+    def test_gpu_iterations_faster(self):
+        m = sockets(2)
+        cpu = DCRModel(m).run(logreg_program(m))
+        gpu = DCRModel(m).run(logreg_program(m, gpu=True))
+        assert gpu.iteration_time < cpu.iteration_time
+
+
+class TestFunctionalCounterparts:
+    """The solvers the programs model, at the shard counts the tier pins."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_logreg_matches_reference(self, shards):
+        x, y = make_problem(26, 4)
+        w = Runtime(num_shards=shards).execute(
+            logistic_regression, x, y, 6, 0.5, 4)
+        assert np.allclose(w, reference_logistic_regression(x, y, 6, 0.5))
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_cg_matches_reference(self, shards):
+        n = 18
+        a = (2.1 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1))
+        b = np.cos(np.arange(n))
+        x = Runtime(num_shards=shards).execute(preconditioned_cg, a, b,
+                                               8, 4)
+        assert np.allclose(x, reference_preconditioned_cg(a, b, 8))
