@@ -83,16 +83,32 @@ def supervise_gang(entries: List[tuple], timeout_s: float,
 
 
 def terminate_gang(entries: List[tuple]) -> None:
-    """Terminate and reap every still-alive worker (the no-orphans sweep)."""
+    """Terminate and reap every still-alive worker (the no-orphans sweep).
+
+    Idempotent and order-independent: calling it twice, calling it on a
+    gang that already exited, or calling it while a respawned worker is
+    dying mid-rejoin must never raise or leave a process behind.  Every
+    per-entry step therefore tolerates an already-reaped process (whose
+    ``is_alive``/``terminate`` can race exit) and an already-closed pipe,
+    and the last resort is SIGKILL — SIGTERM is merely *queued* on a
+    stopped (``SIGSTOP``-ed, e.g. stalled) worker, so ``terminate()``
+    alone cannot guarantee the sweep converges.
+    """
     for _rank, proc, _conn in entries:
-        if proc.is_alive():
-            proc.terminate()
+        try:
+            if proc.is_alive():
+                proc.terminate()
+        except (ValueError, OSError):  # already closed/reaped elsewhere
+            pass
     for _rank, proc, conn in entries:
-        if proc.is_alive():
-            proc.join(5.0)
-        if proc.is_alive():  # pragma: no cover - last resort
-            proc.kill()
-            proc.join(5.0)
+        try:
+            if proc.is_alive():
+                proc.join(5.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join(5.0)
+        except (ValueError, OSError):
+            pass
         try:
             conn.close()
         except OSError:

@@ -39,7 +39,7 @@ from ..faults.injector import CollectiveTimeout
 from .frames import Frame, FrameError, decode_frame, encode_frame
 
 __all__ = ["TransportError", "PeerGone", "Transport", "LoopbackFabric",
-           "PipeFabric", "DEFAULT_DEADLINE_S"]
+           "PipeFabric", "claimed_transport", "DEFAULT_DEADLINE_S"]
 
 #: Default hard deadline on every receive.  Generous for CI machines, but
 #: finite: a dead peer turns into an exception, never a hang.
@@ -364,6 +364,24 @@ class PipeFabric:
         return _PipeTransport(rank, self.num_shards, conns,
                               deadline_s=self.deadline_s, retry=self.retry)
 
+    def claim_conns(self, rank: int) -> Dict[int, Any]:
+        """``rank``'s endpoint set, as a picklable peer→Connection map.
+
+        The re-endpointing half of live rejoin: the supervisor builds a
+        *fresh* fabric, sends each surviving worker its claimed endpoints
+        over the existing control pipe (``multiprocessing`` pickles
+        ``Connection`` objects by duplicating the descriptor at pickle
+        time, so the parent may close its copies afterwards), and the
+        worker rebuilds its transport via :func:`claimed_transport`.
+        """
+        conns: Dict[int, Any] = {}
+        for (a, b), (end_a, end_b) in self._ends.items():
+            if rank == a:
+                conns[b] = end_a
+            elif rank == b:
+                conns[a] = end_b
+        return conns
+
     def close_other_ends(self, rank: int) -> None:
         """In a worker: drop every endpoint not belonging to ``rank``.
 
@@ -385,3 +403,17 @@ class PipeFabric:
                     end.close()
                 except OSError:
                     pass
+
+
+def claimed_transport(rank: int, num_shards: int, conns: Dict[int, Any],
+                      deadline_s: float = DEFAULT_DEADLINE_S,
+                      retry: Optional[RetryConfig] = None) -> Transport:
+    """A pipe transport over endpoints claimed from another process.
+
+    The worker-side counterpart of :meth:`PipeFabric.claim_conns`: a
+    surviving gang member receives a replacement mesh's endpoints over
+    its control channel and wires itself into the new fabric without
+    restarting.
+    """
+    return _PipeTransport(rank, num_shards, dict(conns),
+                          deadline_s=deadline_s, retry=retry)

@@ -164,6 +164,42 @@ class FaultInjector:
                     return event
         return None
 
+    # -- sites: hb_loss / shard_stall (heartbeat suppression) -----------------
+
+    def drop_beat(self, shard: int, beat: int) -> bool:
+        """Should heartbeat number ``beat`` of ``shard`` be suppressed?
+
+        Covers both self-healing liveness sites: a :class:`~repro.faults
+        .plan.PlannedBeatLoss` window (``hb_loss``) and a
+        :class:`~repro.faults.plan.PlannedStall` window (``shard_stall``)
+        both silence the beat; only the window length differs.  Unlike the
+        divergence sites these are *per-beat* decisions, not one-shot per
+        injector — a stall silences every beat in its window.
+        """
+        for b in self.plan.beat_losses:
+            if b.shard == shard and b.beat <= beat < b.beat + b.count:
+                self.injected.append(("hb_loss", shard, beat))
+                return True
+        for s in self.plan.stalls:
+            if s.shard == shard and s.beat <= beat < s.beat + s.beats:
+                self.injected.append(("shard_stall", shard, beat))
+                return True
+        if self._rate_hit("hb_loss", shard, beat):
+            self.injected.append(("hb_loss", shard, beat))
+            return True
+        return False
+
+    # -- site: respawn_fail ---------------------------------------------------
+
+    def fail_respawn(self, rank: int, attempt: int) -> bool:
+        """Should the replacement for ``rank`` die on arrival (1-based)?"""
+        for f in self.plan.respawn_fails:
+            if f.rank == rank and f.attempt == attempt:
+                return self._fire_once(("respawn_fail", rank, attempt))
+        if self._rate_hit("respawn_fail", rank, attempt):
+            return self._fire_once(("respawn_fail", rank, attempt))
+        return False
+
     # -- site: trace_corrupt --------------------------------------------------
 
     def corrupt_recording(self, ordinal: int, entries: int) -> Optional[int]:

@@ -22,11 +22,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 __all__ = ["FAULT_SITES", "MESSAGE_EVENTS", "PlannedFlip", "PlannedCrash",
-           "MessageFault", "FaultPlan"]
+           "MessageFault", "PlannedBeatLoss", "PlannedStall",
+           "PlannedRespawnFail", "FaultPlan"]
 
 #: The complete fault-site vocabulary (docs/resilience.md catalogs each).
 FAULT_SITES = ("hash_flip", "msg_drop", "msg_delay", "msg_dup",
-               "shard_crash", "trace_corrupt")
+               "shard_crash", "trace_corrupt",
+               "hb_loss", "shard_stall", "respawn_fail")
 
 #: Message-level fault kinds inside collectives, in evaluation order.
 MESSAGE_EVENTS = ("drop", "delay", "dup")
@@ -70,6 +72,50 @@ class MessageFault:
             raise ValueError(f"unknown message fault event {self.event!r}")
 
 
+@dataclass(frozen=True)
+class PlannedBeatLoss:
+    """Suppress ``count`` heartbeats of ``shard`` starting at beat ``beat``.
+
+    A lost beat leaves the worker perfectly functional — only its
+    liveness signal disappears, so the supervisor's suspicion accrues on
+    a rank that would still answer jobs (the false-positive pressure a
+    phi detector must tolerate below ``phi_dead``).
+    """
+
+    shard: int
+    beat: int
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class PlannedStall:
+    """``shard`` goes silent for ``beats`` beat-intervals from ``beat``.
+
+    The slow-shard model: like :class:`PlannedBeatLoss` but long enough
+    that suspicion should cross ``phi_suspect`` (and, if ``beats`` is
+    large, ``phi_dead``) — the site chaos tests use to prove *slow* and
+    *dead* are distinguished.
+    """
+
+    shard: int
+    beat: int
+    beats: int = 1
+
+
+@dataclass(frozen=True)
+class PlannedRespawnFail:
+    """Replacement worker for ``rank`` is dead on arrival at ``attempt``.
+
+    Fired inside :meth:`repro.service.gang.ServiceGang.rejoin` (1-based
+    ``attempt``): the respawned worker is never started, so the rejoin
+    ack times out — exercising the bounded respawn budget and the
+    DEGRADE fallback.
+    """
+
+    rank: int
+    attempt: int = 1
+
+
 @dataclass
 class FaultPlan:
     """A complete, replayable description of a run's perturbations."""
@@ -81,6 +127,10 @@ class FaultPlan:
     message_faults: List[MessageFault] = field(default_factory=list)
     #: Ordinals of trace recordings to corrupt (0 = first recording).
     trace_corruptions: List[int] = field(default_factory=list)
+    # -- self-healing sites (heartbeats / respawn, see docs/resilience.md) --
+    beat_losses: List[PlannedBeatLoss] = field(default_factory=list)
+    stalls: List[PlannedStall] = field(default_factory=list)
+    respawn_fails: List[PlannedRespawnFail] = field(default_factory=list)
     # -- seeded probabilistic faults ----------------------------------------
     #: Per-site rates, keyed by FAULT_SITES names.  Message rates apply per
     #: (collective, op, msg, attempt); flip/crash rates per (shard, call);
@@ -100,7 +150,8 @@ class FaultPlan:
     @property
     def any_faults(self) -> bool:
         return bool(self.flips or self.crashes or self.message_faults
-                    or self.trace_corruptions
+                    or self.trace_corruptions or self.beat_losses
+                    or self.stalls or self.respawn_fails
                     or any(p > 0 for p in self.rates.values()))
 
     @classmethod

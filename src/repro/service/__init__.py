@@ -9,15 +9,18 @@ round-robin scheduling, per-shape analysis-template caching
 ``docs/service.md``.
 """
 
-from .gang import GANG_BACKENDS, GangFailure, ServiceGang
+from .gang import (GANG_BACKENDS, GangFailure, RejoinError, ServiceGang,
+                   classify_worker_failure)
 from .loadgen import LoadResult, make_shape_pool, run_load
-from .service import AdmissionError, DCRService, JobHandle, Session
+from .service import (AdmissionError, DCRService, JobExpired, JobHandle,
+                      Session)
 from .templates import (AnalysisTemplate, TemplateStore, structural_signature,
                         template_key)
 
 __all__ = [
-    "DCRService", "Session", "JobHandle", "AdmissionError",
-    "ServiceGang", "GangFailure", "GANG_BACKENDS",
+    "DCRService", "Session", "JobHandle", "AdmissionError", "JobExpired",
+    "ServiceGang", "GangFailure", "RejoinError", "GANG_BACKENDS",
+    "classify_worker_failure",
     "AnalysisTemplate", "TemplateStore", "structural_signature",
     "template_key",
     "LoadResult", "make_shape_pool", "run_load",

@@ -8,16 +8,33 @@ them alive across many programs.  Each :meth:`run_job` broadcasts one
 job to every replica and collects N :class:`~repro.dist.report
 .ShardReport`\\ s under a single shared deadline.
 
-Failure model (the crash path the service's DEGRADE/RESTART policies
-recover from): a replica that dies mid-job — an injected
-:class:`~repro.faults.injector.ShardCrash`, a real bug, anything — takes
-the whole gang down, because its peers are parked in a collective that can
-never complete.  Both fabrics convert that into fast failure rather than a
-hang (``mark_closed`` / pipe EOF → :class:`~repro.dist.transport
-.PeerGone`), every worker exits its serve loop, and :meth:`run_job` raises
-:class:`GangFailure` naming the culprit ranks.  The gang is then inert
-(``alive`` is False); recovering is the *service's* job — it builds a
-fresh gang at whatever width the recovery policy picked.
+Self-healing (the REJOIN policy's substrate):
+
+* every worker runs a **heartbeat ticker** beside its serve loop,
+  beating on a deterministic Threefry schedule over the same control
+  channel results travel on; a driver-side **channel pump** thread
+  drains every channel into per-rank mailboxes and feeds the beats to a
+  :class:`~repro.dist.heartbeat.HeartbeatMonitor`, so a silent shard is
+  *declared dead* at ``phi_dead`` beat-intervals — far below the
+  transport's receive deadline — and quarantined mid-job;
+* a worker that observes a **secondary** failure (``PeerGone`` /
+  ``CollectiveTimeout`` echoes of somebody else's death) reports it and
+  **parks** in its serve loop instead of dying, so :meth:`rejoin` can
+  fork a replacement for just the culprit rank, re-endpoint the parked
+  survivors onto a fresh fabric (every rank rebinds simultaneously, so
+  collective op ordinals restart in lockstep), and return the gang to
+  full width without a rebuild;
+* failure *attribution* is structured (:func:`classify_worker_failure`),
+  not string matching: crashes blame the crashed rank, determinism
+  violations blame exactly the divergent shards even though every rank
+  raises, and echoes blame nobody.
+
+A rank whose worker reports a **primary** failure (crash, divergence, a
+real bug) still dies — its peers fail fast via ``mark_closed`` / pipe
+EOF — and :meth:`run_job` raises :class:`GangFailure` naming the culprit
+ranks plus the monitor's suspicion snapshot.  The gang is then inert
+(``alive`` is False); the *service* decides whether to heal it in place
+(:meth:`rejoin`) or rebuild it at some width per the recovery policy.
 """
 
 from __future__ import annotations
@@ -26,16 +43,25 @@ import multiprocessing
 import queue
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from ..core.determinism import ControlDeterminismViolation
+from ..dist.heartbeat import (HB_SUSPECTED, HeartbeatMonitor,
+                              heartbeat_interval)
 from ..dist.programs import ProgramSpec
 from ..dist.report import ShardReport
-from ..dist.transport import DEFAULT_DEADLINE_S, LoopbackFabric, PipeFabric
+from ..dist.transport import (DEFAULT_DEADLINE_S, LoopbackFabric, PipeFabric,
+                              claimed_transport)
 from ..dist.worker import ServiceShardWorker
-from ..faults.injector import FaultInjector
-from ..faults.plan import FaultPlan, PlannedCrash
+from ..faults.injector import CollectiveTimeout, FaultInjector, ShardCrash
+from ..faults.plan import (FaultPlan, PlannedBeatLoss, PlannedCrash,
+                           PlannedRespawnFail, PlannedStall)
+from ..obs.events import (CAT_RESILIENCE, CONTROL_SHARD, EV_HB_DEAD,
+                          EV_HB_SUSPECT)
+from ..obs.profiler import Profiler
 
-__all__ = ["GangFailure", "ServiceGang", "GANG_BACKENDS"]
+__all__ = ["GangFailure", "RejoinError", "ServiceGang", "GANG_BACKENDS",
+           "classify_worker_failure"]
 
 GANG_BACKENDS = ("loopback", "multiprocess")
 
@@ -46,25 +72,48 @@ class GangFailure(RuntimeError):
     ``culprit_shards`` names the ranks whose workers reported primary
     failures (crashes and divergences, as opposed to the peers that merely
     observed the resulting dead collectives) — the duck-typed attribute
-    :func:`repro.resilience.identify_culprits` looks for.
+    :func:`repro.resilience.identify_culprits` looks for.  ``suspicion``
+    is the heartbeat monitor's snapshot at failure time, carried into
+    recovery reports.
     """
 
     def __init__(self, job_id: str, failures: List[str],
-                 culprit_shards: Optional[List[int]] = None):
+                 culprit_shards: Optional[List[int]] = None,
+                 suspicion: Optional[Dict[str, Any]] = None):
         self.job_id = job_id
         self.failures = list(failures)
         self.culprit_shards = list(culprit_shards or [])
+        self.suspicion = dict(suspicion or {})
         super().__init__(
             f"gang failed job {job_id or '<unnamed>'}: "
             + "; ".join(self.failures))
 
 
+class RejoinError(RuntimeError):
+    """A live rejoin did not complete (replacement died mid-rejoin).
+
+    The gang is left inert but safely stoppable; ``culprit_shards`` names
+    the ranks that never acknowledged the new generation, so the service
+    can replan (another respawn attempt, or the DEGRADE fallback once the
+    respawn budget is exhausted).
+    """
+
+    def __init__(self, culprit_shards: List[int], message: str):
+        self.culprit_shards = list(culprit_shards)
+        super().__init__(message)
+
+
 def _fault_payload(plan: Optional[FaultPlan]) -> Optional[dict]:
-    """Wire form of the (crash-only) fault plans the service injects."""
+    """Wire form of the fault plans the service injects."""
     if plan is None:
         return None
     return {"seed": plan.seed,
             "crashes": [[c.shard, c.call] for c in plan.crashes],
+            "beat_losses": [[b.shard, b.beat, b.count]
+                            for b in plan.beat_losses],
+            "stalls": [[s.shard, s.beat, s.beats] for s in plan.stalls],
+            "respawn_fails": [[f.rank, f.attempt]
+                              for f in plan.respawn_fails],
             "rates": dict(plan.rates)}
 
 
@@ -75,19 +124,98 @@ def _fault_injector(payload: Optional[dict]) -> Optional[FaultInjector]:
         seed=int(payload.get("seed", 0)),
         crashes=[PlannedCrash(int(s), int(c))
                  for s, c in payload.get("crashes", ())],
+        beat_losses=[PlannedBeatLoss(int(s), int(b), int(n))
+                     for s, b, n in payload.get("beat_losses", ())],
+        stalls=[PlannedStall(int(s), int(b), int(n))
+                for s, b, n in payload.get("stalls", ())],
+        respawn_fails=[PlannedRespawnFail(int(r), int(a))
+                       for r, a in payload.get("respawn_fails", ())],
         rates={str(k): float(v)
                for k, v in payload.get("rates", {}).items()})
     return FaultInjector(plan)
 
 
 def _primary_failure(message: str) -> bool:
-    """Did this worker *cause* the gang death, or just observe it?
+    """String-prefix fallback for legacy (pre-structured) error payloads.
 
-    Peers of a dead replica fail with ``PeerGone``/``CollectiveTimeout``;
-    anything else (``ShardCrash``, a determinism violation, a real bug) is
-    a primary failure and its rank a culprit.
+    Kept only for payloads that cross the channel as bare strings;
+    everything the workers emit today is classified structurally by
+    :func:`classify_worker_failure` *before* stringification, which is
+    what fixes the simultaneous-multi-crash attribution (a determinism
+    violation raises on **all** ranks — prefix matching would have blamed
+    every one of them).
     """
     return not message.startswith(("PeerGone", "CollectiveTimeout"))
+
+
+def classify_worker_failure(exc: BaseException, rank: int
+                            ) -> "tuple[str, bool, List[int]]":
+    """``(message, primary, culprits)`` for one worker's failure.
+
+    * a :class:`~repro.faults.injector.ShardCrash` is primary and blames
+      the crashed shard (which is ``rank`` itself — the injector fires in
+      the crashing replica);
+    * a :class:`~repro.core.determinism.ControlDeterminismViolation`
+      raises on *every* rank simultaneously (the conformance allreduce
+      makes the verdict global), so a rank is a culprit only if it is in
+      ``divergent_shards`` — every rank still *names* the divergent set,
+      letting the driver attribute correctly even under simultaneous
+      multi-shard divergence;
+    * ``PeerGone`` / ``CollectiveTimeout`` are secondary echoes of
+      somebody else's death: not primary, no culprits — the worker that
+      observes one parks for rejoin instead of dying;
+    * anything else is a primary failure of ``rank`` (a real bug).
+    """
+    message = f"{type(exc).__name__}: {exc}"
+    if isinstance(exc, ShardCrash):
+        return message, True, [exc.shard]
+    if isinstance(exc, ControlDeterminismViolation):
+        divergent = sorted(getattr(exc, "divergent_shards", ()) or ())
+        return message, rank in divergent, list(divergent)
+    if isinstance(exc, CollectiveTimeout):   # includes PeerGone
+        return message, False, []
+    return message, True, [rank]
+
+
+class _ChannelGone(Exception):
+    """A worker's control channel hit EOF (the process is gone)."""
+
+
+def _queue_reader(q: "queue.Queue") -> Callable[[], Optional[tuple]]:
+    def read() -> Optional[tuple]:
+        try:
+            return q.get_nowait()
+        except queue.Empty:
+            return None
+    return read
+
+
+def _conn_reader(conn: Any) -> Callable[[], Optional[tuple]]:
+    def read() -> Optional[tuple]:
+        try:
+            if conn.poll(0):
+                return conn.recv()
+            return None
+        except (EOFError, OSError):
+            raise _ChannelGone from None
+    return read
+
+
+def _ticker_loop(send_beat: Callable[[int], None], rank: int,
+                 stop: threading.Event, interval_s: float, seed: int,
+                 injector: Optional[FaultInjector]) -> None:
+    """Worker-side heartbeat: deterministic schedule, injectable loss."""
+    k = 0
+    while not stop.is_set():
+        if stop.wait(heartbeat_interval(seed, rank, k, interval_s)):
+            return
+        if not (injector is not None and injector.enabled
+                and injector.drop_beat(rank, k)):
+            try:
+                send_beat(k)
+            except Exception:  # noqa: BLE001 - channel gone: stop beating
+                return
+        k += 1
 
 
 class ServiceGang:
@@ -96,7 +224,12 @@ class ServiceGang:
     def __init__(self, num_shards: int, backend: str = "loopback",
                  batch: int = 64, deadline_s: float = DEFAULT_DEADLINE_S,
                  job_timeout_s: float = 60.0,
-                 profile_dir: Optional[str] = None):
+                 profile_dir: Optional[str] = None,
+                 profiler: Optional[Profiler] = None,
+                 hb_interval_s: float = 0.25, hb_seed: int = 0,
+                 phi_suspect: float = 4.0, phi_dead: float = 12.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 fault: Optional[FaultPlan] = None):
         if backend not in GANG_BACKENDS:
             raise ValueError(f"unknown gang backend {backend!r}; "
                              f"expected one of {GANG_BACKENDS}")
@@ -108,17 +241,39 @@ class ServiceGang:
         self.deadline_s = deadline_s
         self.job_timeout_s = job_timeout_s
         self.profile_dir = profile_dir
+        self.profiler = profiler if profiler is not None \
+            else Profiler(enabled=False)
+        self.hb_interval_s = hb_interval_s
+        self.hb_seed = hb_seed
+        self.phi_suspect = phi_suspect
+        self.phi_dead = phi_dead
         self.jobs_run = 0
+        self.respawns = 0
+        self._clock = clock
         self._alive = False
         self._started = False
-        # loopback state
-        self._threads: List[threading.Thread] = []
-        self._cmd_queues: List["queue.Queue"] = []
-        self._res_queues: List["queue.Queue"] = []
+        self._stopped = False
+        self._generation = 0
+        # gang-level chaos plan (heartbeat loss / stalls / respawn
+        # failures live here; per-job plans ride the job payload)
+        self._fault = fault
+        self._injector = FaultInjector(fault) if fault is not None else None
+        # loopback state (rank-keyed so respawn replaces single entries)
+        self._threads: Dict[int, threading.Thread] = {}
+        self._cmd_queues: Dict[int, "queue.Queue"] = {}
+        self._res_queues: Dict[int, "queue.Queue"] = {}
         self._fabric: Optional[LoopbackFabric] = None
         # multiprocess state
-        self._procs: List[Any] = []
-        self._conns: List[Any] = []
+        self._procs: Dict[int, Any] = {}
+        self._conns: Dict[int, Any] = {}
+        # driver-side channel pump: raw channels -> per-rank mailboxes
+        self._mailbox: Dict[int, "queue.Queue"] = {
+            r: queue.Queue() for r in range(num_shards)}
+        self._readers: Dict[int, Callable[[], Optional[tuple]]] = {}
+        self._reader_lock = threading.Lock()
+        self._monitor: Optional[HeartbeatMonitor] = None
+        self._pump: Optional[threading.Thread] = None
+        self._pump_stop = threading.Event()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -126,42 +281,64 @@ class ServiceGang:
     def alive(self) -> bool:
         return self._alive
 
+    @property
+    def generation(self) -> int:
+        return self._generation
+
     def start(self) -> "ServiceGang":
         if self._started:
             raise RuntimeError("gang already started")
         self._started = True
+        self._monitor = HeartbeatMonitor(
+            self.num_shards, self.hb_interval_s,
+            phi_suspect=self.phi_suspect, phi_dead=self.phi_dead,
+            clock=self._clock)
         if self.backend == "loopback":
             self._start_loopback()
         else:
             self._start_multiprocess()
+        self._pump = threading.Thread(target=self._pump_loop,
+                                      name="svc-gang-pump", daemon=True)
+        self._pump.start()
         self._alive = True
         return self
 
     def stop(self) -> None:
-        """Graceful shutdown; safe to call on a dead or stopped gang."""
-        if not self._started:
+        """Graceful shutdown; strictly idempotent, safe on a dead gang."""
+        if self._stopped or not self._started:
             return
+        self._stopped = True
         self._alive = False
+        # The pump goes down first so worker exits don't get booked as
+        # heartbeat deaths during an orderly shutdown.
+        self._pump_stop.set()
+        if self._pump is not None:
+            self._pump.join(2.0)
         if self.backend == "loopback":
-            for q in self._cmd_queues:
+            for q in self._cmd_queues.values():
                 q.put(("stop",))
             deadline = time.monotonic() + 5.0
-            for t in self._threads:
+            for t in self._threads.values():
                 t.join(max(0.0, deadline - time.monotonic()))
         else:
-            for conn in self._conns:
+            for conn in self._conns.values():
                 try:
                     conn.send(("stop",))
                 except (BrokenPipeError, OSError):
                     pass
             deadline = time.monotonic() + 5.0
-            for proc in self._procs:
+            for proc in self._procs.values():
                 proc.join(max(0.0, deadline - time.monotonic()))
-            for proc in self._procs:
+            for proc in self._procs.values():
                 if proc.is_alive():
                     proc.terminate()
-                    proc.join(5.0)
-            for conn in self._conns:
+                    proc.join(2.0)
+                if proc.is_alive():
+                    # SIGTERM is queued, not delivered, on a stopped
+                    # process — SIGKILL is the no-orphan guarantee.
+                    proc.kill()
+                    proc.join(2.0)
+            for conn in self._conns.values():
                 try:
                     conn.close()
                 except OSError:
@@ -173,6 +350,91 @@ class ServiceGang:
     def __exit__(self, *exc: Any) -> None:
         self.stop()
 
+    # -- liveness ------------------------------------------------------------
+
+    def suspicion(self) -> Dict[str, Any]:
+        """The heartbeat monitor's JSON-safe snapshot (health endpoint)."""
+        if self._monitor is None:
+            return {}
+        return self._monitor.snapshot(self._clock())
+
+    def health(self) -> Dict[str, Any]:
+        return {"alive": self._alive, "backend": self.backend,
+                "num_shards": self.num_shards,
+                "generation": self._generation,
+                "respawns": self.respawns, "jobs_run": self.jobs_run,
+                "suspicion": self.suspicion()}
+
+    def _pump_loop(self) -> None:
+        """Drain every worker channel continuously.
+
+        Beats feed the monitor; everything else lands in the sender's
+        mailbox for :meth:`_await_results` / :meth:`rejoin` to consume.
+        Runs even between jobs, so idle-time deaths are detected (and
+        reported as profiler events) before the next dispatch.
+        """
+        prof = self.profiler
+        monitor = self._monitor
+        while not self._pump_stop.is_set():
+            moved = False
+            with self._reader_lock:
+                readers = list(self._readers.items())
+            for rank, read in readers:
+                for _ in range(64):         # bounded drain per channel
+                    try:
+                        msg = read()
+                    except _ChannelGone:
+                        with self._reader_lock:
+                            if self._readers.get(rank) is read:
+                                del self._readers[rank]
+                        if monitor.force_dead(rank) and prof.enabled:
+                            prof.instant(CONTROL_SHARD, CAT_RESILIENCE,
+                                         EV_HB_DEAD, rank=rank,
+                                         reason="channel-eof")
+                        self._mailbox[rank].put(
+                            ("gone", "worker channel closed "
+                                     "(died without a result)"))
+                        break
+                    if msg is None:
+                        break
+                    moved = True
+                    if msg[0] == "beat":
+                        monitor.beat(rank)
+                    else:
+                        self._mailbox[rank].put(msg)
+            for state, rank, _at in monitor.poll():
+                if prof.enabled:
+                    ev = EV_HB_SUSPECT if state == HB_SUSPECTED \
+                        else EV_HB_DEAD
+                    prof.instant(CONTROL_SHARD, CAT_RESILIENCE, ev,
+                                 rank=rank, phi=round(monitor.phi(rank), 3))
+            if not moved:
+                self._pump_stop.wait(0.003)
+
+    def _quarantine_rank(self, rank: int) -> None:
+        """Stop waiting on ``rank``: unblock its peers, kill stragglers."""
+        if self.backend == "loopback":
+            if self._fabric is not None:
+                self._fabric.mark_closed(rank)
+            # A wedged-but-alive thread exits at its next command read.
+            q = self._cmd_queues.get(rank)
+            if q is not None:
+                q.put(("stop",))
+        else:
+            proc = self._procs.get(rank)
+            if proc is not None and proc.is_alive():
+                # SIGKILL, not SIGTERM: a SIGSTOPped (stalled) worker
+                # queues SIGTERM without dying.
+                proc.kill()
+
+    def _drain_mailbox(self, rank: int) -> None:
+        box = self._mailbox[rank]
+        while True:
+            try:
+                box.get_nowait()
+            except queue.Empty:
+                return
+
     # -- the one public operation --------------------------------------------
 
     def run_job(self, spec: ProgramSpec, job_id: str = "",
@@ -182,20 +444,45 @@ class ServiceGang:
         """Broadcast one program to every replica; N conformant reports.
 
         Raises :class:`GangFailure` — and marks the gang dead — if any
-        replica errors or the shared deadline passes.  ``fault`` scopes an
-        injected fault plan to this job (chaos testing / CI).
+        replica errors, goes heartbeat-dead, or the shared deadline
+        passes.  ``fault`` scopes an injected fault plan to this job
+        (chaos testing / CI).
         """
         if not self._alive:
-            raise GangFailure(job_id, ["gang is down"], [])
+            raise GangFailure(job_id, ["gang is down"], [],
+                              suspicion=self.suspicion())
+        dead = self._monitor.dead_ranks(self._clock()) \
+            if self._monitor is not None else []
+        if dead:
+            # Idle-time death, caught by the pump before any dispatch:
+            # fail fast instead of feeding a job to a broken gang.
+            self._alive = False
+            for r in dead:
+                self._quarantine_rank(r)
+            raise GangFailure(
+                job_id,
+                [f"shard {r}: declared dead by heartbeat suspicion "
+                 f"before dispatch" for r in dead],
+                list(dead), suspicion=self.suspicion())
         self.jobs_run += 1
         job = {"spec": spec.to_payload(), "job_id": job_id,
                "program_id": program_id, "session": session,
                "capture": capture_digests,
                "fault": _fault_payload(fault)}
+        for rank in range(self.num_shards):
+            self._drain_mailbox(rank)
+        results: Dict[int, tuple] = {}
         if self.backend == "loopback":
-            results = self._broadcast_loopback(job)
+            for q in self._cmd_queues.values():
+                q.put(("job", job))
         else:
-            results = self._broadcast_multiprocess(job)
+            for rank, conn in self._conns.items():
+                try:
+                    conn.send(("job", job))
+                except (BrokenPipeError, OSError):
+                    results[rank] = ("gone",
+                                     "worker control pipe is closed")
+        self._await_results(results)
         reports: Dict[int, ShardReport] = {}
         failures: List[str] = []
         culprits: List[int] = []
@@ -203,68 +490,294 @@ class ServiceGang:
             if status == "ok":
                 reports[rank] = payload if isinstance(payload, ShardReport) \
                     else ShardReport.from_payload(payload)
+                continue
+            if isinstance(payload, dict):
+                failures.append(f"shard {rank}: {payload.get('error')}")
+                named = [int(c) for c in payload.get("culprits") or ()]
+                if payload.get("primary") and not named:
+                    named = [rank]
+                culprits.extend(c for c in named if c not in culprits)
             else:
                 failures.append(f"shard {rank}: {payload}")
-                if status == "error" and _primary_failure(str(payload)):
+                blamed = status in ("gone", "hb-dead") or (
+                    status == "error" and _primary_failure(str(payload)))
+                if blamed and rank not in culprits:
                     culprits.append(rank)
         if failures:
             self._alive = False
-            raise GangFailure(job_id, failures, culprits)
+            raise GangFailure(job_id, failures, sorted(culprits),
+                              suspicion=self.suspicion())
         return [reports[r] for r in sorted(reports)]
+
+    def _await_results(self, results: Dict[int, tuple]) -> None:
+        """Fill ``results`` for every rank, or classify the silence.
+
+        The early-exit path is the heartbeat payoff: a rank the monitor
+        declares dead is quarantined immediately (its peers fail fast
+        with ``PeerGone``), and once every still-pending rank is
+        declared, the wait ends — detection latency is bounded by
+        ``phi_dead`` beat-intervals, not by the transport deadline.
+        """
+        deadline = self._clock() + self.job_timeout_s
+        pending = set(range(self.num_shards)) - set(results)
+        declared: set = set()
+        while pending:
+            got = False
+            for rank in sorted(pending):
+                try:
+                    msg = self._mailbox[rank].get_nowait()
+                except queue.Empty:
+                    continue
+                if msg[0] == "rejoined":
+                    continue          # stale ack from an older generation
+                results[rank] = (msg[0], msg[1])
+                pending.discard(rank)
+                got = True
+            if not pending:
+                return
+            now = self._clock()
+            for rank in self._monitor.dead_ranks(now):
+                if rank in pending and rank not in declared:
+                    declared.add(rank)
+                    self._quarantine_rank(rank)
+            if pending <= declared:
+                # Every rank still owing a result is heartbeat-dead: no
+                # answer can arrive, stop waiting out the deadline.
+                for rank in pending:
+                    results[rank] = (
+                        "hb-dead",
+                        f"declared dead by heartbeat suspicion "
+                        f"(phi >= {self._monitor.phi_dead})")
+                return
+            if now >= deadline:
+                for rank in pending:
+                    results[rank] = ("timeout",
+                                     f"no result within "
+                                     f"{self.job_timeout_s}s")
+                return
+            if not got:
+                time.sleep(0.002)
+
+    # -- live rejoin ---------------------------------------------------------
+
+    def rejoin(self, ranks: List[int], attempt: int = 1) -> None:
+        """Respawn workers for ``ranks``; re-endpoint the survivors.
+
+        The REJOIN recovery primitive: a fresh fabric replaces the
+        poisoned one, parked survivors rebind to it over their control
+        channels, replacement workers are spawned for the dead ranks, and
+        every rank acknowledges the new generation.  On success the gang
+        is alive again at full width with a reset heartbeat baseline; on
+        a missing acknowledgment (a replacement died mid-rejoin — see
+        :class:`~repro.faults.plan.PlannedRespawnFail`) it raises
+        :class:`RejoinError` and the gang stays inert but stoppable.
+        """
+        if not self._started or self._stopped:
+            raise RejoinError(sorted(ranks), "gang is stopped")
+        ranks = sorted(set(ranks))
+        if not ranks or any(r < 0 or r >= self.num_shards for r in ranks):
+            raise ValueError(f"bad rejoin ranks {ranks} "
+                             f"for width {self.num_shards}")
+        self._generation += 1
+        gen = self._generation
+        # Planned respawn failures (chaos): the replacement is dead on
+        # arrival — never spawned, so its ack can only time out.
+        doa = [r for r in ranks
+               if self._injector is not None and self._injector.enabled
+               and self._injector.fail_respawn(r, attempt)]
+        if self.backend == "loopback":
+            self._rejoin_loopback(ranks, gen, doa)
+        else:
+            self._rejoin_multiprocess(ranks, gen, doa)
+        missing = self._collect_rejoin_acks(gen, doa)
+        if missing:
+            raise RejoinError(
+                missing, f"no rejoin ack from shards {missing} "
+                         f"(generation {gen}, attempt {attempt})")
+        self.respawns += len(ranks)
+        now = self._clock()
+        for r in range(self.num_shards):
+            self._monitor.reset(r, now)
+        self._alive = True
+
+    def _collect_rejoin_acks(self, gen: int, doa: List[int]) -> List[int]:
+        deadline = self._clock() + max(5.0, self.deadline_s)
+        pending = set(range(self.num_shards)) - set(doa)
+        while pending and self._clock() < deadline:
+            got = False
+            for rank in sorted(pending):
+                try:
+                    msg = self._mailbox[rank].get_nowait()
+                except queue.Empty:
+                    continue
+                got = True
+                if msg[0] == "rejoined" and msg[2] == gen:
+                    pending.discard(rank)
+                # anything else is stale pre-rejoin traffic: drop it
+            if not got:
+                time.sleep(0.002)
+        return sorted(pending | set(doa))
+
+    def _rejoin_loopback(self, ranks: List[int], gen: int,
+                         doa: List[int]) -> None:
+        old_fabric = self._fabric
+        if old_fabric is not None:
+            for r in ranks:
+                old_fabric.mark_closed(r)
+        fabric = LoopbackFabric(self.num_shards, deadline_s=self.deadline_s)
+        self._fabric = fabric
+        for r in ranks:
+            # Poison the old command queue: a wedged-but-alive zombie
+            # exits at its next read instead of serving a stale
+            # generation; its late writes land in the old, unread
+            # result queue.
+            self._cmd_queues[r].put(("stop",))
+            self._drain_mailbox(r)
+            cmd_q: "queue.Queue" = queue.Queue()
+            res_q: "queue.Queue" = queue.Queue()
+            self._cmd_queues[r] = cmd_q
+            self._res_queues[r] = res_q
+            with self._reader_lock:
+                self._readers[r] = _queue_reader(res_q)
+            if r in doa:
+                continue
+            self._spawn_loopback(r, fabric, cmd_q, res_q, gen)
+        for r in range(self.num_shards):
+            if r not in ranks:
+                self._cmd_queues[r].put(("rejoin", gen, fabric))
+
+    def _rejoin_multiprocess(self, ranks: List[int], gen: int,
+                             doa: List[int]) -> None:
+        ctx = multiprocessing.get_context("fork")
+        fabric = PipeFabric(self.num_shards, deadline_s=self.deadline_s)
+        # Reap the dead ranks first: close control pipes, kill leftovers.
+        for r in ranks:
+            with self._reader_lock:
+                self._readers.pop(r, None)
+            conn = self._conns.get(r)
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            proc = self._procs.get(r)
+            if proc is not None:
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(5.0)
+            self._drain_mailbox(r)
+        # Survivors next: their claimed endpoints are pickled over the
+        # control pipe (descriptors are duplicated at pickle time, so the
+        # parent's copies can be closed after the forks below).
+        for r in range(self.num_shards):
+            if r in ranks:
+                continue
+            try:
+                self._conns[r].send(("rejoin", gen, fabric.claim_conns(r)))
+            except (BrokenPipeError, OSError):
+                pass   # its ack will be missing; rejoin reports it
+        for r in ranks:
+            if r in doa:
+                continue
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_service_worker_main,
+                args=(fabric, r, self.batch, self.profile_dir, child_conn,
+                      self.hb_interval_s, self.hb_seed,
+                      _fault_payload(self._fault), gen),
+                name=f"repro-svc-shard-{r}g{gen}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self._procs[r] = proc
+            self._conns[r] = parent_conn
+            with self._reader_lock:
+                self._readers[r] = _conn_reader(parent_conn)
+        fabric.close_all()
 
     # -- loopback backend (threads) ------------------------------------------
 
     def _start_loopback(self) -> None:
         self._fabric = LoopbackFabric(self.num_shards,
                                       deadline_s=self.deadline_s)
-        self._cmd_queues = [queue.Queue() for _ in range(self.num_shards)]
-        self._res_queues = [queue.Queue() for _ in range(self.num_shards)]
-        self._threads = [
-            threading.Thread(target=self._serve_loopback, args=(rank,),
-                             name=f"svc-shard-{rank}", daemon=True)
-            for rank in range(self.num_shards)]
-        for t in self._threads:
-            t.start()
+        for rank in range(self.num_shards):
+            cmd_q: "queue.Queue" = queue.Queue()
+            res_q: "queue.Queue" = queue.Queue()
+            self._cmd_queues[rank] = cmd_q
+            self._res_queues[rank] = res_q
+            self._readers[rank] = _queue_reader(res_q)
+            self._spawn_loopback(rank, self._fabric, cmd_q, res_q, 0)
 
-    def _serve_loopback(self, rank: int) -> None:
+    def _spawn_loopback(self, rank: int, fabric: LoopbackFabric,
+                        cmd_q: "queue.Queue", res_q: "queue.Queue",
+                        gen: int) -> None:
+        t = threading.Thread(
+            target=self._serve_loopback,
+            args=(rank, fabric, cmd_q, res_q, gen),
+            name=f"svc-shard-{rank}" + (f"g{gen}" if gen else ""),
+            daemon=True)
+        self._threads[rank] = t
+        t.start()
+
+    def _serve_loopback(self, rank: int, fabric: LoopbackFabric,
+                        cmd_q: "queue.Queue", res_q: "queue.Queue",
+                        announce_gen: int) -> None:
+        # Everything this loop touches arrives as an argument (never via
+        # self-indexed lookups): after a respawn the old zombie keeps its
+        # own dead queues and fabric, invisible to the new generation.
+        stop_beats = threading.Event()
         worker = ServiceShardWorker(
-            self._fabric.transport(rank), backend="loopback",
+            fabric.transport(rank), backend="loopback",
             batch=self.batch, profile_dir=self.profile_dir)
-        while True:
-            cmd = self._cmd_queues[rank].get()
-            if cmd[0] == "stop":
-                worker.save_profile()
-                return
-            job = cmd[1]
-            try:
-                report = worker.run_job(
-                    ProgramSpec.from_payload(job["spec"]),
-                    program_id=job["program_id"], session=job["session"],
-                    capture_digests=job["capture"],
-                    injector=_fault_injector(job["fault"]))
-            except BaseException as exc:  # noqa: BLE001 - reported upward
-                # Peers block in the dead replica's collective; declare
-                # this rank closed so they fail fast with PeerGone.
-                self._fabric.mark_closed(rank)
-                self._res_queues[rank].put(
-                    ("error", f"{type(exc).__name__}: {exc}"))
-                worker.save_profile()
-                return
-            self._res_queues[rank].put(("ok", report))
-
-    def _broadcast_loopback(self, job: dict) -> Dict[int, tuple]:
-        for q in self._cmd_queues:
-            q.put(("job", job))
-        deadline = time.monotonic() + self.job_timeout_s
-        results: Dict[int, tuple] = {}
-        for rank, q in enumerate(self._res_queues):
-            try:
-                results[rank] = q.get(
-                    timeout=max(0.0, deadline - time.monotonic()))
-            except queue.Empty:
-                results[rank] = ("timeout",
-                                 f"no result within {self.job_timeout_s}s")
-        return results
+        ticker = threading.Thread(
+            target=_ticker_loop,
+            args=(lambda k: res_q.put(("beat", rank, k)), rank, stop_beats,
+                  self.hb_interval_s, self.hb_seed, self._injector),
+            name=f"svc-hb-{rank}", daemon=True)
+        ticker.start()
+        if announce_gen:
+            res_q.put(("rejoined", rank, announce_gen))
+        try:
+            while True:
+                cmd = cmd_q.get()
+                if cmd[0] == "stop":
+                    worker.save_profile()
+                    return
+                if cmd[0] == "rejoin":
+                    _, gen, new_fabric = cmd
+                    fabric = new_fabric
+                    worker.rebind(fabric.transport(rank))
+                    res_q.put(("rejoined", rank, gen))
+                    continue
+                job = cmd[1]
+                try:
+                    report = worker.run_job(
+                        ProgramSpec.from_payload(job["spec"]),
+                        program_id=job["program_id"],
+                        session=job["session"],
+                        capture_digests=job["capture"],
+                        injector=_fault_injector(job["fault"]))
+                except BaseException as exc:  # noqa: BLE001 - reported up
+                    message, primary, culprits = \
+                        classify_worker_failure(exc, rank)
+                    res_q.put(("error", {"rank": rank, "error": message,
+                                         "primary": primary,
+                                         "culprits": culprits}))
+                    if primary:
+                        # Peers block in the dead replica's collective;
+                        # declare this rank closed so they fail fast.
+                        fabric.mark_closed(rank)
+                        worker.save_profile()
+                        return
+                    # Secondary observer: park for rejoin (or stop) — the
+                    # gang heals around the culprit without losing us.
+                    # Close our endpoints first so the abort *cascades*:
+                    # a peer waiting on us fails fast with PeerGone
+                    # instead of draining its whole recv deadline.
+                    fabric.mark_closed(rank)
+                    continue
+                res_q.put(("ok", report))
+        finally:
+            stop_beats.set()
 
     # -- multiprocess backend (fork) -----------------------------------------
 
@@ -276,51 +789,49 @@ class ServiceGang:
             proc = ctx.Process(
                 target=_service_worker_main,
                 args=(fabric, rank, self.batch, self.profile_dir,
-                      child_conn),
+                      child_conn, self.hb_interval_s, self.hb_seed,
+                      _fault_payload(self._fault), 0),
                 name=f"repro-svc-shard-{rank}", daemon=True)
             proc.start()
             child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._procs[rank] = proc
+            self._conns[rank] = parent_conn
+            self._readers[rank] = _conn_reader(parent_conn)
         # Workers hold their claimed mesh endpoints; drop the parent's
         # copies so a dead worker's peers observe EOF, not a deadline.
         fabric.close_all()
 
-    def _broadcast_multiprocess(self, job: dict) -> Dict[int, tuple]:
-        results: Dict[int, tuple] = {}
-        for rank, conn in enumerate(self._conns):
-            try:
-                conn.send(("job", job))
-            except (BrokenPipeError, OSError):
-                results[rank] = ("error", "worker control pipe is closed")
-        deadline = time.monotonic() + self.job_timeout_s
-        for rank, conn in enumerate(self._conns):
-            if rank in results:
-                continue
-            remaining = max(0.0, deadline - time.monotonic())
-            try:
-                if conn.poll(remaining):
-                    results[rank] = conn.recv()
-                else:
-                    results[rank] = (
-                        "timeout",
-                        f"no result within {self.job_timeout_s}s "
-                        f"(pid {self._procs[rank].pid})")
-            except (EOFError, OSError):
-                results[rank] = ("error", "worker died without a result")
-        return results
-
 
 def _service_worker_main(fabric: PipeFabric, rank: int, batch: int,
-                         profile_dir: Optional[str], conn: Any) -> None:
+                         profile_dir: Optional[str], conn: Any,
+                         hb_interval_s: float = 0.25, hb_seed: int = 0,
+                         fault_payload: Optional[dict] = None,
+                         announce_gen: int = 0) -> None:
     """Forked child: claim the mesh, then serve jobs until stop or death."""
     transport = None
     worker = None
+    stop_beats = threading.Event()
+    send_lock = threading.Lock()
+
+    def _send(msg: tuple) -> None:
+        # The ticker and the serve loop share one duplex pipe; sends are
+        # serialized so beat frames never interleave with result frames.
+        with send_lock:
+            conn.send(msg)
+
     try:
         fabric.close_other_ends(rank)
         transport = fabric.transport(rank)
         worker = ServiceShardWorker(transport, backend="multiprocess",
                                     batch=batch, profile_dir=profile_dir)
+        ticker = threading.Thread(
+            target=_ticker_loop,
+            args=(lambda k: _send(("beat", rank, k)), rank, stop_beats,
+                  hb_interval_s, hb_seed, _fault_injector(fault_payload)),
+            name=f"svc-hb-{rank}", daemon=True)
+        ticker.start()
+        if announce_gen:
+            _send(("rejoined", rank, announce_gen))
         while True:
             try:
                 cmd = conn.recv()
@@ -328,6 +839,17 @@ def _service_worker_main(fabric: PipeFabric, rank: int, batch: int,
                 return                      # driver is gone; fold quietly
             if cmd[0] == "stop":
                 return
+            if cmd[0] == "rejoin":
+                _, gen, conns = cmd
+                worker.rebind(claimed_transport(
+                    rank, fabric.num_shards, conns,
+                    deadline_s=fabric.deadline_s))
+                transport = worker.transport
+                try:
+                    _send(("rejoined", rank, gen))
+                except (BrokenPipeError, OSError):
+                    return
+                continue
             job = cmd[1]
             try:
                 report = worker.run_job(
@@ -336,13 +858,28 @@ def _service_worker_main(fabric: PipeFabric, rank: int, batch: int,
                     capture_digests=job["capture"],
                     injector=_fault_injector(job["fault"]))
             except BaseException as exc:  # noqa: BLE001 - reported upward
+                message, primary, culprits = \
+                    classify_worker_failure(exc, rank)
                 try:
-                    conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                    _send(("error", {"rank": rank, "error": message,
+                                     "primary": primary,
+                                     "culprits": culprits}))
                 except (BrokenPipeError, OSError):
                     pass
-                return   # die: the transport closes in finally, peers EOF
-            conn.send(("ok", report.to_payload()))
+                if primary:
+                    return   # die: transport closes in finally, peers EOF
+                # Secondary observer: park for rejoin or stop.  Close our
+                # mesh endpoints first so peers waiting on *us* observe
+                # EOF and cascade-abort instead of draining their recv
+                # deadline (rejoin hands us a fresh transport anyway).
+                try:
+                    worker.transport.close()
+                except Exception:  # noqa: BLE001 - already half dead
+                    pass
+                continue
+            _send(("ok", report.to_payload()))
     finally:
+        stop_beats.set()
         if worker is not None:
             worker.save_profile()
         if transport is not None:

@@ -11,6 +11,13 @@ Each client draws programs from a small pool of shapes (deterministic in
 ``seed``) whose *parameters* vary per submission — the shape-pool model
 under which analysis templates pay off: the first submission of a shape is
 a cold analysis, every later one a parameter patch.
+
+Backpressure: clients stay open-loop but *honor* the service's admission
+verdicts — a ``queue_full`` / ``session_cap`` rejection doubles the
+client's backoff multiplier (stretching its arrival schedule) and a
+``deadline`` rejection is terminal for that submission; successes shrink
+the multiplier back toward 1.  The counters distinguish the two, so a
+soak can assert that overload protection actually engaged.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from typing import Dict, List, Optional
 
 from ..core.rng import threefry2x64
 from ..dist.programs import OpSpec, ProgramSpec
-from .service import AdmissionError, DCRService, JobHandle
+from .service import AdmissionError, DCRService, JobExpired, JobHandle
 
 __all__ = ["LoadResult", "make_shape_pool", "run_load"]
 
@@ -40,6 +47,9 @@ class LoadResult:
     completed: int = 0
     rejected: int = 0
     failed: int = 0
+    expired: int = 0             # admitted but missed their start deadline
+    backpressure_waits: int = 0  # queue_full/session_cap rejections honored
+    deadline_rejects: int = 0    # refused up front as guaranteed-late
     template_hits: int = 0       # completed reports served from a template
     wall_s: float = 0.0
     by_session: Dict[str, int] = field(default_factory=dict)
@@ -91,13 +101,15 @@ def _with_fresh_params(spec: ProgramSpec, seed: int,
 def run_load(service: DCRService, clients: int,
              submissions_per_client: int, shapes: int = 2,
              tiles: int = 8, steps: int = 2, rate_hz: float = 0.0,
-             seed: int = 0,
-             timeout_s: Optional[float] = None) -> LoadResult:
+             seed: int = 0, timeout_s: Optional[float] = None,
+             deadline_s: Optional[float] = None) -> LoadResult:
     """Drive ``clients`` concurrent sessions; await and tally everything.
 
     ``rate_hz`` is the per-client open-loop arrival rate (0 = submit as
-    fast as the interpreter allows).  Everything is deterministic in
-    ``seed`` except scheduling order.
+    fast as the interpreter allows); ``deadline_s`` attaches a start
+    deadline to every submission, engaging the service's deadline-aware
+    admission.  Everything is deterministic in ``seed`` except scheduling
+    order.
     """
     pool = make_shape_pool(shapes, tiles, steps, seed)
     result = LoadResult(clients=clients)
@@ -110,6 +122,9 @@ def run_load(service: DCRService, clients: int,
         next_at = time.monotonic()
         submitted = 0
         rejected = 0
+        bp_waits = 0
+        dl_rejects = 0
+        backoff = 1.0
         for n in range(submissions_per_client):
             if interval:
                 next_at += interval
@@ -119,10 +134,22 @@ def run_load(service: DCRService, clients: int,
             shape = pool[_draw(seed, idx, n) % len(pool)]
             spec = _with_fresh_params(shape, seed + idx + 1, n)
             try:
-                h = session.submit(spec)
-            except AdmissionError:
+                h = session.submit(spec, deadline_s=deadline_s)
+            except AdmissionError as err:
                 rejected += 1
+                if err.reason == "deadline":
+                    # Guaranteed-late: backing off cannot help this one.
+                    dl_rejects += 1
+                else:
+                    # Backpressure signal: stretch the arrival schedule.
+                    bp_waits += 1
+                    backoff = min(8.0, backoff * 2.0)
+                    if interval:
+                        next_at += interval * (backoff - 1.0)
+                    else:
+                        time.sleep(0.001 * backoff)
                 continue
+            backoff = max(1.0, backoff / 2.0)
             submitted += 1
             with lock:
                 handles.append(h)
@@ -130,6 +157,8 @@ def run_load(service: DCRService, clients: int,
         with lock:
             result.submitted += submitted
             result.rejected += rejected
+            result.backpressure_waits += bp_waits
+            result.deadline_rejects += dl_rejects
             result.by_session[session.name] = submitted
 
     t0 = time.perf_counter()
@@ -145,6 +174,9 @@ def run_load(service: DCRService, clients: int,
     for h in handles:
         try:
             report = h.result(timeout=wait_s)
+        except JobExpired:
+            result.expired += 1
+            continue
         except Exception:
             result.failed += 1
             continue

@@ -16,10 +16,17 @@ service multiplexes every session onto a single persistent
   submission of the same shape is served driver-side by parameter
   patching, never touching the gang (see :mod:`repro.service.templates`);
 * **recovery** — a dead gang (crashed replica, divergence, timeout) is
-  rebuilt per :func:`repro.resilience.plan_gang_recovery`: DEGRADE
-  shrinks the gang one shard, RESTART rebuilds at full width, both re-run
-  the failed submission; ABORT/LOCALIZE fail the submission but still
-  rebuild so the service keeps serving.
+  healed per :func:`repro.resilience.plan_gang_recovery`: REJOIN respawns
+  exactly the culprit rank(s) and re-endpoints the survivors (the gang
+  returns to full width in place, without dropping other sessions'
+  work), DEGRADE shrinks the gang one shard, RESTART rebuilds at full
+  width — all three re-run the failed submission; ABORT/LOCALIZE fail
+  the submission but still rebuild so the service keeps serving;
+* **overload protection** — deadline-aware admission (work that cannot
+  start before its deadline is rejected up front, and expired at
+  dispatch time if the estimate was wrong), plus a :meth:`DCRService.
+  health` endpoint summarizing width, heartbeat suspicion, respawn
+  budget, and backpressure for load generators to steer by.
 """
 
 from __future__ import annotations
@@ -27,26 +34,45 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
+from ..dist.heartbeat import respawn_backoff
 from ..dist.programs import ProgramSpec
 from ..dist.report import MergedReport, merge_reports
 from ..faults.plan import FaultPlan
 from ..obs.events import (CAT_SERVICE, CONTROL_SHARD, EV_GANG_REBUILD,
-                          EV_GANG_START, EV_JOB_ADMIT, EV_JOB_DISPATCH,
-                          EV_JOB_DONE, EV_JOB_REJECT, EV_SESSION_CLOSE,
+                          EV_GANG_REJOIN, EV_GANG_RESPAWN, EV_GANG_START,
+                          EV_JOB_ADMIT, EV_JOB_DISPATCH, EV_JOB_DONE,
+                          EV_JOB_EXPIRE, EV_JOB_REJECT, EV_SESSION_CLOSE,
                           EV_SESSION_OPEN, EV_TEMPLATE_HIT,
                           EV_TEMPLATE_RECORDED)
 from ..obs.profiler import Profiler
 from ..resilience import ResilienceConfig, plan_gang_recovery
-from .gang import GANG_BACKENDS, GangFailure, ServiceGang
+from .gang import (GANG_BACKENDS, GangFailure, RejoinError, ServiceGang)
 from .templates import TemplateStore
 
-__all__ = ["AdmissionError", "JobHandle", "Session", "DCRService"]
+__all__ = ["AdmissionError", "JobExpired", "JobHandle", "Session",
+           "DCRService"]
 
 
 class AdmissionError(RuntimeError):
-    """The service refused a submission to protect itself from overload."""
+    """The service refused a submission to protect itself from overload.
+
+    ``reason`` distinguishes backpressure (``queue_full`` /
+    ``session_cap`` — retry later) from ``deadline`` (the job could not
+    have started in time — retrying immediately is pointless);
+    ``queue_depth`` lets clients scale their backoff to the actual load.
+    """
+
+    def __init__(self, message: str, reason: str = "",
+                 queue_depth: int = 0):
+        self.reason = reason
+        self.queue_depth = queue_depth
+        super().__init__(message)
+
+
+class JobExpired(RuntimeError):
+    """An admitted job missed its deadline before it could be dispatched."""
 
 
 class JobHandle:
@@ -80,14 +106,16 @@ class JobHandle:
 
 
 class _Job:
-    __slots__ = ("spec", "handle", "fault", "submitted_at")
+    __slots__ = ("spec", "handle", "fault", "submitted_at", "deadline_at")
 
     def __init__(self, spec: ProgramSpec, handle: JobHandle,
-                 fault: Optional[FaultPlan]):
+                 fault: Optional[FaultPlan],
+                 deadline_at: Optional[float] = None):
         self.spec = spec
         self.handle = handle
         self.fault = fault
         self.submitted_at = time.perf_counter()
+        self.deadline_at = deadline_at     # service-clock instant, or None
 
 
 class _SessionState:
@@ -109,8 +137,10 @@ class Session:
         self.name = name
 
     def submit(self, spec: ProgramSpec,
-               fault: Optional[FaultPlan] = None) -> JobHandle:
-        return self._service.submit(self.name, spec, fault=fault)
+               fault: Optional[FaultPlan] = None,
+               deadline_s: Optional[float] = None) -> JobHandle:
+        return self._service.submit(self.name, spec, fault=fault,
+                                    deadline_s=deadline_s)
 
     def run(self, spec: ProgramSpec,
             timeout: Optional[float] = None) -> MergedReport:
@@ -139,7 +169,9 @@ class DCRService:
                  template_capacity: int = 128,
                  deadline_s: float = 30.0, job_timeout_s: float = 60.0,
                  profile_dir: Optional[str] = None,
-                 profiler: Optional[Profiler] = None):
+                 profiler: Optional[Profiler] = None,
+                 hb_interval_s: float = 0.25,
+                 clock: Callable[[], float] = time.monotonic):
         if backend not in GANG_BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"expected one of {GANG_BACKENDS}")
@@ -155,8 +187,11 @@ class DCRService:
         self.profile_dir = profile_dir
         self.profiler = profiler if profiler is not None else Profiler(
             enabled=profile_dir is not None)
+        self.hb_interval_s = hb_interval_s
+        self.clock = clock
         self.templates = TemplateStore(capacity=template_capacity)
         self._width = num_shards
+        self._target_width = num_shards    # the width REJOIN heals back to
         self._gang: Optional[ServiceGang] = None
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -166,13 +201,18 @@ class DCRService:
         self._session_seq = 0
         self._job_seq = 0
         self._recoveries = 0
+        self._respawns_used = 0
         self._failed_permanently = False
         self._running = False
         self._scheduler: Optional[threading.Thread] = None
+        # EWMA of cold (gang-touching) job duration: the admission
+        # estimator's model of how fast the queue drains.
+        self._job_ewma_s = 0.0
         # counters (read via stats())
         self.jobs_completed = 0
         self.jobs_failed = 0
         self.jobs_rejected = 0
+        self.jobs_expired = 0
         self.template_serves = 0
 
     # -- lifecycle -----------------------------------------------------------
@@ -226,7 +266,10 @@ class DCRService:
         gang = ServiceGang(width, backend=self.backend, batch=self.batch,
                            deadline_s=self.deadline_s,
                            job_timeout_s=self.job_timeout_s,
-                           profile_dir=self.profile_dir).start()
+                           profile_dir=self.profile_dir,
+                           profiler=self.profiler,
+                           hb_interval_s=self.hb_interval_s,
+                           clock=self.clock).start()
         prof = self.profiler
         if prof.enabled:
             prof.instant(CONTROL_SHARD, CAT_SERVICE, EV_GANG_START,
@@ -267,8 +310,17 @@ class DCRService:
     # -- admission -----------------------------------------------------------
 
     def submit(self, session: str, spec: ProgramSpec,
-               fault: Optional[FaultPlan] = None) -> JobHandle:
-        """Admit one program for ``session`` or raise AdmissionError."""
+               fault: Optional[FaultPlan] = None,
+               deadline_s: Optional[float] = None) -> JobHandle:
+        """Admit one program for ``session`` or raise AdmissionError.
+
+        ``deadline_s`` is a start deadline, relative to now: if the
+        estimated queue drain (pending jobs times the cold-job EWMA)
+        already exceeds it the submission is rejected immediately with
+        ``reason="deadline"``, and an admitted job that nevertheless
+        misses its deadline resolves with :class:`JobExpired` at
+        dispatch time instead of occupying the gang.
+        """
         prof = self.profiler
         with self._cond:
             if not self._running or self._failed_permanently:
@@ -285,7 +337,9 @@ class DCRService:
                     prof.instant(CONTROL_SHARD, CAT_SERVICE, EV_JOB_REJECT,
                                  session=session, reason="queue_full")
                 raise AdmissionError(
-                    f"queue full ({self.max_pending} pending)")
+                    f"queue full ({self.max_pending} pending)",
+                    reason="queue_full",
+                    queue_depth=self._pending_total)
             if state.inflight >= self.session_inflight:
                 self.jobs_rejected += 1
                 if prof.enabled:
@@ -293,13 +347,35 @@ class DCRService:
                                  session=session, reason="session_cap")
                 raise AdmissionError(
                     f"session {session!r} at its in-flight cap "
-                    f"({self.session_inflight})")
+                    f"({self.session_inflight})",
+                    reason="session_cap",
+                    queue_depth=self._pending_total)
+            deadline_at = None
+            if deadline_s is not None:
+                # Deadline-aware admission: refuse work that (by the
+                # current drain estimate) cannot start in time, so a
+                # saturated service sheds load instead of queueing
+                # guaranteed-late jobs.
+                est_start_s = self._pending_total * self._job_ewma_s
+                if est_start_s > deadline_s:
+                    self.jobs_rejected += 1
+                    if prof.enabled:
+                        prof.instant(CONTROL_SHARD, CAT_SERVICE,
+                                     EV_JOB_REJECT, session=session,
+                                     reason="deadline")
+                    raise AdmissionError(
+                        f"cannot start within {deadline_s}s "
+                        f"(estimated start delay {est_start_s:.3f}s over "
+                        f"{self._pending_total} pending)",
+                        reason="deadline",
+                        queue_depth=self._pending_total)
+                deadline_at = self.clock() + deadline_s
             self._job_seq += 1
             state.submitted += 1
             handle = JobHandle(job_id=f"job-{self._job_seq}",
                                program_id=f"{session}/p{state.submitted}",
                                session=session)
-            state.queue.append(_Job(spec, handle, fault))
+            state.queue.append(_Job(spec, handle, fault, deadline_at))
             state.inflight += 1
             self._pending_total += 1
             if prof.enabled:
@@ -340,6 +416,20 @@ class DCRService:
         t0 = prof.now_us() if prof.enabled else 0.0
         report: Optional[MergedReport] = None
         error: Optional[BaseException] = None
+        if job.deadline_at is not None and self.clock() > job.deadline_at:
+            # Admission's drain estimate was optimistic: shed the job now
+            # rather than spend gang time on an answer nobody wants.
+            self.jobs_expired += 1
+            if prof.enabled:
+                prof.instant(CONTROL_SHARD, CAT_SERVICE, EV_JOB_EXPIRE,
+                             program=handle.program_id,
+                             session=handle.session)
+            with self._cond:
+                self._sessions[handle.session].inflight -= 1
+                self._cond.notify_all()
+            handle._resolve(None, JobExpired(
+                f"job {handle.job_id} missed its start deadline"))
+            return
         # A submission carrying a fault plan must reach the gang — serving
         # it from a template would silently skip the injection the caller
         # asked for (chaos tests and the CI chaos tier depend on this).
@@ -353,10 +443,15 @@ class DCRService:
                 prof.instant(CONTROL_SHARD, CAT_SERVICE, EV_TEMPLATE_HIT,
                              program=handle.program_id, key=str(tpl.key))
         else:
+            cold0 = time.perf_counter()
             try:
                 report = self._run_cold(job)
             except BaseException as exc:  # noqa: BLE001 - resolved below
                 error = exc
+            else:
+                observed = time.perf_counter() - cold0
+                self._job_ewma_s = observed if self._job_ewma_s == 0.0 \
+                    else 0.7 * self._job_ewma_s + 0.3 * observed
         with self._cond:
             state = self._sessions[handle.session]
             state.inflight -= 1
@@ -405,26 +500,80 @@ class DCRService:
                         program=handle.program_id)
             return merged
 
+    def _resync_source(self, width: int) -> str:
+        """What a respawned rank resyncs from at ``width``.
+
+        Theorem 1 already guarantees a fresh replica recomputes identical
+        graphs ("fresh-replay"); when the template store holds entries at
+        this width the verified per-call digests double as the replay
+        check material ("width-keyed-templates"), so the rejoined gang's
+        first conformance check validates the respawn against previously
+        verified streams rather than only against its new peers.
+        """
+        return "width-keyed-templates" \
+            if self.templates.entries_at_width(width) else "fresh-replay"
+
     def _recover(self, failure: GangFailure) -> bool:
-        """Rebuild the gang per policy; True if the job should retry."""
-        self._recoveries += 1
-        plan = plan_gang_recovery(self.resilience, failure, self._width,
-                                  self._recoveries)
-        if plan.action == "exhausted":
-            with self._lock:
-                self._failed_permanently = True
-            return False
-        new_width = int(plan.details["new_width"])
-        self._gang.stop()
-        self._width = new_width
-        self._gang = self._build_gang(new_width)
+        """Heal the gang per policy; True if the job should retry.
+
+        REJOIN heals in place — deterministic backoff, respawn exactly
+        the culprit ranks, re-endpoint the survivors — and replans on
+        :class:`RejoinError` until the respawn budget forces the DEGRADE
+        fallback; every other action stops the gang and rebuilds it at
+        the planned width.
+        """
         prof = self.profiler
-        if prof.enabled:
-            prof.instant(CONTROL_SHARD, CAT_SERVICE, EV_GANG_REBUILD,
-                         action=plan.action, shards=new_width,
-                         attempt=self._recoveries,
-                         culprits=list(failure.culprit_shards))
-        return bool(plan.details["retry"])
+        current: BaseException = failure
+        while True:
+            self._recoveries += 1
+            plan = plan_gang_recovery(
+                self.resilience, current, self._width, self._recoveries,
+                respawns_used=self._respawns_used,
+                suspicion=getattr(current, "suspicion", None)
+                or self._gang.suspicion(),
+                resync_source=self._resync_source(self._width))
+            if plan.action == "exhausted":
+                with self._lock:
+                    self._failed_permanently = True
+                return False
+            if plan.action == "respawn":
+                ranks = list(plan.details["respawned"])
+                attempt = int(plan.details["respawn_attempt"])
+                # Counter-based backoff: a pure function of the attempt
+                # number, never wall-clock jitter, so two identically
+                # seeded soaks heal on identical schedules.
+                time.sleep(respawn_backoff(0, attempt))
+                if prof.enabled:
+                    prof.instant(CONTROL_SHARD, CAT_SERVICE,
+                                 EV_GANG_RESPAWN, ranks=ranks,
+                                 attempt=attempt,
+                                 generation=self._gang.generation + 1)
+                self._respawns_used += 1
+                try:
+                    self._gang.rejoin(ranks, attempt=attempt)
+                except RejoinError as exc:
+                    # The replacement died mid-rejoin: replan (another
+                    # respawn while budget lasts, then DEGRADE).
+                    current = exc
+                    continue
+                if prof.enabled:
+                    prof.instant(CONTROL_SHARD, CAT_SERVICE,
+                                 EV_GANG_REJOIN, ranks=ranks,
+                                 shards=self._width,
+                                 generation=self._gang.generation,
+                                 resync=plan.resync_source)
+                return True
+            new_width = int(plan.details["new_width"])
+            self._gang.stop()
+            self._width = new_width
+            self._gang = self._build_gang(new_width)
+            if prof.enabled:
+                prof.instant(CONTROL_SHARD, CAT_SERVICE, EV_GANG_REBUILD,
+                             action=plan.action, shards=new_width,
+                             attempt=self._recoveries,
+                             culprits=list(getattr(
+                                 current, "culprit_shards", ())))
+            return bool(plan.details["retry"])
 
     # -- introspection -------------------------------------------------------
 
@@ -433,12 +582,60 @@ class DCRService:
             return {
                 "backend": self.backend,
                 "shards": self._width,
+                "width_target": self._target_width,
                 "sessions": len(self._sessions),
                 "pending": self._pending_total,
                 "completed": self.jobs_completed,
                 "failed": self.jobs_failed,
                 "rejected": self.jobs_rejected,
+                "expired": self.jobs_expired,
                 "template_serves": self.template_serves,
                 "recoveries": self._recoveries,
+                "respawns": self._respawns_used,
                 "templates": self.templates.stats(),
             }
+
+    def health(self) -> Dict[str, Any]:
+        """The health endpoint: one dict a load balancer could poll.
+
+        ``status`` summarizes the whole service: ``ok`` (full width, not
+        backpressured), ``degraded`` (serving below target width, or a
+        replica under heartbeat suspicion), ``overloaded`` (admission is
+        rejecting — clients should back off), ``down`` (recovery budget
+        exhausted or not running).
+        """
+        with self._lock:
+            running = self._running and not self._failed_permanently
+            pending = self._pending_total
+            width = self._width
+            gang = self._gang
+        suspicion = gang.suspicion() if gang is not None else {}
+        suspect_ranks = sorted(
+            int(r) for r, s in suspicion.get("ranks", {}).items()
+            if s["state"] != "healthy")
+        backpressure = pending >= self.max_pending
+        if not running:
+            status = "down"
+        elif backpressure:
+            status = "overloaded"
+        elif width < self._target_width or suspect_ranks:
+            status = "degraded"
+        else:
+            status = "ok"
+        budget = getattr(self.resilience, "respawn_budget", 0)
+        return {
+            "status": status,
+            "backend": self.backend,
+            "width": width,
+            "width_target": self._target_width,
+            "pending": pending,
+            "max_pending": self.max_pending,
+            "backpressure": backpressure,
+            "suspect_ranks": suspect_ranks,
+            "suspicion": suspicion,
+            "respawns": {"used": self._respawns_used, "budget": budget},
+            "jobs": {"completed": self.jobs_completed,
+                     "failed": self.jobs_failed,
+                     "rejected": self.jobs_rejected,
+                     "expired": self.jobs_expired},
+        }

@@ -74,6 +74,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--require-hits", type=int, default=0, metavar="N",
                         help="fail unless >= N submissions were served "
                              "from analysis templates")
+    parser.add_argument("--require-rejoin", action="store_true",
+                        help="fail unless at least one live respawn "
+                             "healed the gang back to full width")
+    parser.add_argument("--respawn-budget", type=int, default=2,
+                        help="live respawn attempts before the REJOIN "
+                             "policy degrades (default 2)")
+    parser.add_argument("--job-deadline", type=float, default=None,
+                        metavar="S",
+                        help="attach a start deadline (seconds) to every "
+                             "load submission (deadline-aware admission)")
+    parser.add_argument("--health-json", metavar="PATH", default=None,
+                        help="write the post-load health endpoint "
+                             "snapshot as JSON")
     parser.add_argument("--deadline", type=float, default=10.0,
                         help="transport receive deadline in seconds "
                              "(default 10; also bounds crash detection)")
@@ -92,7 +105,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     resilience = ResilienceConfig(policy=RecoveryPolicy(args.policy),
                                   max_recoveries=4,
-                                  report_dir=args.report_dir)
+                                  report_dir=args.report_dir,
+                                  respawn_budget=args.respawn_budget)
     service = DCRService(args.shards, backend=args.backend,
                          batch=args.batch, resilience=resilience,
                          deadline_s=args.deadline,
@@ -120,8 +134,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         submissions_per_client=args.submissions,
                         shapes=args.shapes, tiles=args.tiles,
                         steps=args.steps, rate_hz=args.rate,
-                        seed=args.seed)
+                        seed=args.seed, deadline_s=args.job_deadline)
         stats = service.stats()
+        health = service.health()
 
     retried = stats["recoveries"] > 0
     summary = {
@@ -133,10 +148,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "completed": load.completed,
         "failed": load.failed,
         "rejected": load.rejected,
+        "expired": load.expired,
+        "backpressure_waits": load.backpressure_waits,
+        "deadline_rejects": load.deadline_rejects,
         "template_hits": load.template_hits,
         "programs_per_s": round(load.programs_per_s, 2),
         "wall_s": round(load.wall_s, 3),
         "recoveries": stats["recoveries"],
+        "respawns": stats["respawns"],
+        "health": health["status"],
         "chaos": bool(args.chaos),
         "chaos_submission_failed": chaos_failures,
         "policy": args.policy,
@@ -154,12 +174,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("FAIL: --chaos ran but no gang recovery happened",
               file=sys.stderr)
         ok = False
-    if args.chaos and args.policy in ("degrade", "restart") \
+    if args.chaos and args.policy in ("degrade", "restart", "rejoin") \
             and chaos_failures:
         print("FAIL: poisoned submission was not recovered under "
               f"policy {args.policy}", file=sys.stderr)
         ok = False
+    if args.require_rejoin:
+        if stats["respawns"] < 1:
+            print("FAIL: --require-rejoin but no live respawn happened",
+                  file=sys.stderr)
+            ok = False
+        elif stats["shards"] != args.shards:
+            print(f"FAIL: gang ended at width {stats['shards']}, not "
+                  f"healed back to {args.shards}", file=sys.stderr)
+            ok = False
 
+    if args.health_json:
+        os.makedirs(os.path.dirname(args.health_json) or ".",
+                    exist_ok=True)
+        with open(args.health_json, "w", encoding="utf-8") as fh:
+            json.dump(health, fh, indent=2)
+        print(f"health snapshot written to {args.health_json}")
     if args.json:
         os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
         with open(args.json, "w", encoding="utf-8") as fh:

@@ -66,3 +66,33 @@ def test_loopback_join_shares_one_deadline(monkeypatch):
     # All four wedged shard threads share one 1s deadline; the old code
     # joined each with the full timeout (>= 4s total).
     assert elapsed < 3.0, f"wedged loopback gang held the runner {elapsed:.1f}s"
+
+
+def _exit_fast_worker():
+    pass
+
+
+def test_terminate_gang_is_idempotent_and_orphan_free():
+    """terminate_gang must survive double invocation, already-exited
+    workers, already-closed pipes, and a SIGSTOPped (stalled) worker that
+    ignores SIGTERM — and leave no process behind in every case."""
+    import os
+    import signal
+
+    ctx = multiprocessing.get_context("fork")
+    entries = []
+    for rank in range(4):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        target = _exit_fast_worker if rank == 0 else _wedged_worker
+        proc = ctx.Process(target=target, daemon=True)
+        proc.start()
+        child_conn.close()
+        entries.append((rank, proc, parent_conn))
+    entries[0][1].join(5.0)                  # rank 0 already exited
+    entries[1][2].close()                    # rank 1's pipe already closed
+    os.kill(entries[2][1].pid, signal.SIGSTOP)   # rank 2 stalled: SIGTERM
+    #                                              queues, only KILL works
+    terminate_gang(entries)
+    terminate_gang(entries)                  # second sweep: strict no-op
+    for _rank, proc, _conn in entries:
+        assert not proc.is_alive(), f"rank {_rank} survived the sweep"
