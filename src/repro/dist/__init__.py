@@ -29,15 +29,19 @@ from .programs import OpSpec, ProgramSpec, build_field, build_operations, \
     stencil_program
 from .report import MergedReport, ShardReport, merge_reports
 from .runner import BACKENDS, DistRunner, ServiceRunner, run_reference
-from .transport import DEFAULT_DEADLINE_S, LoopbackFabric, PeerGone, \
-    PipeFabric, Transport, TransportError
+from .transport import DEFAULT_DEADLINE_S, PROCESS_BACKENDS, \
+    LoopbackFabric, PeerGone, PipeFabric, ReorderWindowExceeded, \
+    SharedMemFabric, TCPFabric, Transport, TransportError, \
+    connect_tcp_mesh, fabric_for_backend, transport_from_claim
 from .worker import ServiceShardWorker, ShardWorker, op_signature, replay
 
 __all__ = [
     "Frame", "FrameDecoder", "FrameError", "decode_frame", "encode_frame",
     "pack", "unpack",
-    "Transport", "LoopbackFabric", "PipeFabric", "TransportError",
-    "PeerGone", "DEFAULT_DEADLINE_S",
+    "Transport", "LoopbackFabric", "PipeFabric", "SharedMemFabric",
+    "TCPFabric", "TransportError", "ReorderWindowExceeded",
+    "PeerGone", "DEFAULT_DEADLINE_S", "PROCESS_BACKENDS",
+    "connect_tcp_mesh", "fabric_for_backend", "transport_from_claim",
     "DistCollectives", "DistDeterminismMonitor",
     "OpSpec", "ProgramSpec", "build_field", "build_operations",
     "stencil_program",

@@ -37,10 +37,16 @@ from typing import Any, List, Optional, Tuple
 import numpy as np
 
 __all__ = ["Frame", "FrameError", "pack", "unpack", "encode_frame",
-           "decode_frame", "FrameDecoder", "MAGIC"]
+           "encode_frame_parts", "decode_frame", "decode_frame_view",
+           "FrameDecoder", "MAGIC", "ZERO_COPY_MIN_BYTES"]
 
 MAGIC = b"\xd5\x01"          # frame marker + wire-format version 1
 _MAX_FRAME = 64 * 1024 * 1024  # sanity bound on one frame's body
+
+#: ndarray payloads at least this large decode as zero-copy views when the
+#: transport supports it (shm rings); smaller ones are copied out so the
+#: ring slot can be reclaimed immediately.
+ZERO_COPY_MIN_BYTES = 4096
 
 
 class FrameError(ValueError):
@@ -67,7 +73,7 @@ _T_NDARRAY = b"a"
 _I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
 
 
-def _pack_into(value: Any, out: List[bytes]) -> None:
+def _pack_into(value: Any, out: List[bytes], views: bool = False) -> None:
     if value is None:
         out.append(_T_NONE)
     elif value is True:
@@ -101,28 +107,34 @@ def _pack_into(value: Any, out: List[bytes]) -> None:
         out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
         out.append(struct.pack(">I", len(value)))
         for item in value:
-            _pack_into(item, out)
+            _pack_into(item, out, views)
     elif isinstance(value, dict):
         out.append(_T_DICT)
         out.append(struct.pack(">I", len(value)))
         # Canonical order: sort by each key's own encoding.
         items = sorted(value.items(), key=lambda kv: pack(kv[0]))
         for k, v in items:
-            _pack_into(k, out)
-            _pack_into(v, out)
+            _pack_into(k, out, views)
+            _pack_into(v, out, views)
     elif isinstance(value, np.generic):
         _pack_into(value.item(), out)
     elif isinstance(value, np.ndarray):
         arr = np.ascontiguousarray(value)
         dt = arr.dtype.str.encode()
-        raw = arr.tobytes()
         out.append(_T_NDARRAY)
         out.append(struct.pack(">I", len(dt)))
         out.append(dt)
         out.append(struct.pack(">I", arr.ndim))
         out.append(struct.pack(f">{arr.ndim}q", *arr.shape))
-        out.append(struct.pack(">I", len(raw)))
-        out.append(raw)
+        out.append(struct.pack(">I", arr.nbytes))
+        if views:
+            # Scatter-gather path: hand the array's own buffer to the
+            # caller (the memoryview keeps ``arr`` alive), skipping the
+            # ``tobytes`` copy.  Only fabrics that write parts in place
+            # (the shm rings) request this.
+            out.append(arr.data.cast("B"))
+        else:
+            out.append(arr.tobytes())
     else:
         raise FrameError(
             f"cannot serialize {type(value).__name__!r} onto the wire; "
@@ -137,55 +149,78 @@ def pack(value: Any) -> bytes:
     return b"".join(out)
 
 
-def _unpack_from(buf: bytes, pos: int) -> Tuple[Any, int]:
+# Single-byte tag ordinals: indexing works identically on bytes and
+# memoryview inputs, which is what lets the shm path decode in place.
+_TAG_NONE = _T_NONE[0]
+_TAG_TRUE = _T_TRUE[0]
+_TAG_FALSE = _T_FALSE[0]
+_TAG_INT64 = _T_INT64[0]
+_TAG_BIGINT = _T_BIGINT[0]
+_TAG_FLOAT = _T_FLOAT[0]
+_TAG_STR = _T_STR[0]
+_TAG_BYTES = _T_BYTES[0]
+_TAG_LIST = _T_LIST[0]
+_TAG_TUPLE = _T_TUPLE[0]
+_TAG_DICT = _T_DICT[0]
+_TAG_NDARRAY = _T_NDARRAY[0]
+
+
+def _unpack_from(buf, pos: int,
+                 arrays: Optional[List[np.ndarray]] = None) -> Tuple[Any, int]:
+    """Decode one value from ``buf`` (bytes or memoryview) at ``pos``.
+
+    When ``arrays`` is a list, large ndarray payloads are returned as
+    zero-copy views into ``buf`` and appended to ``arrays`` so the caller
+    can track when the underlying storage may be reclaimed.
+    """
     if pos >= len(buf):
         raise FrameError("truncated payload")
-    tag = buf[pos:pos + 1]
+    tag = buf[pos]
     pos += 1
-    if tag == _T_NONE:
+    if tag == _TAG_NONE:
         return None, pos
-    if tag == _T_TRUE:
+    if tag == _TAG_TRUE:
         return True, pos
-    if tag == _T_FALSE:
+    if tag == _TAG_FALSE:
         return False, pos
-    if tag == _T_INT64:
+    if tag == _TAG_INT64:
         return struct.unpack_from(">q", buf, pos)[0], pos + 8
-    if tag == _T_BIGINT:
+    if tag == _TAG_BIGINT:
         neg, n = struct.unpack_from(">BI", buf, pos)
         pos += 5
-        mag = int.from_bytes(buf[pos:pos + n], "big")
+        mag = int.from_bytes(bytes(buf[pos:pos + n]), "big")
         return (-mag if neg else mag), pos + n
-    if tag == _T_FLOAT:
+    if tag == _TAG_FLOAT:
         return struct.unpack_from(">d", buf, pos)[0], pos + 8
-    if tag == _T_STR:
+    if tag == _TAG_STR:
         n = struct.unpack_from(">I", buf, pos)[0]
         pos += 4
-        return buf[pos:pos + n].decode("utf-8"), pos + n
-    if tag == _T_BYTES:
+        return bytes(buf[pos:pos + n]).decode("utf-8"), pos + n
+    if tag == _TAG_BYTES:
         n = struct.unpack_from(">I", buf, pos)[0]
         pos += 4
         return bytes(buf[pos:pos + n]), pos + n
-    if tag in (_T_LIST, _T_TUPLE):
+    if tag in (_TAG_LIST, _TAG_TUPLE):
         n = struct.unpack_from(">I", buf, pos)[0]
         pos += 4
         items = []
         for _ in range(n):
-            item, pos = _unpack_from(buf, pos)
+            item, pos = _unpack_from(buf, pos, arrays)
             items.append(item)
-        return (items if tag == _T_LIST else tuple(items)), pos
-    if tag == _T_DICT:
+        return (items if tag == _TAG_LIST else tuple(items)), pos
+    if tag == _TAG_DICT:
         n = struct.unpack_from(">I", buf, pos)[0]
         pos += 4
         d = {}
         for _ in range(n):
-            k, pos = _unpack_from(buf, pos)
-            v, pos = _unpack_from(buf, pos)
+            k, pos = _unpack_from(buf, pos, arrays)
+            v, pos = _unpack_from(buf, pos, arrays)
             d[k] = v
         return d, pos
-    if tag == _T_NDARRAY:
+    if tag == _TAG_NDARRAY:
         n = struct.unpack_from(">I", buf, pos)[0]
         pos += 4
-        dt = buf[pos:pos + n].decode()
+        dt = bytes(buf[pos:pos + n]).decode()
         pos += n
         ndim = struct.unpack_from(">I", buf, pos)[0]
         pos += 4
@@ -194,8 +229,12 @@ def _unpack_from(buf: bytes, pos: int) -> Tuple[Any, int]:
         nb = struct.unpack_from(">I", buf, pos)[0]
         pos += 4
         arr = np.frombuffer(buf[pos:pos + nb], dtype=np.dtype(dt))
-        return arr.reshape(shape).copy(), pos + nb
-    raise FrameError(f"unknown wire tag {tag!r} at offset {pos - 1}")
+        arr = arr.reshape(shape)
+        if arrays is not None and nb >= ZERO_COPY_MIN_BYTES:
+            arrays.append(arr)
+            return arr, pos + nb
+        return arr.copy(), pos + nb
+    raise FrameError(f"unknown wire tag {bytes([tag])!r} at offset {pos - 1}")
 
 
 def unpack(buf: bytes) -> Any:
@@ -241,6 +280,26 @@ def encode_frame(frame: Frame) -> bytes:
     return MAGIC + struct.pack(">I", len(body)) + body
 
 
+def encode_frame_parts(frame: Frame) -> Tuple[List[Any], int]:
+    """``(parts, total_bytes)`` — :func:`encode_frame` as scatter-gather.
+
+    ``parts`` is a list of bytes-like pieces whose concatenation equals
+    ``encode_frame(frame)``, except that large contiguous ndarray
+    payloads contribute their own buffer instead of a ``tobytes`` copy.
+    A fabric that can write pieces sequentially into its wire buffer (the
+    shm rings) sends big arrays with a single copy end to end.
+    """
+    out: List[Any] = []
+    _pack_into((frame.kind, frame.op, frame.round,
+                frame.src, frame.dst, frame.seq, frame.payload), out,
+               views=True)
+    body_len = sum(len(p) for p in out)
+    if body_len > _MAX_FRAME:
+        raise FrameError(f"frame body of {body_len} bytes exceeds the "
+                         f"{_MAX_FRAME}-byte bound")
+    return ([MAGIC + struct.pack(">I", body_len)] + out, 6 + body_len)
+
+
 def decode_frame(buf: bytes) -> Frame:
     """Decode exactly one frame from ``buf`` (prefix + body, no trailing)."""
     frame, used = _decode_prefix(buf)
@@ -249,6 +308,35 @@ def decode_frame(buf: bytes) -> Frame:
     if used != len(buf):
         raise FrameError(f"{len(buf) - used} trailing bytes after frame")
     return frame
+
+
+def decode_frame_view(view,
+                      zero_copy: bool = True
+                      ) -> Tuple[Frame, List[np.ndarray]]:
+    """Decode one frame in place from ``view`` (bytes or memoryview).
+
+    With ``zero_copy`` large ndarray payloads stay backed by ``view``'s
+    buffer; the second return value lists those arrays so the caller can
+    hold the storage alive until every view is dropped.  Scalars, strings,
+    digests, and small arrays are copied out as usual.
+    """
+    if len(view) < 6:
+        raise FrameError("truncated frame")
+    if bytes(view[:2]) != MAGIC:
+        raise FrameError(f"bad frame magic {bytes(view[:2])!r}")
+    n = struct.unpack_from(">I", view, 2)[0]
+    if n > _MAX_FRAME:
+        raise FrameError(f"frame length {n} exceeds the {_MAX_FRAME} bound")
+    if len(view) != 6 + n:
+        raise FrameError(f"frame view is {len(view)} bytes, expected {6 + n}")
+    arrays: List[np.ndarray] = [] if zero_copy else None
+    fields, pos = _unpack_from(view, 6, arrays)
+    if pos != 6 + n:
+        raise FrameError(f"{6 + n - pos} trailing bytes after frame body")
+    if not (isinstance(fields, tuple) and len(fields) == 7):
+        raise FrameError("malformed frame body")
+    kind, op, rnd, src, dst, seq, payload = fields
+    return Frame(kind, op, rnd, src, dst, seq, payload), (arrays or [])
 
 
 def _decode_prefix(buf: bytes) -> Tuple[Optional[Frame], int]:

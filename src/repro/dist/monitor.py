@@ -31,7 +31,7 @@ the window's per-call digests and descriptions, then the shared
 
 from __future__ import annotations
 
-from typing import Any, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..core.determinism import (ControlDeterminismViolation, ShardHasher,
                                 locate_divergence, stream_digest)
@@ -47,18 +47,32 @@ _NOT_FINAL = -1
 
 
 def _combine_check(a: Tuple, b: Tuple) -> Tuple:
-    """All shards must contribute identical (start, count, digest, final)."""
-    ok = a[4] and b[4] and a[:4] == b[:4]
-    return (a[0], a[1], a[2], a[3], ok)
+    """All shards must contribute identical staged windows.
+
+    The payload is ``(windows, ok)`` where ``windows`` is a tuple of
+    ``(start, count, digest, final_total)`` — one entry per coalesced
+    window.  Any difference (digests, window shapes, window count, or
+    final totals) turns ``ok`` false on every rank in the same collective.
+    """
+    ok = a[1] and b[1] and a[0] == b[0]
+    return (a[0], ok)
 
 
 class DistDeterminismMonitor:
-    """Windowed determinism checking for one shard process."""
+    """Windowed determinism checking for one shard process.
+
+    ``coalesce`` batches that many completed windows into a single digest
+    allreduce: the control-plane message count per window drops by the
+    same factor, at the cost of divergence being detected up to
+    ``coalesce × batch`` calls later (the LOCALIZE search then covers the
+    whole coalesced span, so the diagnosis stays exact).
+    """
 
     def __init__(self, collectives: DistCollectives, batch: int = 64,
                  enabled: bool = True, localize: bool = True,
                  profiler: Optional[Profiler] = None,
-                 injector: Optional[FaultInjector] = None):
+                 injector: Optional[FaultInjector] = None,
+                 coalesce: int = 1):
         self.collectives = collectives
         self.rank = collectives.rank
         self.num_shards = collectives.num_shards
@@ -66,8 +80,10 @@ class DistDeterminismMonitor:
         self.batch = max(1, batch)
         self.enabled = enabled
         self.localize = localize
+        self.coalesce = max(1, coalesce)
         self.profiler = profiler if profiler is not None else get_profiler()
         self._verified = 0
+        self._staged: List[Tuple[int, int, int, int]] = []
         self.checks_performed = 0
 
     # -- recording -----------------------------------------------------------
@@ -80,18 +96,21 @@ class DistDeterminismMonitor:
 
     def maybe_check(self) -> None:
         if self.enabled and self._ready() >= self.batch:
-            self._check(self._ready(), final_total=_NOT_FINAL)
+            self._stage(self._ready(), final_total=_NOT_FINAL)
+            if len(self._staged) >= self.coalesce:
+                self._exchange()
 
     def flush(self) -> None:
         """Check the remaining calls and verify equal totals everywhere.
 
-        Always performs the final collective (even with an empty remainder)
-        so a shard that issued extra trailing calls is caught rather than
-        silently ignored.
+        Always performs the final collective (even with an empty remainder
+        and no staged windows) so a shard that issued extra trailing calls
+        is caught rather than silently ignored.
         """
         if not self.enabled:
             return
-        self._check(self._ready(), final_total=len(self.hasher.calls))
+        self._stage(self._ready(), final_total=len(self.hasher.calls))
+        self._exchange()
 
     def _ready(self) -> int:
         return len(self.hasher.calls) - self._verified
@@ -106,23 +125,31 @@ class DistDeterminismMonitor:
 
     # -- the collective check ------------------------------------------------
 
-    def _check(self, count: int, final_total: int) -> None:
+    def _stage(self, count: int, final_total: int) -> None:
+        """Close one window locally; exchange happens at coalesce points."""
+        start = self._verified
+        digest = stream_digest(self.hasher.calls[start:start + count])
+        self._staged.append((start, count, digest, final_total))
+        self._verified = start + count
+
+    def _exchange(self) -> None:
+        """All-reduce every staged window in one collective round."""
+        staged, self._staged = self._staged, []
         prof = self.profiler
         t0 = prof.now_us() if prof.enabled else 0.0
-        start = self._verified
         self.checks_performed += 1
-        digest = stream_digest(self.hasher.calls[start:start + count])
         verdict = self.collectives.allreduce(
-            (start, count, digest, final_total, True), _combine_check)
-        if not verdict[4]:
-            self._diverged(start, count, final_total)
-        self._verified = start + count
+            (tuple(staged), True), _combine_check)
+        span_count = sum(w[1] for w in staged)
+        if not verdict[1]:
+            self._diverged(staged[0][0], span_count, staged[-1][3])
         if prof.enabled:
             prof.complete(self.rank, CAT_DETERMINISM, EV_DET_CHECK, t0,
-                          prof.now_us() - t0, calls=count,
+                          prof.now_us() - t0, calls=span_count,
+                          windows=len(staged),
                           batch=self.checks_performed)
             prof.count("determinism.dist.batches")
-            prof.count("determinism.dist.calls_checked", count)
+            prof.count("determinism.dist.calls_checked", span_count)
 
     def _diverged(self, start: int, count: int, final_total: int) -> None:
         """Raise the structured violation; all ranks take this path."""

@@ -32,13 +32,17 @@ from ..core.determinism import ShardHasher, stream_digest
 from ..core.pipeline import DCRPipeline, analysis_digest, fence_sequence
 from .programs import ProgramSpec, build_field, build_operations
 from .report import MergedReport, ShardReport, merge_reports
-from .transport import DEFAULT_DEADLINE_S, LoopbackFabric, PipeFabric
+from .transport import (DEFAULT_DEADLINE_S, PROCESS_BACKENDS,
+                        LoopbackFabric, fabric_for_backend)
 from .worker import ShardWorker, replay
 
 __all__ = ["DistRunner", "ServiceRunner", "run_reference", "BACKENDS",
            "supervise_gang", "terminate_gang"]
 
-BACKENDS = ("loopback", "multiprocess")
+#: "loopback" threads transports in one process; the rest fork one worker
+#: process per shard over the matching fabric ("multiprocess" = pipe mesh,
+#: "shm" = shared-memory rings, "tcp" = socket mesh).
+BACKENDS = ("loopback",) + PROCESS_BACKENDS
 
 
 def supervise_gang(entries: List[tuple], timeout_s: float,
@@ -149,16 +153,18 @@ def run_reference(spec: ProgramSpec, num_shards: int,
     return merge_reports(reports, backend="inprocess")
 
 
-def _worker_main(fabric: PipeFabric, rank: int, spec: ProgramSpec,
+def _worker_main(fabric: Any, rank: int, spec: ProgramSpec,
                  batch: int, profile_dir: Optional[str],
-                 conn: Any) -> None:
+                 conn: Any, backend: str = "multiprocess",
+                 coalesce: int = 1) -> None:
     """Forked child entrypoint: claim endpoints, replay, report, exit."""
     transport = None
     try:
         fabric.close_other_ends(rank)
         transport = fabric.transport(rank)
-        worker = ShardWorker(transport, spec, backend="multiprocess",
-                             batch=batch, profile_dir=profile_dir)
+        worker = ShardWorker(transport, spec, backend=backend,
+                             batch=batch, profile_dir=profile_dir,
+                             coalesce=coalesce)
         report = worker.run()
         conn.send(("ok", report.to_payload()))
     except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
@@ -179,7 +185,8 @@ class DistRunner:
                  backend: str = "multiprocess", batch: int = 64,
                  deadline_s: float = DEFAULT_DEADLINE_S,
                  join_timeout_s: float = 60.0,
-                 profile_dir: Optional[str] = None):
+                 profile_dir: Optional[str] = None,
+                 coalesce: int = 1, **fabric_kwargs: Any):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; "
                              f"expected one of {BACKENDS}")
@@ -189,9 +196,11 @@ class DistRunner:
         self.num_shards = num_shards
         self.backend = backend
         self.batch = batch
+        self.coalesce = coalesce
         self.deadline_s = deadline_s
         self.join_timeout_s = join_timeout_s
         self.profile_dir = profile_dir
+        self.fabric_kwargs = fabric_kwargs
 
     def run(self) -> MergedReport:
         if self.backend == "loopback":
@@ -211,7 +220,8 @@ class DistRunner:
             try:
                 worker = ShardWorker(fabric.transport(rank), self.spec,
                                      backend="loopback", batch=self.batch,
-                                     profile_dir=self.profile_dir)
+                                     profile_dir=self.profile_dir,
+                                     coalesce=self.coalesce)
                 results[rank] = worker.run()
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors[rank] = exc
@@ -240,9 +250,11 @@ class DistRunner:
     def _run_multiprocess(self) -> List[ShardReport]:
         # Fork keeps the (already imported) code and the spec without any
         # pickling of closures; the worker protocol itself needs only the
-        # inherited pipe endpoints.
+        # inherited fabric endpoints.
         ctx = multiprocessing.get_context("fork")
-        fabric = PipeFabric(self.num_shards, deadline_s=self.deadline_s)
+        fabric = fabric_for_backend(self.backend, self.num_shards,
+                                    deadline_s=self.deadline_s,
+                                    **self.fabric_kwargs)
         entries: List[tuple] = []
         try:
             for rank in range(self.num_shards):
@@ -250,14 +262,18 @@ class DistRunner:
                 proc = ctx.Process(
                     target=_worker_main,
                     args=(fabric, rank, self.spec, self.batch,
-                          self.profile_dir, child_conn),
+                          self.profile_dir, child_conn, self.backend,
+                          self.coalesce),
                     name=f"repro-shard-{rank}", daemon=True)
                 proc.start()
                 child_conn.close()
                 entries.append((rank, proc, parent_conn))
-            # The parent holds copies of every mesh endpoint; release them
-            # so a dead worker's peers observe EOF instead of a timeout.
-            fabric.close_all()
+            # Fd-based fabrics: the parent holds copies of every mesh
+            # endpoint; release them so a dead worker's peers observe EOF
+            # instead of a timeout.  (Shm rings have no fd to release —
+            # crash detection there is pid liveness via the status board.)
+            if fabric.parent_must_release:
+                fabric.close_all()
             payloads, failures = supervise_gang(entries,
                                                 self.join_timeout_s)
         finally:

@@ -89,7 +89,7 @@ class ShardWorker:
                  backend: str, batch: int = 64,
                  profiler: Optional[Profiler] = None,
                  profile_dir: Optional[str] = None,
-                 auto_trace: bool = False):
+                 auto_trace: bool = False, coalesce: int = 1):
         self.transport = transport
         self.rank = transport.rank
         self.num_shards = transport.num_shards
@@ -101,7 +101,8 @@ class ShardWorker:
         self.collectives = DistCollectives(transport,
                                            profiler=self.profiler)
         self.monitor = DistDeterminismMonitor(
-            self.collectives, batch=batch, profiler=self.profiler)
+            self.collectives, batch=batch, profiler=self.profiler,
+            coalesce=coalesce)
         self.pipeline = DCRPipeline(self.num_shards,
                                     auto_trace=auto_trace,
                                     profiler=self.profiler)
@@ -171,12 +172,13 @@ class ServiceShardWorker:
 
     def __init__(self, transport: Transport, backend: str, batch: int = 64,
                  profiler: Optional[Profiler] = None,
-                 profile_dir: Optional[str] = None):
+                 profile_dir: Optional[str] = None, coalesce: int = 1):
         self.transport = transport
         self.rank = transport.rank
         self.num_shards = transport.num_shards
         self.backend = backend
         self.batch = batch
+        self.coalesce = coalesce
         self.profile_dir = profile_dir
         self.profiler = profiler if profiler is not None else Profiler(
             enabled=profile_dir is not None)
@@ -218,7 +220,7 @@ class ServiceShardWorker:
         span0 = prof.now_us() if prof.enabled else 0.0
         monitor = DistDeterminismMonitor(
             self.collectives, batch=self.batch, profiler=prof,
-            injector=injector)
+            injector=injector, coalesce=self.coalesce)
         pipeline = DCRPipeline(self.num_shards, profiler=prof)
         field = build_field(spec)
         ops = build_operations(spec, self.num_shards, field)

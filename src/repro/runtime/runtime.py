@@ -102,11 +102,14 @@ class Runtime:
                  profiler: Optional[Profiler] = None,
                  injector: Optional[FaultInjector] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 backend: str = "inprocess"):
-        if backend not in ("inprocess", "multiprocess", "loopback"):
+                 backend: str = "inprocess", check_coalesce: int = 1):
+        from ..dist.transport import PROCESS_BACKENDS
+        if backend not in ("inprocess", "loopback") + PROCESS_BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected "
-                             f"'inprocess', 'multiprocess' or 'loopback'")
+                             f"'inprocess', 'loopback' or one of "
+                             f"{PROCESS_BACKENDS}")
         self.backend = backend
+        self._process_backend = backend in PROCESS_BACKENDS
         self.num_shards = num_shards
         self.mapper = mapper or DefaultMapper()
         self.store = RegionStore()
@@ -121,8 +124,7 @@ class Runtime:
             else FaultInjector.from_env()
         self.resilience = resilience if resilience is not None \
             else ResilienceConfig.from_env()
-        if backend in ("multiprocess", "loopback") \
-                and self.resilience is not None:
+        if backend != "inprocess" and self.resilience is not None:
             # Recovery re-runs shards inside one process against shared
             # logs; forked/threaded replicas cannot be restarted in place.
             raise ValueError(
@@ -136,6 +138,7 @@ class Runtime:
                              "timing_oracle; use backend='inprocess'")
         self._safe_checks = safe_checks
         self._check_batch = check_batch
+        self._check_coalesce = max(1, check_coalesce)
         self._auto_trace = auto_trace
         self._auto_trace_config = auto_trace_config
         # The driver shard performs effects; replicas replay against its
@@ -213,7 +216,7 @@ class Runtime:
                 "and analysis state belong to one replicated execution — "
                 "create a fresh Runtime for another run")
         self._executed = True
-        if self.backend == "multiprocess":
+        if self._process_backend:
             return self._execute_multiprocess(control, args)
         if self.backend == "loopback":
             return self._execute_loopback(control, args)
@@ -392,7 +395,7 @@ class Runtime:
         """
         import multiprocessing
         from ..dist.runner import supervise_gang, terminate_gang
-        from ..dist.transport import PipeFabric
+        from ..dist.transport import fabric_for_backend
 
         self._run_shard(self.driver_shard, control, args)
         if self.num_shards == 1:
@@ -401,7 +404,7 @@ class Runtime:
             return self._result
         driver_hasher = self.monitor.hasher(self.driver_shard)
         ctx = multiprocessing.get_context("fork")
-        fabric = PipeFabric(self.num_shards)
+        fabric = fabric_for_backend(self.backend, self.num_shards)
         entries: List[Tuple[int, Any, Any]] = []
         try:
             for shard in range(self.num_shards):
@@ -466,7 +469,7 @@ class Runtime:
             monitor = DistDeterminismMonitor(
                 DistCollectives(transport, profiler=self.profiler),
                 batch=self._check_batch, enabled=self._safe_checks,
-                profiler=self.profiler)
+                profiler=self.profiler, coalesce=self._check_coalesce)
             for digest, descr in zip(driver_hasher.calls,
                                      driver_hasher.descriptions):
                 monitor.hasher.calls.append(digest)
@@ -801,7 +804,8 @@ def _replica_main(runtime: Runtime, fabric: Any, shard: int,
         monitor = DistDeterminismMonitor(
             DistCollectives(transport, profiler=runtime.profiler),
             batch=runtime._check_batch, enabled=runtime._safe_checks,
-            profiler=runtime.profiler, injector=runtime.injector)
+            profiler=runtime.profiler, injector=runtime.injector,
+            coalesce=runtime._check_coalesce)
         runtime.monitor = _ReplicaMonitor(monitor)
         runtime._run_shard(shard, control, args)
         monitor.flush()

@@ -3,7 +3,8 @@
 A :class:`ServiceGang` is the execution substrate of the service: it
 launches N :class:`~repro.dist.worker.ServiceShardWorker` replicas — as
 threads over a :class:`~repro.dist.transport.LoopbackFabric` or as forked
-processes over a :class:`~repro.dist.transport.PipeFabric` — and keeps
+processes over any process fabric (``multiprocess`` pipes, ``shm``
+shared-memory rings, ``tcp`` sockets) — and keeps
 them alive across many programs.  Each :meth:`run_job` broadcasts one
 job to every replica and collects N :class:`~repro.dist.report
 .ShardReport`\\ s under a single shared deadline.
@@ -50,8 +51,9 @@ from ..dist.heartbeat import (HB_SUSPECTED, HeartbeatMonitor,
                               heartbeat_interval)
 from ..dist.programs import ProgramSpec
 from ..dist.report import ShardReport
-from ..dist.transport import (DEFAULT_DEADLINE_S, LoopbackFabric, PipeFabric,
-                              claimed_transport)
+from ..dist.transport import (DEFAULT_DEADLINE_S, PROCESS_BACKENDS,
+                              LoopbackFabric, fabric_for_backend,
+                              transport_from_claim)
 from ..dist.worker import ServiceShardWorker
 from ..faults.injector import CollectiveTimeout, FaultInjector, ShardCrash
 from ..faults.plan import (FaultPlan, PlannedBeatLoss, PlannedCrash,
@@ -63,7 +65,7 @@ from ..obs.profiler import Profiler
 __all__ = ["GangFailure", "RejoinError", "ServiceGang", "GANG_BACKENDS",
            "classify_worker_failure"]
 
-GANG_BACKENDS = ("loopback", "multiprocess")
+GANG_BACKENDS = ("loopback",) + PROCESS_BACKENDS
 
 
 class GangFailure(RuntimeError):
@@ -263,9 +265,10 @@ class ServiceGang:
         self._cmd_queues: Dict[int, "queue.Queue"] = {}
         self._res_queues: Dict[int, "queue.Queue"] = {}
         self._fabric: Optional[LoopbackFabric] = None
-        # multiprocess state
+        # multiprocess state (any process backend: pipe / shm / tcp)
         self._procs: Dict[int, Any] = {}
         self._conns: Dict[int, Any] = {}
+        self._mesh_fabric: Optional[Any] = None
         # driver-side channel pump: raw channels -> per-rank mailboxes
         self._mailbox: Dict[int, "queue.Queue"] = {
             r: queue.Queue() for r in range(num_shards)}
@@ -343,6 +346,11 @@ class ServiceGang:
                     conn.close()
                 except OSError:
                     pass
+            if self._mesh_fabric is not None:
+                # Unlinks shm segments / closes any endpoints the parent
+                # still holds; idempotent for pipe and tcp fabrics.
+                self._mesh_fabric.close_all()
+                self._mesh_fabric = None
 
     def __enter__(self) -> "ServiceGang":
         return self.start()
@@ -649,7 +657,15 @@ class ServiceGang:
     def _rejoin_multiprocess(self, ranks: List[int], gen: int,
                              doa: List[int]) -> None:
         ctx = multiprocessing.get_context("fork")
-        fabric = PipeFabric(self.num_shards, deadline_s=self.deadline_s)
+        old_fabric = self._mesh_fabric
+        if old_fabric is not None and hasattr(old_fabric, "mark_closed"):
+            # shm: flag the dead ranks on the status board so survivors
+            # blocked in a collective cascade-abort with PeerGone now.
+            for r in ranks:
+                old_fabric.mark_closed(r)
+        fabric = fabric_for_backend(self.backend, self.num_shards,
+                                    deadline_s=self.deadline_s)
+        self._mesh_fabric = fabric
         # Reap the dead ranks first: close control pipes, kill leftovers.
         for r in ranks:
             with self._reader_lock:
@@ -666,14 +682,15 @@ class ServiceGang:
                     proc.kill()
                 proc.join(5.0)
             self._drain_mailbox(r)
-        # Survivors next: their claimed endpoints are pickled over the
-        # control pipe (descriptors are duplicated at pickle time, so the
-        # parent's copies can be closed after the forks below).
+        # Survivors next: their claims are pickled over the control pipe
+        # (pipe/socket descriptors are duplicated at pickle time, so the
+        # parent's copies can be closed after the forks below; shm claims
+        # are just segment names the survivor attaches by).
         for r in range(self.num_shards):
             if r in ranks:
                 continue
             try:
-                self._conns[r].send(("rejoin", gen, fabric.claim_conns(r)))
+                self._conns[r].send(("rejoin", gen, fabric.claim(r)))
             except (BrokenPipeError, OSError):
                 pass   # its ack will be missing; rejoin reports it
         for r in ranks:
@@ -684,7 +701,7 @@ class ServiceGang:
                 target=_service_worker_main,
                 args=(fabric, r, self.batch, self.profile_dir, child_conn,
                       self.hb_interval_s, self.hb_seed,
-                      _fault_payload(self._fault), gen),
+                      _fault_payload(self._fault), gen, self.backend),
                 name=f"repro-svc-shard-{r}g{gen}", daemon=True)
             proc.start()
             child_conn.close()
@@ -692,7 +709,13 @@ class ServiceGang:
             self._conns[r] = parent_conn
             with self._reader_lock:
                 self._readers[r] = _conn_reader(parent_conn)
-        fabric.close_all()
+        if fabric.parent_must_release:
+            fabric.close_all()
+        if old_fabric is not None:
+            # The poisoned mesh is fully superseded: every survivor
+            # rebinds via its claim, so the parent can release (and for
+            # shm, unlink) the old generation's resources.
+            old_fabric.close_all()
 
     # -- loopback backend (threads) ------------------------------------------
 
@@ -772,8 +795,14 @@ class ServiceGang:
                     # gang heals around the culprit without losing us.
                     # Close our endpoints first so the abort *cascades*:
                     # a peer waiting on us fails fast with PeerGone
-                    # instead of draining its whole recv deadline.
+                    # instead of draining its whole recv deadline, and a
+                    # stale job dispatched before rejoin trips the
+                    # use-after-close TransportError instead of wedging.
                     fabric.mark_closed(rank)
+                    try:
+                        worker.transport.close()
+                    except Exception:  # noqa: BLE001 - already half dead
+                        pass
                     continue
                 res_q.put(("ok", report))
         finally:
@@ -783,30 +812,37 @@ class ServiceGang:
 
     def _start_multiprocess(self) -> None:
         ctx = multiprocessing.get_context("fork")
-        fabric = PipeFabric(self.num_shards, deadline_s=self.deadline_s)
+        fabric = fabric_for_backend(self.backend, self.num_shards,
+                                    deadline_s=self.deadline_s)
+        self._mesh_fabric = fabric
         for rank in range(self.num_shards):
             parent_conn, child_conn = ctx.Pipe(duplex=True)
             proc = ctx.Process(
                 target=_service_worker_main,
                 args=(fabric, rank, self.batch, self.profile_dir,
                       child_conn, self.hb_interval_s, self.hb_seed,
-                      _fault_payload(self._fault), 0),
+                      _fault_payload(self._fault), 0, self.backend),
                 name=f"repro-svc-shard-{rank}", daemon=True)
             proc.start()
             child_conn.close()
             self._procs[rank] = proc
             self._conns[rank] = parent_conn
             self._readers[rank] = _conn_reader(parent_conn)
-        # Workers hold their claimed mesh endpoints; drop the parent's
-        # copies so a dead worker's peers observe EOF, not a deadline.
-        fabric.close_all()
+        # Pipe/TCP workers hold their claimed mesh endpoints; drop the
+        # parent's copies so a dead worker's peers observe EOF, not a
+        # deadline.  The shm fabric instead keeps its segments mapped in
+        # the parent (crash detection runs off the status board, and the
+        # creator must stay alive to unlink at stop()).
+        if fabric.parent_must_release:
+            fabric.close_all()
 
 
-def _service_worker_main(fabric: PipeFabric, rank: int, batch: int,
+def _service_worker_main(fabric: Any, rank: int, batch: int,
                          profile_dir: Optional[str], conn: Any,
                          hb_interval_s: float = 0.25, hb_seed: int = 0,
                          fault_payload: Optional[dict] = None,
-                         announce_gen: int = 0) -> None:
+                         announce_gen: int = 0,
+                         backend: str = "multiprocess") -> None:
     """Forked child: claim the mesh, then serve jobs until stop or death."""
     transport = None
     worker = None
@@ -822,7 +858,7 @@ def _service_worker_main(fabric: PipeFabric, rank: int, batch: int,
     try:
         fabric.close_other_ends(rank)
         transport = fabric.transport(rank)
-        worker = ServiceShardWorker(transport, backend="multiprocess",
+        worker = ServiceShardWorker(transport, backend=backend,
                                     batch=batch, profile_dir=profile_dir)
         ticker = threading.Thread(
             target=_ticker_loop,
@@ -840,10 +876,8 @@ def _service_worker_main(fabric: PipeFabric, rank: int, batch: int,
             if cmd[0] == "stop":
                 return
             if cmd[0] == "rejoin":
-                _, gen, conns = cmd
-                worker.rebind(claimed_transport(
-                    rank, fabric.num_shards, conns,
-                    deadline_s=fabric.deadline_s))
+                _, gen, claim = cmd
+                worker.rebind(transport_from_claim(claim))
                 transport = worker.transport
                 try:
                     _send(("rejoined", rank, gen))

@@ -25,7 +25,7 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from ..dist import DistRunner, run_reference, stencil_program
+from ..dist import BACKENDS, DistRunner, run_reference, stencil_program
 from ..dist.programs import SHARDINGS
 from ..obs.chrome import export_chrome_trace
 from ..obs.profiler import Profiler
@@ -47,11 +47,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sharding", choices=sorted(SHARDINGS),
                         default="blocked",
                         help="sharding function (default blocked)")
-    parser.add_argument("--backend", choices=("multiprocess", "loopback"),
+    parser.add_argument("--backend", choices=BACKENDS,
                         default="multiprocess",
-                        help="transport backend (default multiprocess)")
+                        help="transport backend: multiprocess = pipe mesh, "
+                             "shm = shared-memory rings, tcp = socket "
+                             "mesh, loopback = in-process threads "
+                             "(default multiprocess)")
     parser.add_argument("--batch", type=int, default=16,
                         help="determinism check window (default 16)")
+    parser.add_argument("--coalesce", type=int, default=1,
+                        help="digest windows batched per allreduce round "
+                             "(default 1)")
     parser.add_argument("--verify", action="store_true",
                         help="also run the serial in-process reference and "
                              "compare artifacts byte for byte")
@@ -67,7 +73,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     spec = stencil_program(args.tiles, steps=args.steps,
                            sharding=args.sharding)
     runner = DistRunner(spec, args.shards, backend=args.backend,
-                        batch=args.batch, profile_dir=args.profile_dir)
+                        batch=args.batch, coalesce=args.coalesce,
+                        profile_dir=args.profile_dir)
     try:
         merged = runner.run()
     except Exception as exc:  # noqa: BLE001 - CLI boundary

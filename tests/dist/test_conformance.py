@@ -1,18 +1,18 @@
 """The headline property: every backend produces byte-identical artifacts.
 
 Hypothesis-generated programs, replayed under the serial in-process
-reference, the loopback (threads) backend, and the multiprocess (fork)
-backend at 2-4 shards, must agree on the task-graph digest, the fence
-sequence, and the determinism hash — the conformance criterion of the
-ISSUE's tentpole.
+reference, the loopback (threads) backend, and every process backend
+(multiprocess pipes, shm rings, tcp sockets) at 2-4 shards, must agree
+on the task-graph digest, the fence sequence, and the determinism hash —
+the conformance criterion of the ISSUE's tentpole.
 """
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.dist import (DistRunner, OpSpec, ProgramSpec, run_reference,
-                        stencil_program)
+from repro.dist import (PROCESS_BACKENDS, DistRunner, OpSpec, ProgramSpec,
+                        run_reference, stencil_program)
 from repro.dist.programs import OP_CODES, SHARDINGS
 
 op_specs = st.builds(OpSpec,
@@ -46,11 +46,12 @@ def test_loopback_matches_reference(spec, num_shards):
     assert_conformant(merged, reference)
 
 
+@pytest.mark.parametrize("backend", PROCESS_BACKENDS)
 @pytest.mark.parametrize("num_shards", [2, 3, 4])
-def test_multiprocess_matches_reference_stencil(num_shards):
+def test_process_backends_match_reference_stencil(backend, num_shards):
     spec = stencil_program(6, steps=2)
     reference = run_reference(spec, num_shards, batch=8)
-    merged = DistRunner(spec, num_shards, backend="multiprocess",
+    merged = DistRunner(spec, num_shards, backend=backend,
                         batch=8).run()
     assert_conformant(merged, reference)
     pids = {shard.pid for shard in merged.shards}
@@ -68,18 +69,33 @@ def test_multiprocess_matches_reference_irregular():
     assert_conformant(merged, reference)
 
 
-def test_all_three_backends_agree():
+def test_all_backends_agree():
+    """Byte-identical digests across every fabric, at one go."""
     spec = stencil_program(6, steps=2)
     reference = run_reference(spec, 3, batch=8)
-    loopback = DistRunner(spec, 3, backend="loopback", batch=8).run()
-    multiproc = DistRunner(spec, 3, backend="multiprocess", batch=8).run()
-    assert (reference.graph_digest == loopback.graph_digest
-            == multiproc.graph_digest)
-    assert (reference.determinism_digest == loopback.determinism_digest
-            == multiproc.determinism_digest)
-    assert (reference.shards[0].fence_sequence
-            == loopback.shards[0].fence_sequence
-            == multiproc.shards[0].fence_sequence)
+    runs = {backend: DistRunner(spec, 3, backend=backend, batch=8).run()
+            for backend in ("loopback",) + PROCESS_BACKENDS}
+    for backend, merged in runs.items():
+        assert merged.conformant, (backend, merged.mismatches)
+        assert merged.graph_digest == reference.graph_digest, backend
+        assert merged.determinism_digest \
+            == reference.determinism_digest, backend
+        assert merged.shards[0].fence_sequence \
+            == reference.shards[0].fence_sequence, backend
+
+
+def test_coalesced_checks_preserve_conformance():
+    """Batching digest windows must not change any artifact digest."""
+    spec = stencil_program(6, steps=3)
+    reference = run_reference(spec, 3, batch=4)
+    plain = DistRunner(spec, 3, backend="shm", batch=4, coalesce=1).run()
+    merged = DistRunner(spec, 3, backend="shm", batch=4,
+                        coalesce=8).run()
+    assert_conformant(plain, reference)
+    assert_conformant(merged, reference)
+    # The whole point: far fewer collective rounds than windows closed.
+    assert all(c.checks < p.checks
+               for c, p in zip(merged.shards, plain.shards))
 
 
 def test_single_shard_degenerate():
@@ -116,10 +132,10 @@ def test_worker_crash_fails_run_without_orphans():
     import repro.dist.runner as runner_mod
     real_worker_main = runner_mod._worker_main
 
-    def crashing_worker_main(fabric, rank, spec, batch, profile_dir, conn):
+    def crashing_worker_main(fabric, rank, *args, **kwargs):
         if rank == 2:
             raise SystemExit(3)  # dies before claiming endpoints
-        real_worker_main(fabric, rank, spec, batch, profile_dir, conn)
+        real_worker_main(fabric, rank, *args, **kwargs)
 
     runner_mod._worker_main = crashing_worker_main
     try:
