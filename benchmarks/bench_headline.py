@@ -68,7 +68,9 @@ def test_headline_claims(benchmark):
 # across runner hardware).
 
 import argparse
+import gc
 import json
+import math
 import os
 import sys
 import time
@@ -163,20 +165,33 @@ def bench_analysis(num_ops=256, shards=4, tiles=8, repeats=3):
             "naive_analyze": float("inf"), "naive_validate": float("inf")}
     coarse = fine = ncoarse = nfine = None
     uncovered = nuncovered = None
+    # Collector pauses triggered by the *previous* stage's garbage get
+    # charged to whoever runs next; collect up front and keep the collector
+    # off inside the timed sections (applied identically to both sides).
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        coarse, fine = _run_indexed(ops, shards)
-        t1 = time.perf_counter()
-        uncovered = fine.uncovered_cross_edges(coarse.result)
-        t2 = time.perf_counter()
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            coarse, fine = _run_indexed(ops, shards)
+            t1 = time.perf_counter()
+            uncovered = fine.uncovered_cross_edges(coarse.result)
+            t2 = time.perf_counter()
+        finally:
+            gc.enable()
         best["indexed_analyze"] = min(best["indexed_analyze"], t1 - t0)
         best["indexed_validate"] = min(best["indexed_validate"], t2 - t1)
 
-        t0 = time.perf_counter()
-        ncoarse, nfine = helpers.run_naive_analysis(ops, shards)
-        t1 = time.perf_counter()
-        nuncovered = _naive_uncovered(helpers, ncoarse, nfine)
-        t2 = time.perf_counter()
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            ncoarse, nfine = helpers.run_naive_analysis(ops, shards)
+            t1 = time.perf_counter()
+            nuncovered = _naive_uncovered(helpers, ncoarse, nfine)
+            t2 = time.perf_counter()
+        finally:
+            gc.enable()
         best["naive_analyze"] = min(best["naive_analyze"], t1 - t0)
         best["naive_validate"] = min(best["naive_validate"], t2 - t1)
 
@@ -186,7 +201,7 @@ def bench_analysis(num_ops=256, shards=4, tiles=8, repeats=3):
     itotal = best["indexed_analyze"] + best["indexed_validate"]
     ntotal = best["naive_analyze"] + best["naive_validate"]
     return {
-        "schema": 1,
+        "schema": 2,
         "config": {"num_ops": len(ops), "tiles": tiles, "shards": shards,
                    "repeats": repeats},
         "indexed_s": {"analyze": best["indexed_analyze"],
@@ -207,6 +222,82 @@ def bench_analysis(num_ops=256, shards=4, tiles=8, repeats=3):
             "digests_match": digest == ndigest,
         },
     }
+
+
+def fence_scaling_sweep(num_ops, shards=4):
+    """Fence-heavy program: individual RW tasks round-robin over shards.
+
+    Every consecutive pair conflicts on the same region from different
+    owner shards, so the coarse stage inserts ~one fence per op — fence
+    population grows linearly with program length, which is exactly the
+    regime where per-query fence-coverage cost must stay flat."""
+    from repro.core.operation import CoarseRequirement, Operation
+    from repro.oracle import READ_WRITE
+    from repro.regions import FieldSpace, IndexSpace, LogicalRegion
+
+    fs = FieldSpace([("state", "f8")])
+    cells = LogicalRegion(IndexSpace.line(64), fs, name="cells")
+    state = frozenset([fs["state"]])
+    ops = []
+    for i in range(num_ops):
+        ops.append(Operation(
+            "task", [CoarseRequirement(cells, state, READ_WRITE)],
+            owner_shard=i % shards, name=f"t{i}"))
+    for i, op in enumerate(ops):
+        op.seq = i
+    return ops, cells, state
+
+
+def bench_fence_scaling(sizes=(256, 1024, 4096), shards=4, queries=4096):
+    """Per-query ``covers_cross_edge`` cost as fence population grows.
+
+    Returns the scaling series plus the log-log slope of per-query time in
+    fence count; an O(1) (order-maintenance label) implementation holds the
+    slope near zero, a bisect-per-query one shows ~log growth and a linear
+    walk slope ~1."""
+    from repro.core.coarse import CoarseAnalysis
+    from repro.regions import clear_region_caches
+
+    series = []
+    for n in sizes:
+        clear_region_caches()
+        ops, cells, state = fence_scaling_sweep(n, shards)
+        coarse = CoarseAnalysis(shards)
+        for op in ops:
+            coarse.analyze(op)
+        res = coarse.result
+        # Deterministic (earlier, later) query pairs spanning the program.
+        pairs = []
+        for k in range(queries):
+            e = (k * 7919) % (n - 1)
+            span = n - e - 1
+            l = e + 1 + ((k * 104729) % span if span > 0 else 0)
+            pairs.append((e, l))
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            for e, l in pairs:
+                res.covers_cross_edge(e, l, cells, state)
+            t1 = time.perf_counter()
+        finally:
+            gc.enable()
+        series.append({"ops": n, "fences": len(res.fences),
+                       "per_query_us": 1e6 * (t1 - t0) / queries})
+    first, last = series[0], series[-1]
+    slope = (math.log(last["per_query_us"] / first["per_query_us"])
+             / math.log(last["fences"] / first["fences"]))
+    return {"sizes": list(sizes), "queries": queries, "series": series,
+            "slope": slope}
+
+
+def test_fence_scaling_smoke():
+    """The scaling sweep runs, fences grow with ops, and the slope is
+    meaningfully below linear even on a reduced sweep."""
+    scaling = bench_fence_scaling(sizes=(64, 256), queries=256)
+    a, b = scaling["series"]
+    assert b["fences"] > 2 * a["fences"]
+    assert scaling["slope"] < 0.8
 
 
 def test_analysis_baseline_smoke():
@@ -231,9 +322,16 @@ def main(argv=None):
                     help="fail if total speedup regressed >20%% vs PATH")
     ap.add_argument("--min-speedup", type=float,
                     help="fail if total speedup is below this")
+    ap.add_argument("--max-slope", type=float,
+                    help="fail if the fence-scaling log-log slope of "
+                         "per-query covers cost exceeds this")
+    ap.add_argument("--no-scaling", action="store_true",
+                    help="skip the fence-population scaling sweep")
     args = ap.parse_args(argv)
 
     report = bench_analysis(args.ops, args.shards, args.tiles, args.repeats)
+    if not args.no_scaling:
+        report["scaling"] = bench_fence_scaling(shards=args.shards)
     sp = report["speedup"]
     print(f"analysis sweep: {report['config']['num_ops']} ops, "
           f"{args.shards} shards, {args.tiles} tiles")
@@ -245,8 +343,17 @@ def main(argv=None):
           f"speedup {sp['validate']:.2f}x")
     print(f"  total   : speedup {sp['total']:.2f}x   "
           f"(products identical: {report['products']['digests_match']})")
+    if "scaling" in report:
+        pts = " ".join(f"F={p['fences']}:{p['per_query_us']:.2f}us"
+                       for p in report["scaling"]["series"])
+        print(f"  scaling : {pts}  slope {report['scaling']['slope']:.3f}")
 
     failed = False
+    if args.max_slope is not None and "scaling" in report \
+            and report["scaling"]["slope"] > args.max_slope:
+        print(f"FAIL: fence-scaling slope {report['scaling']['slope']:.3f} "
+              f"> allowed {args.max_slope:.3f}")
+        failed = True
     if not report["products"]["digests_match"]:
         print("FAIL: indexed and naive analysis products differ")
         failed = True

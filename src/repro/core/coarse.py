@@ -23,37 +23,162 @@ For each discovered group-level dependence the stage decides whether a
   at the later operation's position, implemented at run time as a no-payload
   all-gather (§4.2).
 
-Scaling note: the epoch lists are *bucketed* by (privilege, bound-region
-uid) and every containment/alias decision is memoized (`repro.regions.
-cache`), so a scan makes one cached decision per distinct bound instead of
-one tree walk per entry; fences live in a :class:`FenceStore` whose per-tree
-seq-sorted index answers :meth:`CoarseResult.covers_cross_edge` by binary
-search instead of a walk over every fence.  The bucketed implementation is
-*observationally identical* to the naive per-entry scan — same dependences
-in the same order, same fences, same ``users_scanned`` counts — a property
-pinned by the differential tests (tests/core/test_indexed_equivalence.py
-against the reference implementations in tests/helpers.py).
+Scaling note (DePa, Westrick et al., PPoPP '22): ordering and conflict
+queries are answered in O(1) by two structures from `repro.core.om`:
+
+* every fence position carries an **order-maintenance label** on a single
+  spine (:class:`~repro.core.om.OMLabeler`), and the :class:`FenceStore`
+  projects fences onto *channels* — one global channel plus one per
+  (scope region, field) — each holding dense per-position rank stamps
+  (:class:`~repro.core.om.SeqStamps`).  ``covers`` is then one rank
+  comparison per channel the query can touch, independent of how many
+  fences exist (previously an O(log F) bisect plus a window walk);
+* epoch buckets are keyed by **interned requirement classes**: each
+  distinct (privilege, bound-region) pair gets a small integer class id,
+  and the conflict decision for a (bucket class, query class) pair is a
+  single flat ``dict[(int, int)]`` probe (previously a privilege-table
+  lookup plus an LRU alias probe per bucket, re-hashing dataclasses and
+  enums every scan).
+
+Epoch entries additionally carry two-component *(coarse, fine)* timestamps:
+the coarse component is the fence-spine OM node current at insertion, the
+fine component a per-epoch insertion counter.  Comparing stamps compares
+the *live* OM labels (never snapshots — labels move on relabels, spine
+order does not), so stamp order provably equals insertion order and the
+bucketed scan reproduces the naive scan's observable order exactly.
+
+The indexed implementation is *observationally identical* to the naive
+per-entry scan — same dependences in the same order, same fences, same
+``users_scanned`` counts — a property pinned by the differential tests
+(tests/core/test_indexed_equivalence.py against the reference
+implementations in tests/helpers.py).
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..obs.events import (CAT_COARSE, CONTROL_SHARD, EV_COARSE_GROUP,
                           EV_FENCE_ELIDE, EV_FENCE_INSERT)
 from ..obs.profiler import Profiler, get_profiler
+from ..oracle import Privilege
 from ..regions import (LogicalRegion, Partition, cached_may_alias,
-                       cached_region_contains)
+                       cached_region_contains, register_cache_clearer)
+from .om import OMLabeler, OMNode, SeqStamps
 from .operation import CoarseRequirement, Operation
 
-__all__ = ["Fence", "FenceStore", "CoarseResult", "CoarseAnalysis"]
+__all__ = ["Fence", "FenceStore", "CoarseResult", "CoarseAnalysis",
+           "clear_coarse_decision_caches", "coarse_decision_stats"]
 
 
 def _region_contains(outer: LogicalRegion, inner: LogicalRegion) -> bool:
     """True when ``outer`` provably covers every point of ``inner``."""
     return cached_region_contains(outer, inner)
+
+
+# -- interned requirement classes -------------------------------------------------
+#
+# A coarse scan's per-bucket decision depends only on (privilege, bound
+# region) of both sides.  Each distinct pair is interned to a small int —
+# its *class id* — and decisions live in a flat dict keyed on (bucket cid,
+# query cid) int pairs.  Region uids are never reused and privileges are
+# immutable, so a decision never goes stale; the tables are bounded only
+# to cap memory in very long-lived processes (the service path), by
+# resetting everything and bumping a generation that lazily invalidates
+# every cid cached on requirement objects or bucket structures.
+
+_MAX_CLASSES = 1 << 20
+_MAX_DECISIONS = 1 << 22
+
+_GEN = 0
+_CLASS_IDS: Dict[Tuple[Privilege, int], int] = {}
+_CLASS_REPS: List[Tuple[Privilege, LogicalRegion]] = []
+_DECISIONS: Dict[Tuple[int, int], bool] = {}
+_CONTAINS: Dict[Tuple[int, int], bool] = {}
+
+
+def clear_coarse_decision_caches() -> None:
+    """Reset the interned class/decision tables (tests and benchmarks;
+    never required for correctness)."""
+    global _GEN
+    _CLASS_IDS.clear()
+    del _CLASS_REPS[:]
+    _DECISIONS.clear()
+    _CONTAINS.clear()
+    _GEN += 1
+
+
+def coarse_decision_stats() -> Dict[str, int]:
+    return {"classes": len(_CLASS_REPS), "decisions": len(_DECISIONS),
+            "generation": _GEN}
+
+
+# The class tables key on region uids; whenever the region caches are
+# cleared because uids are about to be reused (fresh_id_epoch), these
+# tables must go with them.
+register_cache_clearer(clear_coarse_decision_caches)
+
+
+def _intern_class(privilege: Privilege, bound: LogicalRegion) -> int:
+    key = (privilege, bound.uid)
+    cid = _CLASS_IDS.get(key)
+    if cid is None:
+        if len(_CLASS_REPS) >= _MAX_CLASSES:
+            clear_coarse_decision_caches()
+        cid = len(_CLASS_REPS)
+        _CLASS_IDS[key] = cid
+        _CLASS_REPS.append((privilege, bound))
+    return cid
+
+
+def _class_of(req: CoarseRequirement, bound: LogicalRegion) -> int:
+    """Class id of a requirement, cached on the (frozen) object and
+    revalidated against the table generation."""
+    tag = getattr(req, "_om_ccid", None)
+    if tag is not None and tag[0] == _GEN:
+        return tag[1]
+    cid = _intern_class(req.privilege, bound)
+    object.__setattr__(req, "_om_ccid", (_GEN, cid))
+    return cid
+
+
+def _decide(bcid: int, qcid: int) -> bool:
+    """Compute-and-memoize one (bucket, query) conflict decision from the
+    class representatives — exactly the naive per-entry test."""
+    bpriv, bregion = _CLASS_REPS[bcid]
+    qpriv, qbound = _CLASS_REPS[qcid]
+    hit = bool(bpriv.conflicts_with(qpriv)
+               and cached_may_alias(bregion, qbound))
+    if len(_DECISIONS) >= _MAX_DECISIONS:
+        _DECISIONS.clear()
+    _DECISIONS[(bcid, qcid)] = hit
+    return hit
+
+
+def _contains_fast(outer: LogicalRegion, inner: LogicalRegion) -> bool:
+    """Flat-dict memo of ``region_contains`` (skips the LRU recency
+    shuffle of the shared PairCache on the retirement hot path)."""
+    key = (outer.uid, inner.uid)
+    hit = _CONTAINS.get(key)
+    if hit is None:
+        hit = cached_region_contains(outer, inner)
+        if len(_CONTAINS) >= _MAX_DECISIONS:
+            _CONTAINS.clear()
+        _CONTAINS[key] = hit
+    return hit
+
+
+def _sorted_fids(req) -> Tuple[int, ...]:
+    """Sorted field ids of a requirement, computed once per object (the
+    per-op analysis loops re-visit every requirement's fields several
+    times; re-sorting them dominated the loop overhead)."""
+    fids = getattr(req, "_om_fids", None)
+    if fids is None:
+        fids = tuple(sorted(f.fid for f in req.fields))
+        object.__setattr__(req, "_om_fids", fids)
+    return fids
 
 
 @dataclass(frozen=True)
@@ -72,13 +197,20 @@ class Fence:
     fields: frozenset
 
 
-# Sorts after every real (at_seq, tick, fence) triple with the same at_seq,
-# so bisect_right((s, _AFTER)) finds the first entry with at_seq > s.
-_AFTER = float("inf")
+class _Channel:
+    """One scoped fence channel: all fences sharing a scope region,
+    projected per field onto rank stamps."""
+
+    __slots__ = ("uid", "region", "by_fid")
+
+    def __init__(self, region: LogicalRegion) -> None:
+        self.uid = region.uid
+        self.region = region
+        self.by_fid: Dict[int, SeqStamps] = {}
 
 
 class FenceStore:
-    """Deduplicated, insertion-ordered fence set with positional indexes.
+    """Deduplicated, insertion-ordered fence set with O(1) order queries.
 
     Presents the ``List[Fence]`` API the rest of the system grew up with
     (``append``/``extend``/``clear``/iteration/``len``/``==`` against
@@ -86,22 +218,35 @@ class FenceStore:
 
     * a set for O(1) dedupe and membership (``add`` returns whether the
       fence was new — the pipeline's replay integration relies on this);
-    * a seq-sorted list per region tree plus one for global fences, so a
-      "is some fence in (earlier, later] that aliases this region?" query
-      bisects to the candidate window instead of scanning every fence.
+    * an **order-maintenance spine**: every fence position gets an
+      :class:`~repro.core.om.OMNode` whose label answers "which of these
+      two fences comes first?" in one integer comparison, and whose
+      relative order survives relabeling (the labels move, the order does
+      not — which is why trace-replay rebinding via :meth:`add` preserves
+      every outstanding timestamp);
+    * **channels** with dense rank stamps: one global channel plus one per
+      (scope region, field id).  A fence registers its position on the
+      channels it can order; ``covers`` compares two ranks per reachable
+      channel instead of walking or bisecting the fence list, so its cost
+      is flat in the number of fences (the fence-population scaling sweep
+      in benchmarks/bench_headline.py guards exactly this).
 
     Soundness of the index: a fence is immutable and its position never
-    changes, so insertion-time bucketing is final.
+    changes, so insertion-time channel registration is final.
     """
 
-    __slots__ = ("_fences", "_set", "_by_tree", "_global", "_tick")
+    __slots__ = ("_fences", "_set", "_spine", "_keys", "_nodes",
+                 "_global", "_scoped", "_alias_memo", "_tick")
 
     def __init__(self, fences: Sequence[Fence] = ()) -> None:
         self._fences: List[Fence] = []
         self._set: Set[Fence] = set()
-        # tree_id -> sorted [(at_seq, tick, fence)]; tick breaks seq ties.
-        self._by_tree: Dict[int, List[Tuple[int, int, Fence]]] = {}
-        self._global: List[int] = []          # sorted at_seqs of global fences
+        self._spine = OMLabeler()
+        self._keys: List[Tuple[int, int]] = []    # sorted (at_seq, tick)
+        self._nodes: List[OMNode] = []            # parallel spine nodes
+        self._global = SeqStamps()
+        self._scoped: Dict[int, Dict[int, _Channel]] = {}  # tree -> uid -> ch
+        self._alias_memo: Dict[Tuple[int, int], bool] = {}
         self._tick = 0
         for f in fences:
             self.add(f)
@@ -109,17 +254,46 @@ class FenceStore:
     # -- mutation -----------------------------------------------------------------
 
     def add(self, fence: Fence) -> bool:
-        """Insert unless an identical fence exists; True when inserted."""
+        """Insert unless an identical fence exists; True when inserted.
+
+        Analysis inserts fences in program order (the monotone fast path:
+        an O(1) spine append).  Out-of-order inserts — bulk loads, tests —
+        bisect into the spine; the OM labeler absorbs the insert with an
+        amortized O(1) relabel and every existing node keeps its relative
+        order, so timestamps handed out earlier stay valid.
+        """
         if fence in self._set:
             return False
         self._set.add(fence)
         self._fences.append(fence)
-        if fence.region is None:
-            insort(self._global, fence.at_seq)
+        self._tick += 1
+        key = (fence.at_seq, self._tick)
+        keys = self._keys
+        if not keys or key >= keys[-1]:
+            node = self._spine.insert_last()
+            keys.append(key)
+            self._nodes.append(node)
         else:
-            self._tick += 1
-            insort(self._by_tree.setdefault(fence.region.tree_id, []),
-                   (fence.at_seq, self._tick, fence))
+            idx = bisect_right(keys, key)
+            node = self._spine.insert_before(self._nodes[idx])
+            keys.insert(idx, key)
+            self._nodes.insert(idx, node)
+        region = fence.region
+        if region is None:
+            self._global.note(fence.at_seq, node)
+        else:
+            chans = self._scoped.setdefault(region.tree_id, {})
+            chan = chans.get(region.uid)
+            if chan is None:
+                chan = _Channel(region)
+                chans[region.uid] = chan
+            by_fid = chan.by_fid
+            for fl in fence.fields:
+                ss = by_fid.get(fl.fid)
+                if ss is None:
+                    ss = SeqStamps()
+                    by_fid[fl.fid] = ss
+                ss.note(fence.at_seq, node)
         return True
 
     def append(self, fence: Fence) -> None:
@@ -132,33 +306,85 @@ class FenceStore:
     def clear(self) -> None:
         self._fences.clear()
         self._set.clear()
-        self._by_tree.clear()
-        self._global.clear()
+        self._spine = OMLabeler()
+        self._keys.clear()
+        self._nodes.clear()
+        self._global = SeqStamps()
+        self._scoped.clear()
+        self._alias_memo.clear()
 
     # -- queries ------------------------------------------------------------------
 
     def covers(self, earlier_seq: int, later_seq: int,
                region: LogicalRegion, fields: frozenset) -> bool:
         """Any fence in (earlier_seq, later_seq] whose scope orders the
-        given data?  O(log F) bisects to the candidate window; global
-        fences cover everything, scoped ones need a field overlap and a
-        (memoized) alias with their region."""
-        g = self._global
-        if g and bisect_right(g, earlier_seq) < bisect_right(g, later_seq):
+        given data?  One rank comparison on the global channel, then one
+        per (aliasing scope, query field) channel — O(1) per probe and
+        flat in the total fence population.
+
+        Equivalent to the naive walk: a fence covers the edge iff it is
+        global, or some field in ``f.fields & fields`` exists and
+        ``may_alias(f.region, region)`` — i.e. iff the fence registered a
+        position on a channel this query can reach.
+        """
+        if self._global.covers(earlier_seq, later_seq):
             return True
-        entries = self._by_tree.get(region.tree_id)
-        if not entries:
+        chans = self._scoped.get(region.tree_id)
+        if not chans:
             return False
-        lo = bisect_right(entries, (earlier_seq, _AFTER))
-        hi = bisect_right(entries, (later_seq, _AFTER))
-        for i in range(lo, hi):
-            f = entries[i][2]
-            if (f.fields & fields) and cached_may_alias(f.region, region):
-                return True
+        memo = self._alias_memo
+        ruid = region.uid
+        for chan in chans.values():
+            mkey = (chan.uid, ruid)
+            hit = memo.get(mkey)
+            if hit is None:
+                hit = cached_may_alias(chan.region, region)
+                memo[mkey] = hit
+            if not hit:
+                continue
+            by_fid = chan.by_fid
+            for fl in fields:
+                ss = by_fid.get(fl.fid)
+                if ss is not None and ss.covers(earlier_seq, later_seq):
+                    return True
         return False
+
+    def era_node(self) -> Optional[OMNode]:
+        """The spine node of the latest fence position — the *coarse*
+        component epoch entries stamp at insertion (None before any
+        fence).  Successive era nodes only ever move later on the spine,
+        so stamps sorted by (live era label, fine counter) reproduce
+        insertion order exactly."""
+        nodes = self._nodes
+        return nodes[-1] if nodes else None
 
     def positions(self) -> List[int]:
         return sorted({f.at_seq for f in self._fences})
+
+    def om_stats(self) -> Dict[str, int]:
+        """Order-maintenance accounting (benchmarks and tests)."""
+        return {
+            "spine": len(self._spine),
+            "relabels": self._spine.relabels,
+            "relabeled_nodes": self._spine.relabeled_nodes,
+            "channels": 1 + sum(len(ch.by_fid)
+                                for chans in self._scoped.values()
+                                for ch in chans.values()),
+        }
+
+    def check_invariants(self) -> None:
+        """Spine and channel consistency (test hook)."""
+        self._spine.check_invariants()
+        assert len(self._spine) == len(self._fences), \
+            "spine does not cover every fence"
+        assert self._keys == sorted(self._keys), "spine keys out of order"
+        for a, b in zip(self._nodes, self._nodes[1:]):
+            assert a.label < b.label, "spine nodes disagree with key order"
+        self._global.check_invariants()
+        for chans in self._scoped.values():
+            for chan in chans.values():
+                for ss in chan.by_fid.values():
+                    ss.check_invariants()
 
     # -- list-compatible protocol -------------------------------------------------
 
@@ -212,27 +438,68 @@ class CoarseResult:
         return self.fences.covers(earlier_seq, later_seq, region, fields)
 
 
-class _Epoch:
-    """One epoch list, bucketed by (privilege, bound-region uid).
+def _stamp_key(entry):
+    """Sort key of a stamped epoch entry: the *live* label of its coarse
+    OM node (relabel-safe — labels are never snapshotted), then the fine
+    insertion counter."""
+    node, idx = entry[0]
+    return (node.label if node is not None else -1, idx)
 
-    Entries are (insertion index, op, requirement) triples.  All entries of
-    a bucket share the decision inputs of the naive per-entry loop —
-    privilege and bound region — so a scan makes *one* memoized
-    conflict+alias decision per bucket and then emits the bucket's entries.
-    Matches are re-sorted by insertion index so dependence pairs appear in
-    exactly the order the naive scan would have produced them (the fence
-    scope starts from ``pairs[0]``, so order is observable).
+
+class _EpochBucket:
+    """All epoch entries sharing one requirement class."""
+
+    __slots__ = ("cid", "priv", "region", "is_reduce", "entries")
+
+    def __init__(self, cid: int, priv: Privilege,
+                 region: LogicalRegion) -> None:
+        self.cid = cid
+        self.priv = priv
+        self.region = region
+        self.is_reduce = priv.is_reduce
+        # [((coarse OM node | None, fine counter), op, req), ...]
+        self.entries: List[Tuple] = []
+
+
+def _null_clock() -> Optional[OMNode]:
+    return None
+
+
+class _Epoch:
+    """One epoch list, bucketed by interned requirement class.
+
+    All entries of a bucket share the decision inputs of the naive
+    per-entry loop — privilege and bound region — so a scan makes *one*
+    flat-table decision per bucket (an int-pair dict probe) and then emits
+    the bucket's entries.  Every entry carries a two-component
+    (coarse OM node, fine counter) timestamp; matches are re-sorted by the
+    live stamp order, which provably equals insertion order (the clock's
+    era node only moves later on the fence spine), so dependence pairs
+    appear in exactly the order the naive scan would have produced them
+    (the fence scope starts from ``pairs[0]``, so order is observable).
     """
 
-    __slots__ = ("_buckets", "_members", "_op_counts", "_next", "_size")
+    __slots__ = ("_buckets", "_members", "_op_counts", "_next", "_size",
+                 "_gen", "_clock")
 
-    def __init__(self) -> None:
-        # (privilege, bound uid) -> (bound region, [(idx, op, req), ...])
-        self._buckets: Dict[Tuple, Tuple[LogicalRegion, List[Tuple]]] = {}
+    def __init__(self, clock=_null_clock) -> None:
+        self._buckets: Dict[int, _EpochBucket] = {}
         self._members: Set[Tuple] = set()      # (id(op), req) for dedupe
         self._op_counts: Dict[int, int] = {}   # id(op) -> live entry count
         self._next = 0
         self._size = 0
+        self._gen = _GEN
+        self._clock = clock
+
+    def _refresh(self) -> None:
+        """The class tables were reset (generation bump): re-intern every
+        bucket's class so cids stay bijective with classes."""
+        buckets = list(self._buckets.values())
+        self._buckets = {}
+        for b in buckets:
+            b.cid = _intern_class(b.priv, b.region)
+            self._buckets[b.cid] = b
+        self._gen = _GEN
 
     def add(self, op: Operation, req: CoarseRequirement,
             bound: LogicalRegion, unique: bool = False) -> None:
@@ -240,65 +507,75 @@ class _Epoch:
         if unique and key in self._members:
             return
         self._members.add(key)
-        bkey = (req.privilege, bound.uid)
-        slot = self._buckets.get(bkey)
-        if slot is None:
-            slot = (bound, [])
-            self._buckets[bkey] = slot
-        slot[1].append((self._next, op, req))
+        cid = _class_of(req, bound)
+        if self._gen != _GEN:
+            self._refresh()
+        b = self._buckets.get(cid)
+        if b is None:
+            b = _EpochBucket(cid, req.privilege, bound)
+            self._buckets[cid] = b
+        b.entries.append(((self._clock(), self._next), op, req))
         self._next += 1
         self._size += 1
         self._op_counts[id(op)] = self._op_counts.get(id(op), 0) + 1
 
-    def match(self, op: Operation, privilege,
+    def match(self, op: Operation, req: CoarseRequirement,
               bound: LogicalRegion, reduce_only: bool = False
               ) -> Tuple[int, List[Tuple]]:
         """(entries scanned, matches in insertion order) — exactly what the
         naive loop over (op, req) pairs reports for the same epoch."""
         if id(op) in self._op_counts:
-            return self._match_with_self(op, privilege, bound, reduce_only)
+            return self._match_with_self(op, req, bound, reduce_only)
+        qcid = _class_of(req, bound)
+        if self._gen != _GEN:
+            self._refresh()
         scanned = 0
         matched: List[Tuple] = []
-        for (bpriv, _uid), (bregion, entries) in self._buckets.items():
-            if reduce_only and not bpriv.is_reduce:
+        decisions = _DECISIONS
+        for b in self._buckets.values():
+            if reduce_only and not b.is_reduce:
                 continue
+            entries = b.entries
             scanned += len(entries)
-            if not bpriv.conflicts_with(privilege):
-                continue
-            if not cached_may_alias(bregion, bound):
-                continue
-            matched.extend(entries)
-        matched.sort()
+            hit = decisions.get((b.cid, qcid))
+            if hit is None:
+                hit = _decide(b.cid, qcid)
+            if hit:
+                matched.extend(entries)
+        matched.sort(key=_stamp_key)
         return scanned, [(e[1], e[2]) for e in matched]
 
-    def _match_with_self(self, op, privilege, bound, reduce_only):
+    def _match_with_self(self, op, req, bound, reduce_only):
         """Slow path preserving the naive same-op skip semantics (the op
         under analysis is normally never in the epochs; this guards the
         invariant rather than assuming it)."""
+        qcid = _class_of(req, bound)
+        if self._gen != _GEN:
+            self._refresh()
         scanned = 0
         matched: List[Tuple] = []
-        for (bpriv, _uid), (bregion, entries) in self._buckets.items():
-            if reduce_only and not bpriv.is_reduce:
+        for b in self._buckets.values():
+            if reduce_only and not b.is_reduce:
                 continue
-            live = [e for e in entries if e[1] is not op]
+            live = [e for e in b.entries if e[1] is not op]
             scanned += len(live)
-            if not bpriv.conflicts_with(privilege):
-                continue
-            if not cached_may_alias(bregion, bound):
-                continue
-            matched.extend(live)
-        matched.sort()
+            hit = _DECISIONS.get((b.cid, qcid))
+            if hit is None:
+                hit = _decide(b.cid, qcid)
+            if hit:
+                matched.extend(live)
+        matched.sort(key=_stamp_key)
         return scanned, [(e[1], e[2]) for e in matched]
 
     def retire_contained(self, bound: LogicalRegion) -> None:
         """Drop every entry whose bound region is covered by ``bound`` —
         the write-retirement rule, decided once per bucket."""
-        doomed = [bkey for bkey, (bregion, _entries) in self._buckets.items()
-                  if cached_region_contains(bound, bregion)]
-        for bkey in doomed:
-            _region, entries = self._buckets.pop(bkey)
-            self._size -= len(entries)
-            for _idx, op, req in entries:
+        doomed = [cid for cid, b in self._buckets.items()
+                  if _contains_fast(bound, b.region)]
+        for cid in doomed:
+            b = self._buckets.pop(cid)
+            self._size -= len(b.entries)
+            for _stamp, op, req in b.entries:
                 self._members.discard((id(op), req))
                 n = self._op_counts.get(id(op), 0) - 1
                 if n <= 0:
@@ -310,8 +587,8 @@ class _Epoch:
         return self._size
 
     def __iter__(self) -> Iterator[Tuple[Operation, CoarseRequirement]]:
-        entries = [e for _reg, es in self._buckets.values() for e in es]
-        entries.sort()
+        entries = [e for b in self._buckets.values() for e in b.entries]
+        entries.sort(key=_stamp_key)
         return iter((e[1], e[2]) for e in entries)
 
 
@@ -320,9 +597,9 @@ class _FieldState:
 
     __slots__ = ("write_epoch", "read_epoch")
 
-    def __init__(self) -> None:
-        self.write_epoch = _Epoch()
-        self.read_epoch = _Epoch()
+    def __init__(self, clock=_null_clock) -> None:
+        self.write_epoch = _Epoch(clock)
+        self.read_epoch = _Epoch(clock)
 
 
 class CoarseAnalysis:
@@ -339,6 +616,7 @@ class CoarseAnalysis:
         self.num_shards = num_shards
         self.profiler = profiler if profiler is not None else get_profiler()
         self.result = CoarseResult()
+        self._clock = self.result.fences.era_node
         self._state: Dict[Tuple[int, int], _FieldState] = {}
 
     # -- entry point -----------------------------------------------------------
@@ -359,13 +637,13 @@ class CoarseAnalysis:
                                             CoarseRequirement]]] = {}
         for req in op.coarse_reqs:
             bound = req.bound_region()
-            for fid in sorted(f.fid for f in req.fields):
+            for fid in _sorted_fids(req):
                 state = self._state.setdefault((bound.tree_id, fid),
-                                               _FieldState())
+                                               _FieldState(self._clock))
                 self._scan(op, req, bound, state, dep_ops)
         for req in op.coarse_reqs:
             bound = req.bound_region()
-            for fid in sorted(f.fid for f in req.fields):
+            for fid in _sorted_fids(req):
                 state = self._state[(bound.tree_id, fid)]
                 self._update(op, req, bound, state)
 
@@ -427,13 +705,19 @@ class CoarseAnalysis:
         recording), but their *effects on the epoch state* must still be
         applied — otherwise operations issued after the trace would compare
         against pre-trace state and miss dependences on replayed work.
+
+        Any fences the replay rebinds land through :meth:`FenceStore.add`
+        *before* this runs (pipeline order), so the era node the new epoch
+        entries stamp already reflects them — label preservation across
+        replay is a property of the spine (order never changes), not of
+        this method.
         """
         self.result.ops_analyzed += 1
         for req in op.coarse_reqs:
             bound = req.bound_region()
-            for fid in sorted(f.fid for f in req.fields):
+            for fid in _sorted_fids(req):
                 state = self._state.setdefault((bound.tree_id, fid),
-                                               _FieldState())
+                                               _FieldState(self._clock))
                 self._update(op, req, bound, state)
 
     # -- scanning ------------------------------------------------------------------
@@ -445,7 +729,7 @@ class CoarseAnalysis:
         priv = req.privilege
 
         def check(epoch: _Epoch, reduce_only: bool = False) -> None:
-            scanned, matched = epoch.match(op, priv, bound,
+            scanned, matched = epoch.match(op, req, bound,
                                            reduce_only=reduce_only)
             self.result.users_scanned += scanned
             for prev_op, prev_req in matched:

@@ -128,6 +128,7 @@ class Operation:
         self.fill_value = None           # for kind == "fill"
         self.cost = cost                 # modeled execution time per point (s)
         self.seq: int = -1               # program-order index, set by pipeline
+        self._preqs: Dict = {}           # point -> requirements memo
 
     # -- group structure ------------------------------------------------------
 
@@ -152,13 +153,22 @@ class Operation:
         return self.sharding(point, len(self.launch_domain or ()), num_shards)
 
     def point_requirements(self, point: Hashable) -> Tuple[RegionRequirement, ...]:
-        """Concrete region requirements for one point task."""
-        dom = self.launch_domain or ()
-        return tuple(
-            RegionRequirement(cr.point_region(point, dom), cr.fields,
-                              cr.privilege)
-            for cr in self.coarse_reqs
-        )
+        """Concrete region requirements for one point task.
+
+        Memoized per point: requirements are immutable value objects, and
+        the fine stage (plus every differential reference) materializes the
+        same point repeatedly — once per shard replica at minimum.
+        """
+        reqs = self._preqs.get(point)
+        if reqs is None:
+            dom = self.launch_domain or ()
+            reqs = tuple(
+                RegionRequirement(cr.point_region(point, dom), cr.fields,
+                                  cr.privilege)
+                for cr in self.coarse_reqs
+            )
+            self._preqs[point] = reqs
+        return reqs
 
     def __repr__(self) -> str:  # pragma: no cover
         dom = f", |dom|={len(self.launch_domain)}" if self.is_group else ""
@@ -168,16 +178,17 @@ class Operation:
 class PointTask:
     """A single point of an operation, as analyzed by the fine stage."""
 
-    __slots__ = ("op", "point", "shard", "requirements")
+    __slots__ = ("op", "point", "shard", "requirements", "_hash")
 
     def __init__(self, op: Operation, point: Hashable, shard: int):
         self.op = op
         self.point = point
         self.shard = shard
         self.requirements = op.point_requirements(point)
+        self._hash = hash((op.uid, point))
 
     def __hash__(self) -> int:
-        return hash((self.op.uid, self.point))
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         return (isinstance(other, PointTask) and other.op is self.op

@@ -73,12 +73,13 @@ def _trace_label(trace_id: Hashable) -> str:
 
 def _op_signature(op: Operation) -> Tuple:
     from ..regions import Partition
+    from .coarse import _sorted_fids
 
     reqs = tuple(
         (
             cr.upper.uid,
             isinstance(cr.upper, Partition),
-            tuple(sorted(f.fid for f in cr.fields)),
+            _sorted_fids(cr),
             cr.privilege.kind.value,
             cr.privilege.redop,
             # None is a sentinel for "no projection function": it must not

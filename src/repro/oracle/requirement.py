@@ -40,9 +40,16 @@ class RegionRequirement:
         object.__setattr__(self, "fields", fset)
         object.__setattr__(self, "privilege", privilege)
         object.__setattr__(self, "_fids", frozenset(f.fid for f in fset))
+        # Requirements are hashed on every epoch-membership insert; the
+        # value hash (identical to the dataclass-generated one) is
+        # precomputed since all three fields are immutable.
+        object.__setattr__(self, "_hash", hash((region, fset, privilege)))
 
     def field_ids(self) -> FrozenSet[int]:
         return self._fids
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover
         names = ",".join(sorted(f.name for f in self.fields))

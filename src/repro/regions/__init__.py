@@ -5,7 +5,8 @@ DESIGN.md §3 for the module map.
 """
 
 from .cache import (PairCache, cached_may_alias, cached_region_contains,
-                    clear_region_caches, region_cache_stats, region_contains)
+                    clear_region_caches, region_cache_stats,
+                    region_contains, register_cache_clearer)
 from .dependent import (partition_by_field, partition_by_image,
                         partition_by_preimage)
 from .epoch import fresh_id_epoch
@@ -24,5 +25,6 @@ __all__ = [
     "upper_bound",
     "PairCache", "cached_may_alias", "cached_region_contains",
     "region_contains", "clear_region_caches", "region_cache_stats",
+    "register_cache_clearer",
     "fresh_id_epoch",
 ]

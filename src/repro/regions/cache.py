@@ -23,7 +23,20 @@ from .region import LogicalRegion
 from .tree import may_alias
 
 __all__ = ["PairCache", "cached_may_alias", "cached_region_contains",
-           "region_contains", "clear_region_caches", "region_cache_stats"]
+           "region_contains", "clear_region_caches", "region_cache_stats",
+           "register_cache_clearer"]
+
+# Other layers keep their own uid-keyed memo tables (the analysis core's
+# interned decision tables) whose soundness rests on the same "uids are
+# never reused" argument.  They register a clearer here so every path
+# that resets the region caches — tests, benchmarks, fresh_id_epoch's
+# uid-counter rewind — resets them in the same breath.
+_extra_clearers: list = []
+
+
+def register_cache_clearer(fn) -> None:
+    """Run ``fn`` whenever :func:`clear_region_caches` is called."""
+    _extra_clearers.append(fn)
 
 
 class PairCache:
@@ -115,9 +128,14 @@ def cached_region_contains(outer: LogicalRegion, inner: LogicalRegion) -> bool:
 
 
 def clear_region_caches() -> None:
-    """Drop both caches (tests; never required for correctness)."""
+    """Drop both caches and every registered dependent table.
+
+    Required for correctness only when region uids are about to be reused
+    (``fresh_id_epoch``); otherwise a test/benchmark hygiene hook."""
     _alias_cache.clear()
     _contains_cache.clear()
+    for fn in _extra_clearers:
+        fn()
 
 
 def region_cache_stats() -> Dict[str, int]:

@@ -13,9 +13,18 @@ the same randomly generated programs, at 1–4 shards, and require:
   point/scan attribution,
 * the same answers from ``covers_cross_edge`` as from a linear fence walk,
 * equal canonical digests (the determinism hash over all of the above).
+
+Profiles (REPRO_EQUIV_PROFILE): ``dev`` (default, derandomized — tier-1
+safe), ``ci`` (bigger derandomized budget), ``extended`` (randomized soak
+for workflow_dispatch runs).  On failure the minimized op specs are
+written to REPRO_EQUIV_ARTIFACT_DIR (if set) as JSON — rebuild the
+program with ``build_ops(build_env(), specs)``.
 """
 
-from hypothesis import given, settings, strategies as st
+import json
+import os
+
+from hypothesis import HealthCheck, given, note, settings, strategies as st
 
 from helpers import (analysis_digest, naive_covers_cross_edge,
                      run_naive_analysis)
@@ -32,6 +41,37 @@ TILES = 4
 SHARDINGS = [CYCLIC, BLOCKED, HASHED]
 READ_PRIVS = [READ_ONLY, reduce_priv("+"), reduce_priv("max")]
 WRITE_PRIVS = [READ_WRITE, WRITE_DISCARD]
+
+# Hypothesis budgets per test (identical-products, covers-query,
+# determinism); dev matches the historical tier-1 budget.
+_PROFILE = os.environ.get("REPRO_EQUIV_PROFILE", "dev")
+_BUDGETS = {"dev": (60, 40, 25), "ci": (200, 120, 60),
+            "extended": (800, 500, 250)}
+if _PROFILE not in _BUDGETS:
+    raise ValueError(f"unknown REPRO_EQUIV_PROFILE {_PROFILE!r}; "
+                     f"expected one of {sorted(_BUDGETS)}")
+_PRODUCT_EXAMPLES, _COVERS_EXAMPLES, _DETERMINISM_EXAMPLES = \
+    _BUDGETS[_PROFILE]
+
+_COMMON = dict(
+    deadline=None,
+    derandomize=_PROFILE != "extended",
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.filter_too_much,
+                           HealthCheck.large_base_example],
+)
+
+
+def _dump_artifact(specs, shards, name):
+    """Write the minimized falsifying program for the CI artifact upload."""
+    art_dir = os.environ.get("REPRO_EQUIV_ARTIFACT_DIR")
+    if not art_dir:
+        return
+    os.makedirs(art_dir, exist_ok=True)
+    with open(os.path.join(art_dir, f"{name}.json"), "w") as f:
+        json.dump({"specs": [list(s) for s in specs], "shards": shards,
+                   "rebuild": "build_ops(build_env(), specs)"}, f, indent=2)
+        f.write("\n")
 
 
 def build_env():
@@ -121,56 +161,82 @@ def run_indexed(ops, shards):
 
 
 class TestIndexedEquivalence:
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=_PRODUCT_EXAMPLES, **_COMMON)
     @given(op_specs, st.integers(1, 4))
     def test_identical_products(self, specs, shards):
-        ops = build_ops(build_env(), specs)
-        coarse, fine = run_indexed(ops, shards)
-        ncoarse, nfine = run_naive_analysis(ops, shards)
+        try:
+            ops = build_ops(build_env(), specs)
+            coarse, fine = run_indexed(ops, shards)
+            ncoarse, nfine = run_naive_analysis(ops, shards)
 
-        assert coarse.result.deps == ncoarse.result.deps
-        # Byte-identical fence *sequence*: dependence-pair order determines
-        # each fence's scope, so even insertion order must match.
-        assert coarse.result.fences == ncoarse.result.fences
-        assert coarse.result.fences_elided == ncoarse.result.fences_elided
-        assert coarse.result.users_scanned == ncoarse.result.users_scanned
-        assert set(fine.result.graph.tasks) == set(nfine.result.graph.tasks)
-        assert set(fine.result.graph.deps) == set(nfine.result.graph.deps)
-        assert fine.result.local_edges == nfine.result.local_edges
-        assert fine.result.cross_edges == nfine.result.cross_edges
-        assert fine.result.points_per_shard == nfine.result.points_per_shard
-        assert fine.result.scans_per_shard == nfine.result.scans_per_shard
-        assert analysis_digest(coarse.result, fine.result) == \
-            analysis_digest(ncoarse.result, nfine.result)
+            assert coarse.result.deps == ncoarse.result.deps
+            # Byte-identical fence *sequence*: dependence-pair order
+            # determines each fence's scope, so even insertion order must
+            # match.
+            assert coarse.result.fences == ncoarse.result.fences
+            assert coarse.result.fences_elided == \
+                ncoarse.result.fences_elided
+            assert coarse.result.users_scanned == \
+                ncoarse.result.users_scanned
+            assert set(fine.result.graph.tasks) == \
+                set(nfine.result.graph.tasks)
+            assert set(fine.result.graph.deps) == \
+                set(nfine.result.graph.deps)
+            assert fine.result.local_edges == nfine.result.local_edges
+            assert fine.result.cross_edges == nfine.result.cross_edges
+            assert fine.result.points_per_shard == \
+                nfine.result.points_per_shard
+            assert fine.result.scans_per_shard == \
+                nfine.result.scans_per_shard
+            assert analysis_digest(coarse.result, fine.result) == \
+                analysis_digest(ncoarse.result, nfine.result)
+        except AssertionError:
+            note(f"specs={specs!r} shards={shards}")
+            _dump_artifact(specs, shards, "products_failure")
+            raise
 
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=_COVERS_EXAMPLES, **_COMMON)
     @given(op_specs, st.integers(2, 4))
     def test_covers_query_matches_linear_walk(self, specs, shards):
         """Every covers_cross_edge query the soundness check would issue
         answers identically through the FenceStore index and through the
         naive linear fence walk."""
-        ops = build_ops(build_env(), specs)
-        coarse, fine = run_indexed(ops, shards)
-        fences = list(coarse.result.fences)
-        queries = 0
-        for prev, task in fine.result.cross_edges:
-            for preq in prev.requirements:
-                for nreq in task.requirements:
-                    flds = nreq.fields | preq.fields
-                    assert coarse.result.covers_cross_edge(
-                        prev.op.seq, task.op.seq, nreq.region, flds) == \
-                        naive_covers_cross_edge(
-                            fences, prev.op.seq, task.op.seq,
-                            nreq.region, flds)
-                    queries += 1
-        # The soundness invariant itself must hold on generated programs.
-        assert fine.uncovered_cross_edges(coarse.result) == []
+        try:
+            ops = build_ops(build_env(), specs)
+            coarse, fine = run_indexed(ops, shards)
+            fences = list(coarse.result.fences)
+            queries = 0
+            for prev, task in fine.result.cross_edges:
+                for preq in prev.requirements:
+                    for nreq in task.requirements:
+                        flds = nreq.fields | preq.fields
+                        assert coarse.result.covers_cross_edge(
+                            prev.op.seq, task.op.seq, nreq.region, flds) == \
+                            naive_covers_cross_edge(
+                                fences, prev.op.seq, task.op.seq,
+                                nreq.region, flds)
+                        queries += 1
+            # The soundness invariant itself must hold on generated
+            # programs.
+            assert fine.uncovered_cross_edges(coarse.result) == []
+            # So must the order-maintenance invariants of the fence spine
+            # and the fine timestamps after an arbitrary program.
+            coarse.result.fences.check_invariants()
+        except AssertionError:
+            note(f"specs={specs!r} shards={shards}")
+            _dump_artifact(specs, shards, "covers_failure")
+            raise
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=_DETERMINISM_EXAMPLES, **_COMMON)
     @given(op_specs, st.integers(1, 4))
     def test_indexed_analysis_is_deterministic(self, specs, shards):
-        ops = build_ops(build_env(), specs)
-        c1, f1 = run_indexed(ops, shards)
-        c2, f2 = run_indexed(ops, shards)
-        assert analysis_digest(c1.result, f1.result) == \
-            analysis_digest(c2.result, f2.result)
+        try:
+            ops = build_ops(build_env(), specs)
+            c1, f1 = run_indexed(ops, shards)
+            c2, f2 = run_indexed(ops, shards)
+            assert analysis_digest(c1.result, f1.result) == \
+                analysis_digest(c2.result, f2.result)
+        except AssertionError:
+            note(f"specs={specs!r} shards={shards}")
+            _dump_artifact(specs, shards, "determinism_failure")
+            raise
